@@ -1,0 +1,134 @@
+// ABLATION -- internal design choices, measured.
+//
+// Not a paper artifact: this quantifies the library's own engineering
+// decisions on a common workload so DESIGN.md's choices are checkable:
+//   1. fault-simulation engine: serial reference vs deductive vs
+//      parallel-pattern single-fault (PPSFP);
+//   2. fault collapsing: universe vs collapsed list;
+//   3. ATPG phases: random-only vs PODEM-only vs the hybrid;
+//   4. compaction: raw vs merged+reverse-order-dropped test sets.
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+#include "atpg/engine.h"
+#include "circuits/random_circuit.h"
+#include "fault/deductive.h"
+#include "fault/fault_sim.h"
+
+using namespace dft;
+
+namespace {
+
+double secs(std::chrono::steady_clock::time_point a,
+            std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 12;
+  spec.num_gates = 600;
+  spec.max_fanin = 4;
+  spec.seed = 99;
+  const Netlist nl = make_random_combinational(spec);
+  const CollapseResult col = collapse_faults(nl);
+  std::mt19937_64 rng(7);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_source_vector(nl, rng));
+
+  std::printf("Ablation harness -- %zu gates, %zu universe / %zu collapsed "
+              "faults, 256 patterns\n\n",
+              nl.topo_order().size(), col.universe.size(),
+              col.representatives.size());
+
+  // 1. Engines.
+  std::printf("  [1] fault-simulation engines (collapsed list, no drop):\n");
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    SerialFaultSimulator ser(nl);
+    const auto rs = ser.run(pats, col.representatives);
+    const auto t1 = std::chrono::steady_clock::now();
+    DeductiveFaultSimulator ded(nl);
+    const auto rd = ded.run(pats, col.representatives, false);
+    const auto t2 = std::chrono::steady_clock::now();
+    ParallelFaultSimulator par(nl);
+    const auto rp = par.run(pats, col.representatives, false);
+    const auto t3 = std::chrono::steady_clock::now();
+    std::printf("      serial    %8.3fs  (%d detected)\n", secs(t0, t1),
+                rs.num_detected);
+    std::printf("      deductive %8.3fs  (%d detected)\n", secs(t1, t2),
+                rd.num_detected);
+    std::printf("      PPSFP     %8.3fs  (%d detected)\n", secs(t2, t3),
+                rp.num_detected);
+  }
+
+  // 2. Collapsing.
+  std::printf("\n  [2] fault collapsing (PPSFP, with dropping):\n");
+  {
+    ParallelFaultSimulator par(nl);
+    const auto t0 = std::chrono::steady_clock::now();
+    par.run(pats, col.universe);
+    const auto t1 = std::chrono::steady_clock::now();
+    par.run(pats, col.representatives);
+    const auto t2 = std::chrono::steady_clock::now();
+    std::printf("      universe  (%4zu faults) %8.3fs\n", col.universe.size(),
+                secs(t0, t1));
+    std::printf("      collapsed (%4zu faults) %8.3fs\n",
+                col.representatives.size(), secs(t1, t2));
+  }
+
+  // 3. ATPG phases.
+  std::printf("\n  [3] ATPG phase ablation:\n");
+  std::printf("      %-22s %8s %8s %8s %9s\n", "configuration", "tests",
+              "cov%", "redund", "seconds");
+  struct Cfg {
+    const char* name;
+    AtpgOptions opt;
+  };
+  AtpgOptions rand_only;
+  rand_only.random_patterns = 2048;
+  rand_only.deterministic_phase = false;
+  AtpgOptions det_only;
+  det_only.random_patterns = 0;
+  det_only.backtrack_limit = 5000;
+  AtpgOptions hybrid;
+  hybrid.backtrack_limit = 5000;
+  for (const Cfg& c : {Cfg{"random only (2048)", rand_only},
+                       Cfg{"PODEM only", det_only},
+                       Cfg{"hybrid (default)", hybrid}}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const AtpgRun run = run_atpg(nl, col.representatives, c.opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("      %-22s %8zu %7.1f%% %8zu %8.2fs\n", c.name,
+                run.tests.size(), 100 * run.fault_coverage(),
+                run.redundant.size(), secs(t0, t1));
+  }
+
+  // 4. Compaction.
+  std::printf("\n  [4] compaction ablation:\n");
+  {
+    AtpgOptions with = {};
+    with.backtrack_limit = 5000;
+    AtpgOptions without = with;
+    without.compact = false;
+    const AtpgRun a = run_atpg(nl, col.representatives, with);
+    const AtpgRun b = run_atpg(nl, col.representatives, without);
+    std::printf("      compacted   : %zu tests (coverage %.1f%%)\n",
+                a.tests.size(), 100 * a.fault_coverage());
+    std::printf("      uncompacted : %zu tests (coverage %.1f%%)\n",
+                b.tests.size(), 100 * b.fault_coverage());
+  }
+
+  std::printf(
+      "\n  expected shape: PPSFP >> deductive >> serial on speed at equal\n"
+      "  detection counts; collapsing halves fault-sim work; random-only is\n"
+      "  cheap but stalls below the deterministic ceiling, and on\n"
+      "  redundancy-heavy logic the deterministic phases are dominated by\n"
+      "  redundancy proofs (which only PODEM can deliver); compaction\n"
+      "  shrinks the set at unchanged coverage.\n");
+  return 0;
+}

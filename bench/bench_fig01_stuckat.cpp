@@ -1,0 +1,53 @@
+// FIG1 -- Fig. 1: "Test for input stuck at fault".
+//
+// Reproduces the good-machine / faulty-machine truth tables of the 2-input
+// AND gate with input A stuck-at-1, and shows that pattern A=0 B=1 is the
+// (unique) test: the good machine answers 0, the faulty machine 1.
+#include <cstdio>
+
+#include "atpg/podem.h"
+#include "circuits/basic.h"
+#include "fault/fault_sim.h"
+#include "sim/comb_sim.h"
+
+using namespace dft;
+
+int main() {
+  const Netlist nl = make_fig1_and();
+  const GateId a = *nl.find("a");
+  const GateId b = *nl.find("b");
+  const GateId c = *nl.find("c");
+  const Fault a_sa1{c, 0, true};  // pin A of the AND gate stuck at 1
+
+  std::printf("Fig. 1 -- test for input stuck-at fault (AND gate, A s-a-1)\n\n");
+  std::printf("  A B | good C | faulty C | test?\n");
+  std::printf("  ----+--------+----------+------\n");
+
+  CombSim good(nl), bad(nl);
+  bad.set_stuck({a_sa1.gate, a_sa1.pin, Logic::One});
+  SerialFaultSimulator fsim(nl);
+  int tests = 0;
+  for (int va = 0; va < 2; ++va) {
+    for (int vb = 0; vb < 2; ++vb) {
+      for (CombSim* s : {&good, &bad}) {
+        s->set_value(a, to_logic(va != 0));
+        s->set_value(b, to_logic(vb != 0));
+        s->evaluate();
+      }
+      const bool is_test = fsim.detects(
+          {to_logic(va != 0), to_logic(vb != 0)}, a_sa1);
+      tests += is_test;
+      std::printf("  %d %d |    %c   |     %c    | %s\n", va, vb,
+                  to_char(good.value(c)), to_char(bad.value(c)),
+                  is_test ? "YES" : "no");
+    }
+  }
+  std::printf("\n  patterns that test A/1: %d (paper: exactly the 01 pattern)\n",
+              tests);
+
+  Podem podem(nl);
+  const AtpgOutcome out = podem.generate(a_sa1);
+  std::printf("  PODEM generates: A=%c B=%c (expected A=0 B=1)\n",
+              to_char(out.pattern[0]), to_char(out.pattern[1]));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// FIG6 -- the bus-structured microcomputer (Sec. III-C).
+//
+// External bus access + tri-state isolation lets the tester exercise each
+// module as if its bus pins were edge pins; without select discipline,
+// coverage collapses. Also demonstrates the bus-diagnosis ambiguity: a
+// stuck bus wire is indistinguishable from the enabled driver being stuck.
+#include <cstdio>
+
+#include "board/microcomputer.h"
+#include "netlist/stats.h"
+
+using namespace dft;
+
+int main() {
+  const Microcomputer mc = make_microcomputer_board();
+  std::printf("Fig. 6 -- bus-structured microcomputer board\n\n");
+  std::printf("  flattened board: ");
+  // stream-free print of the stats line
+  {
+    const NetlistStats s = compute_stats(mc.flat);
+    std::printf("PI=%d PO=%d FF=%d gates=%d buses=%d\n\n", s.primary_inputs,
+                s.primary_outputs, s.storage_elements, s.combinational_gates,
+                mc.flat.count(GateType::Bus));
+  }
+
+  std::printf("  module coverage from the edge (256 random patterns):\n");
+  std::printf("    module   isolated   no-select-control\n");
+  for (const char* m : {"cpu", "rom", "ram", "io"}) {
+    const double iso = bus_module_coverage(mc, m, true, 256, 11);
+    const double no = bus_module_coverage(mc, m, false, 256, 11);
+    std::printf("    %-6s   %6.1f%%   %10.1f%%\n", m, 100 * iso, 100 * no);
+  }
+  std::printf("\n  bus stuck-fault diagnosis ambiguity (Sec. III-C):\n");
+  for (const char* m : {"cpu", "rom", "ram", "io"}) {
+    std::printf("    bus0/0 vs %s driver stuck-0, %s drives alone: %s\n", m, m,
+                bus_fault_ambiguous(mc, m, 64, 5)
+                    ? "indistinguishable from the edge"
+                    : "distinguishable");
+  }
+  std::printf(
+      "\n  shape: isolation >> contention for every module; any single\n"
+      "  enabled driver is a suspect for a stuck bus wire.\n");
+  return 0;
+}

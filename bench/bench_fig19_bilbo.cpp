@@ -1,0 +1,86 @@
+// FIG19-21 -- BILBO self-test (Sec. V-A).
+//
+// Two BILBO registers sandwich two combinational networks (Figs. 20-21):
+// signature coverage vs PN-pattern count, good-machine signature
+// reproducibility, and the test-data-volume reduction vs serial scan
+// ("if 100 patterns are run between scan-outs, the test data volume may be
+// reduced by a factor of 100").
+#include <cstdio>
+
+#include "bist/bilbo.h"
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "fault/fault.h"
+
+using namespace dft;
+
+namespace {
+
+// A fully-testable n->m "expander": each output is a dedicated 2-input
+// function of a rotating input pair, so no fault is redundant and the
+// random-pattern ceiling is 100%.
+Netlist make_expander(int n_in, int n_out) {
+  Netlist nl("expand");
+  std::vector<GateId> in(static_cast<std::size_t>(n_in));
+  for (int i = 0; i < n_in; ++i) in[i] = nl.add_input("e" + std::to_string(i));
+  for (int k = 0; k < n_out; ++k) {
+    const GateId a = in[static_cast<std::size_t>(k % n_in)];
+    const GateId b = in[static_cast<std::size_t>((k + 1 + k / n_in) % n_in)];
+    const GateType t = k % 3 == 0 ? GateType::Xor
+                                  : (k % 3 == 1 ? GateType::And
+                                                : GateType::Or);
+    nl.add_output(nl.add_gate(t, {a, b}, "y" + std::to_string(k)),
+                  "yo" + std::to_string(k));
+  }
+  return nl;
+}
+
+}  // namespace
+
+int main() {
+  // CLN1: 8-bit ripple adder (17 -> 9); CLN2: a 9 -> 17 expander. Both
+  // MISRs are >= 9 bits, so aliasing is below 0.2%.
+  const Netlist cln1 = make_ripple_adder(8);
+  const Netlist cln2 = make_expander(9, 17);
+  BilboBist bist(cln1, cln2);
+
+  std::printf("Figs. 19-21 -- BILBO two-register self-test\n");
+  std::printf("  CLN1: %zu-in/%zu-out adder; CLN2: %zu-in/%zu-out random\n\n",
+              cln1.inputs().size(), cln1.outputs().size(),
+              cln2.inputs().size(), cln2.outputs().size());
+
+  const auto g = bist.run_good(256);
+  std::printf("  good-machine signatures: CLN1=0x%llX CLN2=0x%llX "
+              "(reproducible: %s)\n\n",
+              static_cast<unsigned long long>(g.signature_cln1),
+              static_cast<unsigned long long>(g.signature_cln2),
+              (bist.run_good(256).signature_cln1 == g.signature_cln1)
+                  ? "yes"
+                  : "NO");
+
+  const auto faults1 = collapse_faults(cln1).representatives;
+  const auto faults2 = collapse_faults(cln2).representatives;
+  std::printf("  signature coverage vs PN patterns per phase:\n");
+  std::printf("  %9s  %10s  %10s\n", "patterns", "CLN1", "CLN2");
+  for (int n : {8, 16, 32, 64, 128, 256, 512}) {
+    std::printf("  %9d  %9.1f%%  %9.1f%%\n", n,
+                100 * bist.signature_coverage(1, faults1, n),
+                100 * bist.signature_coverage(2, faults2, n));
+  }
+
+  std::printf("\n  test-data volume per 100 applied patterns:\n");
+  const auto s = bist.run_good(100);
+  const long long scan_bits = 100LL * (17 + 9) * 2;  // full scan in+out
+  std::printf("    serial full scan : %lld bits\n", scan_bits);
+  std::printf("    BILBO            : %lld bits (signatures only)\n",
+              s.scan_bits);
+  std::printf("    reduction        : %.0fx (paper: ~100x at 100 "
+              "patterns/signature)\n",
+              static_cast<double>(scan_bits) /
+                  static_cast<double>(s.scan_bits));
+  std::printf(
+      "\n  shape: coverage climbs fast for random-testable logic and\n"
+      "  saturates near the fault-simulation ceiling minus MISR aliasing;\n"
+      "  data volume shrinks by roughly the patterns-per-signature factor.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// FIG22 -- PLAs resist random patterns (Sec. V-A).
+//
+// "If an AND gate in the search array had 20 inputs, then each random
+// pattern would have 1/2^20 probability of coming up with the correct input
+// pattern. On the other hand, random combinational logic networks with
+// maximum fan-in of 4 can do quite well with random patterns."
+//
+// We sweep product-term fan-in, measure random-pattern coverage of the PLA,
+// compare against the COP-predicted detection probabilities, and contrast
+// with a fan-in-4 random network.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "circuits/pla.h"
+#include "circuits/random_circuit.h"
+#include "fault/fault_sim.h"
+#include "measure/cop.h"
+
+using namespace dft;
+
+namespace {
+
+double random_coverage(const Netlist& nl, int patterns, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < patterns; ++i) {
+    pats.push_back(random_source_vector(nl, rng));
+  }
+  ParallelFaultSimulator fsim(nl);
+  return fsim.run(pats, collapse_faults(nl).representatives).coverage();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 22 -- PLA random-pattern resistance vs product-term "
+              "fan-in\n\n");
+  std::printf("  %6s  %12s  %13s  %16s\n", "fan-in", "cov@4096", "P(term=1)",
+              "patterns for 95%%");
+  for (int fanin : {4, 8, 12, 16, 20}) {
+    const PlaSpec spec = make_random_pla_spec(24, 4, 10, fanin, 99);
+    const Netlist nl = make_pla(spec);
+    const double cov = random_coverage(nl, 4096, 7);
+    const auto cop = compute_cop(nl);
+    const double p_term = cop.p1[*nl.find("pt0")];
+    std::printf("  %6d  %11.1f%%  %13.3g  %16.3g\n", fanin, 100 * cov, p_term,
+                patterns_for_confidence(p_term * cop.obs[*nl.find("pt0")],
+                                        0.95));
+  }
+
+  RandomCircuitSpec rc;
+  rc.num_inputs = 24;
+  rc.num_outputs = 8;
+  rc.num_gates = 150;
+  rc.max_fanin = 4;
+  rc.seed = 3;
+  const Netlist fan4 = make_random_combinational(rc);
+  std::printf("\n  fan-in-4 random network, same pattern budget: %.1f%%\n",
+              100 * random_coverage(fan4, 4096, 7));
+  std::printf(
+      "\n  shape: term activation probability is 2^-fanin, so coverage\n"
+      "  collapses as fan-in grows while bounded-fan-in logic stays high --\n"
+      "  the reason PLAs defeat BILBO-style PN testing.\n");
+  return 0;
+}

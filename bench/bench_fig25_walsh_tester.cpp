@@ -1,0 +1,66 @@
+// FIG25 -- the Walsh-coefficient tester (Sec. V-C).
+//
+// Two passes of a driving counter with an up/down response counter measure
+// C_all and C_0. The [117] theorem: when C_all != 0, every primary-input
+// stuck fault forces C_all to 0 and is therefore detected. We verify that
+// on several networks and count how many internal faults the C_all/C_0
+// check catches too.
+#include <cstdio>
+
+#include "bist/walsh.h"
+#include "circuits/basic.h"
+#include "circuits/sn74181.h"
+#include "netlist/bench_io.h"
+
+using namespace dft;
+
+namespace {
+
+void report(const char* name, const Netlist& nl, std::size_t output_index) {
+  const std::uint32_t all = all_inputs_mask(nl);
+  const long long call = walsh_coefficient(nl, output_index, all);
+  const long long c0 = walsh_coefficient(nl, output_index, 0);
+
+  int pi_total = 0, pi_caught = 0, pi_forced_zero = 0;
+  for (GateId pi : nl.inputs()) {
+    for (bool v : {false, true}) {
+      const Fault f{pi, -1, v};
+      ++pi_total;
+      const auto r = run_walsh_tester(nl, output_index, &f);
+      pi_caught += !r.pass;
+      pi_forced_zero += r.call_observed == 0;
+    }
+  }
+  int in_total = 0, in_caught = 0;
+  for (const Fault& f : collapse_faults(nl).representatives) {
+    if (nl.type(f.gate) == GateType::Input) continue;
+    ++in_total;
+    in_caught += !run_walsh_tester(nl, output_index, &f).pass;
+  }
+  std::printf("  %-10s %6lld %6lld   %3d/%3d      %3d/%3d     %4d/%4d\n",
+              name, c0, call, pi_caught, pi_total, pi_forced_zero, pi_total,
+              in_caught, in_total);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 25 -- testing by verifying C_0 and C_all\n\n");
+  std::printf("  %-10s %6s %6s   %-12s %-12s %-10s\n", "circuit", "C_0",
+              "C_all", "PI faults", "C_all->0", "internal");
+  report("majority3", make_majority_voter(1), 0);
+  report("parity5", make_parity_tree(5), 0);
+  {
+    // An AND-OR function with C_all = 0 would need modification first; the
+    // 74181 F0 output exercises a real multi-output network.
+    const Netlist alu = make_sn74181();
+    report("74181.f0", alu, 0);
+  }
+  std::printf(
+      "\n  shape: whenever the fault-free C_all != 0, every PI stuck fault\n"
+      "  drives the measured C_all to exactly 0 (the output no longer\n"
+      "  depends on that input) and the two-pass tester flags it; a large\n"
+      "  share of internal faults fall out for free. Two passes of 2^n\n"
+      "  patterns each, zero stored responses.\n");
+  return 0;
+}

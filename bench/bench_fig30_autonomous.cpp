@@ -1,0 +1,75 @@
+// FIG26-34 -- autonomous testing (Sec. V-D).
+//
+// (a) exhaustive sub-tests detect faults irrespective of the fault model
+//     (demonstrated with wholesale gate-function swaps);
+// (b) multiplexer partitioning (Figs. 30-32): isolating subnetworks turns
+//     2^n into 2^n1 + 2^n2 at the price of mux overhead;
+// (c) sensitized partitioning of the SN74181 (Figs. 33-34): hold-value
+//     sessions exhaust the part with far fewer than 2^14 patterns at the
+//     exhaustive coverage ceiling.
+#include <cstdio>
+
+#include "bist/autonomous.h"
+#include "circuits/basic.h"
+#include "circuits/sn74181.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Figs. 26-34 -- autonomous testing\n\n");
+
+  // (a) model independence.
+  const Netlist c17 = make_c17();
+  int swaps = 0, caught = 0;
+  for (GateId g = 0; g < c17.size(); ++g) {
+    if (c17.type(g) != GateType::Nand) continue;
+    for (GateType wrong : {GateType::And, GateType::Or, GateType::Nor,
+                           GateType::Xor}) {
+      ++swaps;
+      caught += exhaustive_detects_gate_swap(c17, g, wrong);
+    }
+  }
+  std::printf("  (a) gate-function swaps on c17 caught by exhaustion: %d/%d\n",
+              caught, swaps);
+  std::printf("      (any function-changing defect is caught -- no fault "
+              "model assumed)\n\n");
+
+  // (b) multiplexer partitioning.
+  const Netlist g1 = make_parity_tree(8);
+  Netlist g2;
+  {
+    const GateId a = g2.add_input("a");
+    const GateId y = g2.add_gate(GateType::Not, {a}, "y");
+    g2.add_output(y, "yo");
+  }
+  const MuxPartitioned mp = build_mux_partitioned(g1, g2);
+  const auto counts = mux_partition_pattern_counts(g1, g2);
+  std::printf("  (b) multiplexer partitioning (parity8 -> inverter):\n");
+  std::printf("      whole-network exhaustion : %llu patterns (G2 never "
+              "exhausted independently)\n",
+              static_cast<unsigned long long>(counts.unpartitioned));
+  std::printf("      partitioned              : %llu patterns, both "
+              "subnetworks fully exhausted\n",
+              static_cast<unsigned long long>(counts.partitioned));
+  std::printf("      mux overhead             : %d gate equivalents\n\n",
+              mp.mux_gate_equivalents);
+
+  // (c) the 74181 sensitized sessions.
+  const SensitizedPartitionResult res = sensitized_partition_74181();
+  std::printf("  (c) SN74181 sensitized partitioning:\n");
+  std::printf("      exhaustive: %llu patterns -> %.2f%% stuck-at coverage "
+              "(ceiling: 10/235 collapsed faults are redundant)\n",
+              static_cast<unsigned long long>(res.exhaustive_patterns),
+              100 * res.exhaustive_coverage);
+  std::printf("      sensitized sessions: %llu patterns -> %.2f%% coverage\n",
+              static_cast<unsigned long long>(res.session_patterns),
+              100 * res.session_coverage);
+  std::printf("      pattern reduction: %.0f%%  coverage gap: %.2f%%\n",
+              100.0 * (1.0 - static_cast<double>(res.session_patterns) /
+                                 static_cast<double>(res.exhaustive_patterns)),
+              100 * (res.exhaustive_coverage - res.session_coverage));
+  std::printf(
+      "\n  shape: far fewer than 2^n patterns, exhaustive-grade coverage --\n"
+      "  Sec. V-D's claim for sensitized partitioning.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// OVHD -- the cross-technique overhead comparison (Secs. IV-V).
+//
+// For a family of sequential designs with growing state/logic ratio, print
+// every structured technique's gate overhead, pin cost, and serial data
+// volume -- the survey's qualitative cost menu, quantified.
+#include <cstdio>
+
+#include "circuits/random_circuit.h"
+#include "netlist/stats.h"
+#include "scan/overhead.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Secs. IV-V -- structured-technique overhead menu\n");
+
+  for (const auto& [flops, cone] : std::vector<std::pair<int, int>>{
+           {16, 30}, {32, 12}, {64, 6}}) {
+    RandomSeqSpec spec;
+    spec.num_flops = flops;
+    spec.gates_per_cone = cone;
+    spec.num_inputs = 8;
+    spec.num_outputs = 6;
+    spec.seed = 4 + static_cast<std::uint64_t>(flops);
+    const Netlist nl = make_random_sequential(spec);
+    const NetlistStats st = compute_stats(nl);
+    std::printf("\n  design: %d flops, %d comb gates (%d GE) -- %s\n",
+                st.storage_elements, st.combinational_gates,
+                st.gate_equivalents,
+                cone >= 30 ? "logic-dominated" : "state-heavy");
+    std::printf("  %s", overhead_table(compare_overheads(nl)).c_str());
+  }
+
+  {
+    RandomSeqSpec spec;
+    spec.num_flops = 32;
+    spec.gates_per_cone = 12;
+    spec.seed = 11;
+    const Netlist nl = make_random_sequential(spec);
+    const auto base = compare_overheads(nl, 0.0);
+    const auto reuse = compare_overheads(nl, 0.85);
+    std::printf("\n  LSSD with System/38-style L2 reuse (85%% of L2 latches "
+                "doing system work):\n");
+    std::printf("    no reuse : %d GE (%.1f%%)\n",
+                base[0].extra_gate_equivalents, base[0].overhead_pct);
+    std::printf("    85%% reuse: %d GE (%.1f%%)\n",
+                reuse[0].extra_gate_equivalents, reuse[0].overhead_pct);
+  }
+
+  std::printf(
+      "\n  shape: Scan/Set cheapest in gates (partial coverage), LSSD and\n"
+      "  Scan Path in the 4-20%% band for logic-dominated designs, RAS adds\n"
+      "  decoders, BILBO costs the most gates but slashes test-data volume\n"
+      "  ~100x; L2 reuse collapses LSSD overhead (the System/38 report).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// SEC1A-BRIDGE -- "bridging faults have been detected by having a high
+// level -- that is, in the high 90 percent -- single Stuck-At fault
+// coverage" (Sec. I-A).
+//
+// We grade test sets by their stuck-at coverage and measure, for each, the
+// fraction of randomly sampled wired-AND/OR bridges they detect: bridge
+// coverage tracks stuck-at coverage and lands in the high 90s once SSA
+// coverage does.
+#include <cstdio>
+#include <random>
+
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "fault/bridging.h"
+#include "fault/fault_sim.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Sec. I-A -- stuck-at coverage vs bridging-fault coverage\n\n");
+  std::printf("  circuit      patterns  SSA_cov  bridge_cov (120 sampled "
+              "bridges)\n");
+
+  struct Case {
+    const char* name;
+    Netlist nl;
+  };
+  RandomCircuitSpec spec;
+  spec.num_inputs = 14;
+  spec.num_outputs = 8;
+  spec.num_gates = 200;
+  spec.max_fanin = 4;
+  spec.seed = 3;
+  Case cases[] = {{"adder6", make_ripple_adder(6)},
+                  {"mult3", make_array_multiplier(3)},
+                  {"rand200", make_random_combinational(spec)}};
+
+  for (auto& c : cases) {
+    const auto faults = collapse_faults(c.nl).representatives;
+    const auto bridges = sample_bridges(c.nl, 120, 17);
+    ParallelFaultSimulator fsim(c.nl);
+    std::mt19937_64 rng(5);
+    std::vector<SourceVector> pats;
+    for (const int budget : {4, 16, 64, 256}) {
+      while (static_cast<int>(pats.size()) < budget) {
+        pats.push_back(random_source_vector(c.nl, rng));
+      }
+      const double ssa = fsim.run(pats, faults).coverage();
+      const double bc = bridge_coverage(c.nl, bridges, pats);
+      std::printf("  %-10s %9d  %6.1f%%  %9.1f%%\n", c.name, budget,
+                  100 * ssa, 100 * bc);
+    }
+    pats.clear();
+    std::printf("\n");
+  }
+  std::printf(
+      "  shape: bridge coverage rises with stuck-at coverage and reaches\n"
+      "  the high-90s once SSA does -- the paper's historical rationale for\n"
+      "  leaning on the single stuck-at model. Feedback bridges (the ones\n"
+      "  that turn combinational logic sequential) are excluded, as the\n"
+      "  survey's CMOS discussion warns.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// SEC1B -- the exhaustive functional-test argument of Sec. I-B.
+//
+// "if a network has N inputs with M latches, at a minimum it takes 2^(N+M)
+// patterns ... with N=25 and M=50 ... the test time would be over a billion
+// years."
+#include <cstdio>
+
+#include "board/cost.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Sec. I-B -- exhaustive functional test cost (1 MHz pattern rate)\n\n");
+  std::printf("  %4s %5s  %12s  %18s\n", "N", "M", "patterns", "test time");
+  struct Row {
+    int n, m;
+  };
+  const Row rows[] = {{10, 0}, {20, 0},  {25, 0},  {20, 10},
+                      {25, 25}, {25, 50}, {32, 64}};
+  for (const auto& r : rows) {
+    const double patterns = exhaustive_pattern_count(r.n, r.m);
+    const double secs = exhaustive_test_seconds(r.n, r.m, 1e6);
+    const double years = seconds_to_years(secs);
+    char timebuf[64];
+    if (years >= 1.0) {
+      std::snprintf(timebuf, sizeof timebuf, "%.3g years", years);
+    } else if (secs >= 1.0) {
+      std::snprintf(timebuf, sizeof timebuf, "%.3g seconds", secs);
+    } else {
+      std::snprintf(timebuf, sizeof timebuf, "%.3g ms", secs * 1e3);
+    }
+    std::printf("  %4d %5d  %12.4g  %18s%s\n", r.n, r.m, patterns, timebuf,
+                (r.n == 25 && r.m == 50) ? "   <-- the paper's example" : "");
+  }
+  std::printf(
+      "\n  paper: 2^75 ~ 3.8e22 patterns, over 1e9 years at 1 us/pattern\n");
+  return 0;
+}

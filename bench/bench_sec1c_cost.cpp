@@ -1,0 +1,33 @@
+// SEC1C -- the rule-of-tens test economics of Sec. I-C.
+//
+// "$0.30 to detect a fault at the chip level ... $3 at board level, $30 at
+// system level, $300 in the field." The expected-cost model shows how chip
+// test escape rate drives total cost per fault.
+#include <cstdio>
+
+#include "board/cost.h"
+
+using namespace dft;
+
+int main() {
+  std::printf("Sec. I-C -- cost of detecting one fault by packaging level\n\n");
+  const char* names[] = {"chip", "board", "system", "field"};
+  const PackagingLevel levels[] = {PackagingLevel::Chip, PackagingLevel::Board,
+                                   PackagingLevel::System,
+                                   PackagingLevel::Field};
+  for (int i = 0; i < 4; ++i) {
+    std::printf("  %-7s $%7.2f\n", names[i], fault_detection_cost(levels[i]));
+  }
+
+  std::printf("\n  expected cost per fault vs chip-level escape rate\n");
+  std::printf("  (board and system escape fixed at 10%%)\n\n");
+  std::printf("  chip escape   expected $/fault\n");
+  for (double esc : {0.0, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0}) {
+    std::printf("     %5.0f%%        $%7.2f\n", esc * 100,
+                expected_cost_per_fault({esc, 0.10, 0.10}));
+  }
+  std::printf(
+      "\n  shape: every fault caught at the chip costs $0.30; every escape\n"
+      "  multiplies its price by 10 per packaging level.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// SEC4A-RAM -- "it is not practical to implement RAM with SRL memory, so
+// additional procedures are required to handle embedded RAM circuitry
+// [20]" (Sec. IV-A).
+//
+// The additional procedure: march tests. We inject each classical memory
+// fault class into an SRAM model and tabulate what MATS+ and March C-
+// catch, plus their linear operation counts (vs the hopeless exhaustive
+// alternative).
+#include <cstdio>
+
+#include "board/cost.h"
+#include "memory/sram.h"
+
+using namespace dft;
+
+namespace {
+
+struct Tally {
+  int total = 0, mats = 0, cminus = 0;
+};
+
+template <typename InjectFn>
+Tally sweep(InjectFn inject, int count) {
+  Tally t;
+  for (int i = 0; i < count; ++i) {
+    {
+      SramModel mem(4, 2);
+      inject(mem, i);
+      t.mats += !run_march(mem, mats_plus()).pass;
+    }
+    {
+      SramModel mem(4, 2);
+      inject(mem, i);
+      t.cminus += !run_march(mem, march_c_minus()).pass;
+    }
+    ++t.total;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 16;  // words
+  std::printf("Sec. IV-A -- embedded RAM: march-test procedures\n\n");
+  std::printf("  algorithms: MATS+ = %s(5N ops)\n",
+              march_name(mats_plus()).c_str());
+  std::printf("              MarchC- = %s(10N ops)\n\n",
+              march_name(march_c_minus()).c_str());
+
+  std::printf("  fault class          injected   MATS+   MarchC-\n");
+  const Tally saf = sweep(
+      [&](SramModel& m, int i) {
+        m.inject_cell_stuck(i % n, (i / n) % 2, i % 2 == 0);
+      },
+      2 * n);
+  std::printf("  cell stuck-at        %8d  %3d/%-3d  %3d/%-3d\n", saf.total,
+              saf.mats, saf.total, saf.cminus, saf.total);
+
+  const Tally tf = sweep(
+      [&](SramModel& m, int i) {
+        m.inject_transition_fault(i % n, 0, i % 2 == 0);
+      },
+      2 * n);
+  std::printf("  transition           %8d  %3d/%-3d  %3d/%-3d\n", tf.total,
+              tf.mats, tf.total, tf.cminus, tf.total);
+
+  const Tally cf = sweep(
+      [&](SramModel& m, int i) {
+        const int aggr = i % n;
+        const int vict = (aggr + 1 + i / n) % n;
+        m.inject_inversion_coupling(aggr, 0, (i % 2) == 0, vict, 0);
+      },
+      4 * n);
+  std::printf("  inversion coupling   %8d  %3d/%-3d  %3d/%-3d\n", cf.total,
+              cf.mats, cf.total, cf.cminus, cf.total);
+
+  const Tally af = sweep(
+      [&](SramModel& m, int i) {
+        m.inject_address_fault(i % n, (i % n + 1 + i / n) % n);
+      },
+      3 * n);
+  std::printf("  address decoder      %8d  %3d/%-3d  %3d/%-3d\n", af.total,
+              af.mats, af.total, af.cminus, af.total);
+
+  SramModel clean(4, 2);
+  const auto ops = run_march(clean, march_c_minus()).operations;
+  std::printf("\n  March C- cost: %d operations for %d words; exhaustive\n"
+              "  pattern-sensitive testing of the same array would need\n"
+              "  ~%.3g patterns (2^(cells)) -- the Sec. I-B wall again.\n",
+              ops, n, exhaustive_pattern_count(32, 0));
+  std::printf(
+      "\n  shape: linear-time march procedures catch every injected fault\n"
+      "  class (March C- strictly dominates MATS+ on couplings), which is\n"
+      "  why embedded arrays get their own procedure instead of SRLs.\n");
+  return 0;
+}

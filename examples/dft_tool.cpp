@@ -1,0 +1,133 @@
+// dft_tool -- a command-line driver over the library's public API.
+//
+//   dft_tool stats   <file.bench>          structural summary
+//   dft_tool scoap   <file.bench> [N]      N hardest nets (default 10)
+//   dft_tool faults  <file.bench>          fault universe / collapsing
+//   dft_tool atpg    <file.bench>          full ATPG run + test vectors
+//   dft_tool scan    <file.bench> [chains] LSSD insertion, writes result
+//   dft_tool export  <name> <out.bench>    dump a built-in circuit
+//
+// Built-in circuit names for `export`: c17, adder4, adder8, mult3, dec3,
+// parity8, mux3, cmp4, sn74181, counter8, accum4.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "atpg/engine.h"
+#include "circuits/basic.h"
+#include "circuits/sequential.h"
+#include "circuits/sn74181.h"
+#include "fault/fault.h"
+#include "measure/scoap.h"
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+#include "scan/scan_insert.h"
+
+using namespace dft;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dft_tool {stats|scoap|faults|atpg|scan} <file.bench> "
+               "[arg]\n       dft_tool export <name> <out.bench>\n");
+  return 2;
+}
+
+Netlist builtin(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "adder4") return make_ripple_adder(4);
+  if (name == "adder8") return make_ripple_adder(8);
+  if (name == "mult3") return make_array_multiplier(3);
+  if (name == "dec3") return make_decoder(3);
+  if (name == "parity8") return make_parity_tree(8);
+  if (name == "mux3") return make_mux_tree(3);
+  if (name == "cmp4") return make_comparator(4);
+  if (name == "sn74181") return make_sn74181();
+  if (name == "counter8") return make_counter(8);
+  if (name == "accum4") return make_accumulator(4);
+  throw std::invalid_argument("unknown built-in circuit: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "export") {
+      if (argc < 4) return usage();
+      const Netlist nl = builtin(argv[2]);
+      std::ofstream out(argv[3]);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", argv[3]);
+        return 1;
+      }
+      write_bench(out, nl);
+      std::printf("wrote %s (%zu gates)\n", argv[3], nl.size());
+      return 0;
+    }
+
+    const Netlist nl = read_bench_file(argv[2]);
+    if (cmd == "stats") {
+      const NetlistStats s = compute_stats(nl);
+      std::printf("%s: PI=%d PO=%d FF=%d (scan %d) gates=%d GE=%d depth=%d "
+                  "maxfi=%d maxfo=%d\n",
+                  argv[2], s.primary_inputs, s.primary_outputs,
+                  s.storage_elements, s.scannable_storage,
+                  s.combinational_gates, s.gate_equivalents, s.depth,
+                  s.max_fanin, s.max_fanout);
+      return 0;
+    }
+    if (cmd == "scoap") {
+      const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 10;
+      std::printf("%s", scoap_report(nl, compute_scoap(nl), n).c_str());
+      return 0;
+    }
+    if (cmd == "faults") {
+      const CollapseResult col = collapse_faults(nl);
+      std::printf("fault universe: %zu, collapsed: %zu (%.1f%%), "
+                  "checkpoints: %zu\n",
+                  col.universe.size(), col.representatives.size(),
+                  100 * col.collapse_ratio(), checkpoint_faults(nl).size());
+      return 0;
+    }
+    if (cmd == "atpg") {
+      const auto faults = collapse_faults(nl).representatives;
+      AtpgOptions opt;
+      opt.backtrack_limit = 100000;
+      const AtpgRun run = run_atpg(nl, faults, opt);
+      std::printf("%zu faults: coverage %.2f%% (test coverage %.2f%%), "
+                  "%zu tests, %zu redundant, %zu aborted\n",
+                  faults.size(), 100 * run.fault_coverage(),
+                  100 * run.test_coverage(), run.tests.size(),
+                  run.redundant.size(), run.aborted.size());
+      for (const auto& t : run.tests) {
+        std::string s;
+        for (Logic l : t) s += to_char(l);
+        std::printf("  %s\n", s.c_str());
+      }
+      for (const Fault& f : run.redundant) {
+        std::printf("  redundant: %s\n", fault_name(nl, f).c_str());
+      }
+      return 0;
+    }
+    if (cmd == "scan") {
+      Netlist copy = nl;
+      const int chains = argc > 3 ? std::atoi(argv[3]) : 1;
+      const ScanInsertionResult res =
+          insert_scan(copy, ScanStyle::Lssd, chains);
+      std::printf("converted %d flops into %zu chain(s); overhead %.1f%%, "
+                  "+%d pins\n",
+                  res.converted_flops, res.chains.size(),
+                  100 * res.overhead_fraction(), res.extra_pins);
+      std::printf("%s", write_bench_string(copy).c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

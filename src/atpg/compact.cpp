@@ -1,0 +1,61 @@
+#include "atpg/compact.h"
+
+#include <algorithm>
+
+#include "fault/fault_sim.h"
+
+namespace dft {
+
+bool cubes_compatible(const SourceVector& a, const SourceVector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (is_binary(a[i]) && is_binary(b[i]) && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+SourceVector merge_cubes(const SourceVector& a, const SourceVector& b) {
+  SourceVector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = is_binary(a[i]) ? a[i] : b[i];
+  }
+  return out;
+}
+
+std::vector<SourceVector> merge_compatible(std::vector<SourceVector> cubes) {
+  // Greedy: each cube merges into the first compatible accumulated cube.
+  std::vector<SourceVector> out;
+  for (auto& c : cubes) {
+    bool merged = false;
+    for (auto& acc : out) {
+      if (cubes_compatible(acc, c)) {
+        acc = merge_cubes(acc, c);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<SourceVector> drop_redundant_patterns(
+    const Netlist& nl, const std::vector<Fault>& faults,
+    const std::vector<SourceVector>& patterns) {
+  ParallelFaultSimulator fsim(nl);
+  std::vector<SourceVector> reversed(patterns.rbegin(), patterns.rend());
+
+  // Which pattern first detects each fault, in reverse order with dropping.
+  const FaultSimResult sim = fsim.run(reversed, faults);
+  std::vector<char> needed(reversed.size(), 0);
+  for (int by : sim.first_detected_by) {
+    if (by >= 0) needed[static_cast<std::size_t>(by)] = 1;
+  }
+  std::vector<SourceVector> out;
+  for (std::size_t i = reversed.size(); i-- > 0;) {
+    if (needed[i]) out.push_back(reversed[i]);
+  }
+  return out;
+}
+
+}  // namespace dft

@@ -1,0 +1,35 @@
+// Static test-set compaction.
+//
+// The survey's structured techniques serialize test application through scan
+// chains, so test-set size directly costs tester time and data volume
+// (Sec. V-A's motivation for BILBO). Two classical reducers:
+//   * merge_compatible -- greedy merging of test cubes whose binary
+//     assignments never conflict (X entries absorb either value);
+//   * drop_redundant_patterns -- reverse-order fault simulation, keeping
+//     only patterns that still detect something.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// True when a and b agree on every binary position.
+bool cubes_compatible(const SourceVector& a, const SourceVector& b);
+
+// Intersection of compatible cubes (binary beats X).
+SourceVector merge_cubes(const SourceVector& a, const SourceVector& b);
+
+// Greedy pairwise merging; result order is unspecified.
+std::vector<SourceVector> merge_compatible(std::vector<SourceVector> cubes);
+
+// Simulates patterns in reverse order against `faults` and drops patterns
+// that detect nothing new. Patterns must be binary.
+std::vector<SourceVector> drop_redundant_patterns(
+    const Netlist& nl, const std::vector<Fault>& faults,
+    const std::vector<SourceVector>& patterns);
+
+}  // namespace dft

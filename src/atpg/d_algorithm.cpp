@@ -1,0 +1,401 @@
+#include "atpg/d_algorithm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dft {
+
+namespace {
+
+bool supported(GateType t) {
+  switch (t) {
+    case GateType::Mux:
+    case GateType::Tristate:
+    case GateType::Bus: return false;
+    default: return true;
+  }
+}
+
+DVal simple(Logic v) { return v == Logic::One ? DVal::One : DVal::Zero; }
+
+}  // namespace
+
+DAlgorithm::DAlgorithm(const Netlist& nl, int backtrack_limit)
+    : nl_(&nl),
+      backtrack_limit_(backtrack_limit),
+      values_(nl.size(), DVal::X),
+      observe_(nl.size(), 0) {
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (!supported(nl.type(g))) {
+      throw std::invalid_argument(
+          "DAlgorithm supports only the basic gate library; use Podem");
+    }
+  }
+  for (GateId g : nl.outputs()) observe_[g] = 1;
+  for (GateId ff : nl.storage()) observe_[nl.fanin(ff)[kStoragePinD]] = 1;
+}
+
+DVal DAlgorithm::eval_forward(GateId g) const {
+  const GateType t = nl_->type(g);
+  if (!is_combinational(t)) return values_[g];
+  const Logic stuck = fault_.sa1 ? Logic::One : Logic::Zero;
+  const auto& fin = nl_->fanin(g);
+  scratch_.clear();
+  for (std::size_t p = 0; p < fin.size(); ++p) {
+    DVal v = values_[fin[p]];
+    if (g == fault_.gate && fault_.pin == static_cast<int>(p)) {
+      v = compose(good_of(v), stuck);
+    }
+    scratch_.push_back(v);
+  }
+  DVal out = eval_gate_dval(t, scratch_);
+  if (g == fault_.gate && fault_.pin < 0) {
+    out = compose(good_of(out), stuck);
+  }
+  return out;
+}
+
+bool DAlgorithm::assign(GateId g, DVal v) {
+  if (v == DVal::X) return true;
+  if (values_[g] != DVal::X) return values_[g] == v;
+  trail_.emplace_back(g, values_[g]);
+  values_[g] = v;
+  worklist_.push_back(g);
+  for (GateId s : nl_->fanout(g)) worklist_.push_back(s);
+  return true;
+}
+
+bool DAlgorithm::imply() {
+  while (!worklist_.empty()) {
+    const GateId g = worklist_.back();
+    worklist_.pop_back();
+    const GateType t = nl_->type(g);
+    if (!is_combinational(t)) continue;
+
+    // Forward implication.
+    const DVal ev = eval_forward(g);
+    if (ev != DVal::X) {
+      if (!assign(g, ev)) return false;
+    }
+
+    // Backward implication for fault-free gates with simple binary outputs.
+    if (g == fault_.gate) continue;
+    const DVal out = values_[g];
+    if (out != DVal::Zero && out != DVal::One) continue;
+    const auto& fin = nl_->fanin(g);
+    const bool out1 = out == DVal::One;
+    auto all_inputs = [&](DVal v) -> bool {
+      for (GateId fi : fin) {
+        if (!assign(fi, v)) return false;
+      }
+      return true;
+    };
+    auto last_free_input = [&](Logic held) -> bool {
+      // If all inputs but one are at the non-controlling value `held`, the
+      // remaining one must be the controlling value.
+      GateId free = kNoGate;
+      for (GateId fi : fin) {
+        const DVal v = values_[fi];
+        if (v == DVal::X) {
+          if (free != kNoGate) return true;  // more than one free: no info
+          free = fi;
+        } else if (good_of(v) != held || is_error(v)) {
+          return true;  // some input already explains/complicates the output
+        }
+      }
+      if (free == kNoGate) return true;
+      return assign(free, simple(held == Logic::One ? Logic::Zero
+                                                    : Logic::One));
+    };
+    switch (t) {
+      case GateType::Buf:
+      case GateType::Output:
+        if (!assign(fin[0], out)) return false;
+        break;
+      case GateType::Not:
+        if (!assign(fin[0], dval_not(out))) return false;
+        break;
+      case GateType::And:
+        if (out1) {
+          if (!all_inputs(DVal::One)) return false;
+        } else if (!last_free_input(Logic::One)) {
+          return false;
+        }
+        break;
+      case GateType::Nand:
+        if (!out1) {
+          if (!all_inputs(DVal::One)) return false;
+        } else if (!last_free_input(Logic::One)) {
+          return false;
+        }
+        break;
+      case GateType::Or:
+        if (!out1) {
+          if (!all_inputs(DVal::Zero)) return false;
+        } else if (!last_free_input(Logic::Zero)) {
+          return false;
+        }
+        break;
+      case GateType::Nor:
+        if (out1) {
+          if (!all_inputs(DVal::Zero)) return false;
+        } else if (!last_free_input(Logic::Zero)) {
+          return false;
+        }
+        break;
+      case GateType::Xor:
+      case GateType::Xnor: {
+        GateId free = kNoGate;
+        bool parity = out1 != (t == GateType::Xnor);
+        bool ok = true;
+        for (GateId fi : fin) {
+          const DVal v = values_[fi];
+          if (v == DVal::X) {
+            if (free != kNoGate) {
+              ok = false;
+              break;
+            }
+            free = fi;
+          } else if (is_error(v)) {
+            ok = false;  // leave composite parity to forward eval
+            break;
+          } else if (v == DVal::One) {
+            parity = !parity;
+          }
+        }
+        if (ok && free != kNoGate) {
+          if (!assign(free, parity ? DVal::One : DVal::Zero)) return false;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+bool DAlgorithm::justified(GateId g) const {
+  if (!is_combinational(nl_->type(g))) return true;
+  if (values_[g] == DVal::X) return true;
+  return eval_forward(g) != DVal::X;  // conflicts are caught during imply()
+}
+
+void DAlgorithm::undo_to(std::size_t m) {
+  while (trail_.size() > m) {
+    values_[trail_.back().first] = trail_.back().second;
+    trail_.pop_back();
+  }
+  worklist_.clear();
+}
+
+bool DAlgorithm::propagate_frontier_and_justify(int depth) {
+  if (aborted_ || depth > static_cast<int>(nl_->size()) + 64) {
+    aborted_ = true;
+    return false;
+  }
+  if (!imply()) return false;
+
+  const Logic stuck = fault_.sa1 ? Logic::One : Logic::Zero;
+
+  // Storage D-pin faults: excitation (already enforced) is detection.
+  bool at_observation = false;
+  if (is_storage(nl_->type(fault_.gate)) && fault_.pin == kStoragePinD) {
+    at_observation = true;
+  } else {
+    for (GateId g = 0; g < nl_->size(); ++g) {
+      if (observe_[g] && is_error(values_[g])) {
+        at_observation = true;
+        break;
+      }
+    }
+  }
+
+  if (at_observation) {
+    // J-frontier: justify every assigned-but-unjustified line.
+    GateId j = kNoGate;
+    for (GateId g = 0; g < nl_->size(); ++g) {
+      if (!justified(g)) {
+        j = g;
+        break;
+      }
+    }
+    if (j == kNoGate) return true;  // complete test cube
+
+    const GateType t = nl_->type(j);
+    const auto& fin = nl_->fanin(j);
+    // The requirement on j's inputs: make eval_forward(j) == values_[j].
+    // For the fault-site gate the composition handles the faulty side, so
+    // the good projection drives the choice either way.
+    const Logic want = good_of(values_[j]);
+    Logic c;
+    const bool has_c = controlling_value(t, c);
+    const bool inverted = inverts(t);
+    const Logic want_in_sense = inverted ? (want == Logic::One ? Logic::Zero
+                                                               : Logic::One)
+                                         : want;
+    std::vector<std::vector<std::pair<GateId, DVal>>> choices;
+    if (has_c && want_in_sense == c) {
+      // One controlling input suffices: one alternative per free input.
+      for (GateId fi : fin) {
+        if (values_[fi] == DVal::X) choices.push_back({{fi, simple(c)}});
+      }
+    } else if (has_c) {
+      // All inputs must be non-controlling: a single alternative.
+      std::vector<std::pair<GateId, DVal>> all;
+      for (GateId fi : fin) {
+        if (values_[fi] == DVal::X) {
+          all.emplace_back(fi, simple(c == Logic::One ? Logic::Zero
+                                                      : Logic::One));
+        }
+      }
+      choices.push_back(std::move(all));
+    } else {
+      // Parity gates: branch on the first free input (imply() finishes the
+      // rest when a single free input remains).
+      for (GateId fi : fin) {
+        if (values_[fi] == DVal::X) {
+          choices.push_back({{fi, DVal::Zero}});
+          choices.push_back({{fi, DVal::One}});
+          break;
+        }
+      }
+    }
+    if (choices.empty()) return false;
+    for (const auto& ch : choices) {
+      const std::size_t m = mark();
+      bool ok = true;
+      for (const auto& [g, v] : ch) {
+        if (!assign(g, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && propagate_frontier_and_justify(depth + 1)) return true;
+      undo_to(m);
+      if (++backtracks_ > backtrack_limit_) {
+        aborted_ = true;
+        return false;
+      }
+    }
+    return false;
+  }
+
+  // D-frontier: advance the error through one more gate.
+  std::vector<GateId> frontier;
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (values_[g] != DVal::X || !is_combinational(nl_->type(g))) continue;
+    bool err_in = false;
+    for (std::size_t p = 0; p < nl_->fanin(g).size(); ++p) {
+      DVal v = values_[nl_->fanin(g)[p]];
+      if (g == fault_.gate && fault_.pin == static_cast<int>(p)) {
+        v = compose(good_of(v), stuck);
+      }
+      if (is_error(v)) {
+        err_in = true;
+        break;
+      }
+    }
+    if (err_in) frontier.push_back(g);
+  }
+  if (frontier.empty()) return false;
+  // Nearest to an output first: shallow remaining depth.
+  std::sort(frontier.begin(), frontier.end(), [&](GateId a, GateId b) {
+    return nl_->levels()[a] > nl_->levels()[b];
+  });
+
+  for (GateId g : frontier) {
+    Logic c;
+    // Each alternative is a set of side-input assignments that drives the
+    // error through g.
+    std::vector<std::vector<std::pair<GateId, DVal>>> alts;
+    if (controlling_value(nl_->type(g), c)) {
+      const DVal nc = simple(c == Logic::One ? Logic::Zero : Logic::One);
+      std::vector<std::pair<GateId, DVal>> all;
+      for (std::size_t p = 0; p < nl_->fanin(g).size(); ++p) {
+        const GateId fi = nl_->fanin(g)[p];
+        const bool is_fault_pin =
+            g == fault_.gate && fault_.pin == static_cast<int>(p);
+        if (!is_fault_pin && values_[fi] == DVal::X) all.emplace_back(fi, nc);
+      }
+      if (all.empty()) continue;  // imply() must resolve this gate itself
+      alts.push_back(std::move(all));
+    } else {
+      // Parity gates propagate for any binary side values, but the values
+      // must be bound; branch on the first free side input.
+      GateId free = kNoGate;
+      for (std::size_t p = 0; p < nl_->fanin(g).size(); ++p) {
+        const GateId fi = nl_->fanin(g)[p];
+        const bool is_fault_pin =
+            g == fault_.gate && fault_.pin == static_cast<int>(p);
+        if (!is_fault_pin && values_[fi] == DVal::X) {
+          free = fi;
+          break;
+        }
+      }
+      if (free == kNoGate) continue;  // output should already be implied
+      alts.push_back({{free, DVal::Zero}});
+      alts.push_back({{free, DVal::One}});
+    }
+    for (const auto& alt : alts) {
+      const std::size_t m = mark();
+      bool ok = true;
+      for (const auto& [fi, v] : alt) {
+        if (!assign(fi, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && propagate_frontier_and_justify(depth + 1)) return true;
+      undo_to(m);
+      if (++backtracks_ > backtrack_limit_) {
+        aborted_ = true;
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+AtpgOutcome DAlgorithm::generate(const Fault& fault) {
+  fault_ = fault;
+  std::fill(values_.begin(), values_.end(), DVal::X);
+  trail_.clear();
+  worklist_.clear();
+  backtracks_ = 0;
+  aborted_ = false;
+
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (nl_->type(g) == GateType::Const0) values_[g] = DVal::Zero;
+    if (nl_->type(g) == GateType::Const1) values_[g] = DVal::One;
+  }
+
+  AtpgOutcome out;
+  const Logic stuck = fault.sa1 ? Logic::One : Logic::Zero;
+  bool seeded = true;
+  if (fault.pin >= 0) {
+    // Excite via the driver of the faulted pin.
+    const GateId driver = nl_->fanin(fault.gate)[static_cast<std::size_t>(fault.pin)];
+    seeded = assign(driver, simple(stuck == Logic::One ? Logic::Zero
+                                                       : Logic::One));
+  } else {
+    // Output fault: the line carries D/Dbar; eval_forward's composition
+    // justifies the good side.
+    seeded = assign(fault.gate,
+                    fault.sa1 ? DVal::Dbar : DVal::D);
+  }
+
+  const bool found = seeded && propagate_frontier_and_justify(0);
+  out.backtracks = backtracks_;
+  if (found) {
+    out.status = AtpgStatus::TestFound;
+    out.pattern.reserve(nl_->inputs().size() + nl_->storage().size());
+    for (GateId g : nl_->inputs()) out.pattern.push_back(good_of(values_[g]));
+    for (GateId g : nl_->storage()) out.pattern.push_back(good_of(values_[g]));
+  } else {
+    out.status = aborted_ ? AtpgStatus::Aborted : AtpgStatus::Redundant;
+  }
+  return out;
+}
+
+}  // namespace dft

@@ -1,0 +1,54 @@
+// Roth's D-algorithm [92], [93] (Sec. IV-A: "Now techniques such as the
+// D-Algorithm ... are again viable approaches to the testing problem").
+//
+// A faithful recursive implementation over the basic gate library
+// (AND/NAND/OR/NOR/NOT/BUF/XOR/XNOR): five-valued line values, implication
+// to a fixpoint with conflict detection, D-frontier propagation decisions,
+// and J-frontier (justification) decisions. Unlike PODEM, decisions are made
+// on internal lines, which is the algorithm's historical signature.
+//
+// Circuits containing MUX/Tristate/Bus primitives are rejected
+// (std::invalid_argument) -- use Podem for those.
+#pragma once
+
+#include "atpg/podem.h"
+
+namespace dft {
+
+class DAlgorithm {
+ public:
+  explicit DAlgorithm(const Netlist& nl, int backtrack_limit = 20000);
+
+  AtpgOutcome generate(const Fault& fault);
+
+ private:
+  struct Frame {
+    std::size_t trail_mark;
+  };
+
+  bool assign(GateId g, DVal v);                 // false on conflict
+  bool imply();                                  // worklist to fixpoint
+  bool propagate_frontier_and_justify(int depth);
+  void undo_to(std::size_t mark);
+  std::size_t mark() const { return trail_.size(); }
+
+  // Forward evaluation of gate g under current values (composing the faulty
+  // pin when g is the fault site).
+  DVal eval_forward(GateId g) const;
+  // True when gate g's assigned output is consistent/justified by its
+  // current inputs.
+  bool justified(GateId g) const;
+
+  const Netlist* nl_;
+  int backtrack_limit_;
+  int backtracks_ = 0;
+  bool aborted_ = false;
+  Fault fault_{};
+  std::vector<DVal> values_;
+  std::vector<std::pair<GateId, DVal>> trail_;  // (gate, previous value)
+  std::vector<char> observe_;
+  std::vector<GateId> worklist_;
+  mutable std::vector<DVal> scratch_;
+};
+
+}  // namespace dft

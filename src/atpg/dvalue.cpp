@@ -1,0 +1,30 @@
+#include "atpg/dvalue.h"
+
+#include <vector>
+
+#include "sim/eval.h"
+
+namespace dft {
+
+DVal eval_gate_dval(GateType t, std::span<const DVal> in) {
+  // Tri-state/bus use the pull-down model so ATPG and the two-valued fault
+  // simulator agree.
+  if (t == GateType::Tristate) {
+    return dval_and(in[kTristatePinData], in[kTristatePinEnable]);
+  }
+  if (t == GateType::Bus) {
+    DVal v = DVal::Zero;
+    for (DVal d : in) v = dval_or(v, d);
+    return v;
+  }
+  static thread_local std::vector<Logic> goods, faultys;
+  goods.clear();
+  faultys.clear();
+  for (DVal d : in) {
+    goods.push_back(good_of(d));
+    faultys.push_back(faulty_of(d));
+  }
+  return compose(eval_gate(t, goods), eval_gate(t, faultys));
+}
+
+}  // namespace dft

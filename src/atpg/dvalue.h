@@ -1,0 +1,109 @@
+// Roth's five-valued D-calculus [93].
+//
+// D means "1 in the good machine / 0 in the faulty machine"; Dbar the
+// reverse. A test exists when a D or Dbar reaches an observation point while
+// the fault site is excited.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/gate.h"
+#include "netlist/logic.h"
+#include "sim/eval.h"
+
+namespace dft {
+
+enum class DVal : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,
+  D = 3,     // good 1 / faulty 0
+  Dbar = 4,  // good 0 / faulty 1
+};
+
+constexpr DVal to_dval(Logic l) {
+  switch (l) {
+    case Logic::Zero: return DVal::Zero;
+    case Logic::One: return DVal::One;
+    default: return DVal::X;
+  }
+}
+
+constexpr bool is_error(DVal v) { return v == DVal::D || v == DVal::Dbar; }
+constexpr bool is_assigned(DVal v) { return v != DVal::X; }
+
+// Good-machine / faulty-machine projections (Logic::X when unknown).
+constexpr Logic good_of(DVal v) {
+  switch (v) {
+    case DVal::Zero: return Logic::Zero;
+    case DVal::One: return Logic::One;
+    case DVal::D: return Logic::One;
+    case DVal::Dbar: return Logic::Zero;
+    case DVal::X: return Logic::X;
+  }
+  return Logic::X;
+}
+
+constexpr Logic faulty_of(DVal v) {
+  switch (v) {
+    case DVal::Zero: return Logic::Zero;
+    case DVal::One: return Logic::One;
+    case DVal::D: return Logic::Zero;
+    case DVal::Dbar: return Logic::One;
+    case DVal::X: return Logic::X;
+  }
+  return Logic::X;
+}
+
+// Composes the good/faulty pair back into a DVal.
+constexpr DVal compose(Logic good, Logic faulty) {
+  if (!is_binary(good) || !is_binary(faulty)) return DVal::X;
+  if (good == faulty) return good == Logic::One ? DVal::One : DVal::Zero;
+  return good == Logic::One ? DVal::D : DVal::Dbar;
+}
+
+constexpr DVal dval_not(DVal a) {
+  switch (a) {
+    case DVal::Zero: return DVal::One;
+    case DVal::One: return DVal::Zero;
+    case DVal::D: return DVal::Dbar;
+    case DVal::Dbar: return DVal::D;
+    case DVal::X: return DVal::X;
+  }
+  return DVal::X;
+}
+
+// Generic two-operand composition through the good/faulty projections.
+constexpr DVal dval_and(DVal a, DVal b) {
+  return compose(logic_and(good_of(a), good_of(b)),
+                 logic_and(faulty_of(a), faulty_of(b)));
+}
+
+constexpr DVal dval_or(DVal a, DVal b) {
+  return compose(logic_or(good_of(a), good_of(b)),
+                 logic_or(faulty_of(a), faulty_of(b)));
+}
+
+constexpr DVal dval_xor(DVal a, DVal b) {
+  return compose(logic_xor(good_of(a), good_of(b)),
+                 logic_xor(faulty_of(a), faulty_of(b)));
+}
+
+// Evaluates one combinational gate in the D-calculus. Tri-state/bus gates
+// use the pull-down model of the two-valued simulator (data AND enable,
+// OR-resolution) so ATPG agrees with fault simulation.
+DVal eval_gate_dval(GateType t, std::span<const DVal> in);
+
+constexpr char to_char(DVal v) {
+  switch (v) {
+    case DVal::Zero: return '0';
+    case DVal::One: return '1';
+    case DVal::X: return 'X';
+    case DVal::D: return 'D';
+    case DVal::Dbar: return 'B';
+  }
+  return '?';
+}
+
+}  // namespace dft

@@ -1,0 +1,93 @@
+#include "atpg/engine.h"
+
+#include <random>
+
+#include "atpg/compact.h"
+#include "atpg/random_tpg.h"
+
+namespace dft {
+
+AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
+                 const AtpgOptions& options) {
+  AtpgRun run;
+  run.num_faults = static_cast<int>(faults.size());
+  std::mt19937_64 rng(options.seed ^ 0x9e3779b97f4a7c15ull);
+
+  // Phase 1: (weighted) random patterns with fault dropping.
+  std::vector<char> detected(faults.size(), 0);
+  std::vector<SourceVector> random_tests;
+  if (options.random_patterns > 0) {
+    RandomTpgOptions ropt;
+    ropt.max_patterns = options.random_patterns;
+    ropt.stall_blocks = options.random_stall_blocks;
+    ropt.adaptive = options.adaptive_random;
+    ropt.seed = options.seed;
+    const RandomTpgResult rres = random_tpg(nl, faults, ropt);
+    detected = rres.detected;
+    run.random_phase_detected = rres.num_detected;
+    random_tests = rres.kept_patterns;
+  }
+
+  // Phase 2: deterministic PODEM on the remainder, with cross-dropping --
+  // each new cube is fault-simulated (random-filled) against the remaining
+  // undetected faults.
+  Podem podem(nl, options.backtrack_limit);
+  ParallelFaultSimulator fsim(nl);
+  std::vector<SourceVector> cubes;
+  for (std::size_t fi = 0; fi < faults.size() && options.deterministic_phase;
+       ++fi) {
+    if (detected[fi]) continue;
+    const AtpgOutcome out = podem.generate(faults[fi]);
+    run.total_backtracks += out.backtracks;
+    switch (out.status) {
+      case AtpgStatus::Redundant:
+        run.redundant.push_back(faults[fi]);
+        continue;
+      case AtpgStatus::Aborted:
+        run.aborted.push_back(faults[fi]);
+        continue;
+      case AtpgStatus::TestFound:
+        break;
+    }
+    detected[fi] = 1;
+    ++run.deterministic_detected;
+    cubes.push_back(out.pattern);
+
+    SourceVector filled = out.pattern;
+    random_fill(filled, rng);
+    std::vector<Fault> rest;
+    std::vector<std::size_t> rest_idx;
+    for (std::size_t fj = fi + 1; fj < faults.size(); ++fj) {
+      if (!detected[fj]) {
+        rest.push_back(faults[fj]);
+        rest_idx.push_back(fj);
+      }
+    }
+    if (!rest.empty()) {
+      const FaultSimResult s = fsim.run({filled}, rest);
+      for (std::size_t k = 0; k < rest.size(); ++k) {
+        if (s.first_detected_by[k] >= 0) {
+          detected[rest_idx[k]] = 1;
+          ++run.deterministic_detected;
+        }
+      }
+    }
+  }
+
+  // Phase 3: compaction and final verification fault simulation.
+  if (options.compact) cubes = merge_compatible(std::move(cubes));
+  run.tests = std::move(random_tests);
+  for (auto& c : cubes) {
+    random_fill(c, rng);
+    run.tests.push_back(std::move(c));
+  }
+  if (options.compact && !run.tests.empty()) {
+    run.tests = drop_redundant_patterns(nl, faults, run.tests);
+  }
+
+  const FaultSimResult final_sim = fsim.run(run.tests, faults);
+  run.detected = final_sim.num_detected;
+  return run;
+}
+
+}  // namespace dft

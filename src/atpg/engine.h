@@ -1,0 +1,57 @@
+// Top-level ATPG flow: random phase -> deterministic PODEM phase ->
+// compaction -> final fault simulation.
+//
+// This is the complete test generation system the survey assumes a
+// structured (scan) design enables: combinational ATPG over primary inputs
+// and scan flip-flops, with exact redundancy identification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/podem.h"
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct AtpgOptions {
+  int random_patterns = 2048;
+  int random_stall_blocks = 4;
+  bool adaptive_random = true;
+  bool deterministic_phase = true;  // run PODEM on the random-phase remainder
+  int backtrack_limit = 20000;
+  bool compact = true;
+  std::uint64_t seed = 1;
+};
+
+struct AtpgRun {
+  // Final binary test set.
+  std::vector<SourceVector> tests;
+  std::vector<Fault> redundant;
+  std::vector<Fault> aborted;
+
+  int num_faults = 0;
+  int detected = 0;
+  int random_phase_detected = 0;
+  int deterministic_detected = 0;
+  long long total_backtracks = 0;
+
+  // detected / all faults.
+  double fault_coverage() const {
+    return num_faults == 0 ? 1.0
+                           : static_cast<double>(detected) / num_faults;
+  }
+  // detected / (all - proven redundant): 100% means "complete" in the
+  // test-verification sense of Sec. I.
+  double test_coverage() const {
+    const int testable = num_faults - static_cast<int>(redundant.size());
+    return testable <= 0 ? 1.0 : static_cast<double>(detected) / testable;
+  }
+};
+
+AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
+                 const AtpgOptions& options = {});
+
+}  // namespace dft

@@ -1,0 +1,40 @@
+// Combinational equivalence checking via a miter + PODEM.
+//
+// Two netlists with matching interfaces are equivalent iff the miter --
+// their outputs pairwise XORed into one OR -- is constant 0, i.e. iff the
+// miter output's stuck-at-0 fault is REDUNDANT. PODEM's complete search
+// decides that exactly, which is the classical "ATPG as tautology checker"
+// trick; the survey's test-verification problem ("formal proof has been
+// impossible in practice") is exactly this check in its decidable,
+// combinational form.
+//
+// Storage elements are handled through the full-scan lens: both machines'
+// flip-flop outputs become shared free variables and their next-state
+// functions are compared as extra outputs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool decided = true;  // false when PODEM aborted (raise the limit)
+  // When inequivalent: an input assignment the two machines disagree on.
+  SourceVector counterexample;
+};
+
+// Requires identical PI/PO/FF counts (interfaces are matched by position).
+// Throws std::invalid_argument on interface mismatch.
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    int backtrack_limit = 200000);
+
+// Builds the miter netlist (exposed for tests and tooling): inputs of both
+// machines shared, one output "miter" that is 1 iff they disagree.
+Netlist build_miter(const Netlist& a, const Netlist& b);
+
+}  // namespace dft

@@ -1,0 +1,380 @@
+#include "atpg/podem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dft {
+
+namespace {
+
+Logic negate(Logic v) { return v == Logic::One ? Logic::Zero : Logic::One; }
+
+}  // namespace
+
+Podem::Podem(const Netlist& nl, int backtrack_limit)
+    : nl_(&nl),
+      backtrack_limit_(backtrack_limit),
+      scoap_(compute_scoap(nl, ScoapMode::FullScan)),
+      source_index_of_(nl.size(), -1),
+      values_(nl.size(), DVal::X),
+      observe_(nl.size(), 0) {
+  for (GateId g : nl.inputs()) {
+    source_index_of_[g] = static_cast<int>(sources_.size());
+    sources_.push_back(g);
+  }
+  for (GateId g : nl.storage()) {
+    source_index_of_[g] = static_cast<int>(sources_.size());
+    sources_.push_back(g);
+  }
+  assignment_.assign(sources_.size(), Logic::X);
+  for (GateId g : nl.outputs()) observe_[g] = 1;
+  for (GateId ff : nl.storage()) observe_[nl.fanin(ff)[kStoragePinD]] = 1;
+}
+
+void Podem::simulate(const Fault& f) {
+  const Logic stuck = f.sa1 ? Logic::One : Logic::Zero;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    DVal v = to_dval(assignment_[i]);
+    if (f.pin < 0 && f.gate == sources_[i]) {
+      v = compose(assignment_[i], stuck);
+      if (!is_binary(assignment_[i])) v = DVal::X;
+    }
+    values_[sources_[i]] = v;
+  }
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (nl_->type(g) == GateType::Const0) values_[g] = DVal::Zero;
+    if (nl_->type(g) == GateType::Const1) values_[g] = DVal::One;
+  }
+  for (GateId g : nl_->topo_order()) {
+    const auto& fin = nl_->fanin(g);
+    scratch_.clear();
+    for (std::size_t p = 0; p < fin.size(); ++p) {
+      DVal v = values_[fin[p]];
+      if (f.gate == g && f.pin == static_cast<int>(p) &&
+          !is_storage(nl_->type(g))) {
+        v = compose(good_of(v), stuck);
+      }
+      scratch_.push_back(v);
+    }
+    DVal out = eval_gate_dval(nl_->type(g), scratch_);
+    if (f.gate == g && f.pin < 0) out = compose(good_of(out), stuck);
+    values_[g] = out;
+  }
+}
+
+bool Podem::fault_detected(const Fault& f) const {
+  if (is_storage(nl_->type(f.gate)) && f.pin == kStoragePinD) {
+    const GateId d = nl_->fanin(f.gate)[kStoragePinD];
+    const Logic g = good_of(values_[d]);
+    return is_binary(g) && g != (f.sa1 ? Logic::One : Logic::Zero);
+  }
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (observe_[g] && is_error(values_[g])) return true;
+  }
+  return false;
+}
+
+bool Podem::excitation_impossible(const Fault& f) const {
+  const Logic stuck = f.sa1 ? Logic::One : Logic::Zero;
+  GateId site;
+  if (f.pin >= 0) {
+    site = nl_->fanin(f.gate)[static_cast<std::size_t>(f.pin)];
+  } else {
+    site = f.gate;
+  }
+  const Logic good = good_of(values_[site]);
+  return is_binary(good) && good == stuck;
+}
+
+bool Podem::x_path_exists(const Fault& f) const {
+  // BFS through X-valued gates from every D-frontier gate (or from any
+  // error-valued gate, which covers the fault site) to an observation point.
+  std::vector<GateId> frontier;
+  // An excited input-pin fault whose gate output is still X is itself the
+  // first frontier gate: the error lives on the composed pin, which is not
+  // visible in values_.
+  if (f.pin >= 0 && !is_storage(nl_->type(f.gate)) &&
+      values_[f.gate] == DVal::X) {
+    frontier.push_back(f.gate);
+  }
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (is_error(values_[g])) {
+      if (observe_[g]) return true;
+      for (GateId s : nl_->fanout(g)) {
+        if (values_[s] == DVal::X && is_combinational(nl_->type(s))) {
+          frontier.push_back(s);
+        }
+      }
+    }
+  }
+  std::vector<char> seen(nl_->size(), 0);
+  while (!frontier.empty()) {
+    const GateId g = frontier.back();
+    frontier.pop_back();
+    if (seen[g]) continue;
+    seen[g] = 1;
+    if (observe_[g]) return true;
+    for (GateId s : nl_->fanout(g)) {
+      if (!seen[s] && values_[s] == DVal::X &&
+          is_combinational(nl_->type(s))) {
+        frontier.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+bool Podem::objective(const Fault& f, GateId& net, Logic& value) const {
+  const Logic stuck = f.sa1 ? Logic::One : Logic::Zero;
+
+  // Phase 1: excite the fault.
+  GateId site;
+  if (f.pin >= 0) {
+    site = nl_->fanin(f.gate)[static_cast<std::size_t>(f.pin)];
+  } else {
+    site = f.gate;
+  }
+  const Logic site_good = good_of(values_[site]);
+  const bool excited =
+      is_error(values_[site]) ||
+      (is_binary(site_good) && site_good != stuck);
+  if (!excited) {
+    if (is_binary(site_good)) return false;  // conflicting; backtrack
+    net = site;
+    value = negate(stuck);
+    return true;
+  }
+
+  // Storage D-pin faults are detected at excitation; nothing to propagate.
+  if (is_storage(nl_->type(f.gate)) && f.pin == kStoragePinD) return false;
+
+  if (!x_path_exists(f)) return false;
+
+  // The effective value of a pin as the gate perceives it (composes the
+  // stuck value on the faulted pin).
+  const Logic stuck_l = stuck;
+  auto pin_val = [&](GateId g, std::size_t p) {
+    DVal v = values_[nl_->fanin(g)[p]];
+    if (g == f.gate && f.pin == static_cast<int>(p)) {
+      v = compose(good_of(v), stuck_l);
+    }
+    return v;
+  };
+
+  // Phase 2: propagate -- pick the D-frontier gate closest to an
+  // observation point.
+  GateId best = kNoGate;
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (values_[g] != DVal::X || !is_combinational(nl_->type(g))) continue;
+    bool has_error_input = false;
+    for (std::size_t p = 0; p < nl_->fanin(g).size(); ++p) {
+      if (is_error(pin_val(g, p))) {
+        has_error_input = true;
+        break;
+      }
+    }
+    if (!has_error_input) continue;
+    if (best == kNoGate || scoap_.co[g] < scoap_.co[best]) best = g;
+  }
+  if (best == kNoGate) return false;
+
+  const auto& fin = nl_->fanin(best);
+  const GateType t = nl_->type(best);
+  Logic c;
+  if (controlling_value(t, c)) {
+    for (std::size_t p = 0; p < fin.size(); ++p) {
+      if (pin_val(best, p) == DVal::X) {
+        net = fin[p];
+        value = negate(c);
+        return true;
+      }
+    }
+    return false;
+  }
+  if (t == GateType::Mux) {
+    const DVal sel = pin_val(best, kMuxPinSel);
+    const DVal a = pin_val(best, kMuxPinA);
+    const DVal b = pin_val(best, kMuxPinB);
+    if (is_error(a) && sel == DVal::X) {
+      net = fin[kMuxPinSel];
+      value = Logic::Zero;
+      return true;
+    }
+    if (is_error(b) && sel == DVal::X) {
+      net = fin[kMuxPinSel];
+      value = Logic::One;
+      return true;
+    }
+    if (is_error(sel)) {
+      // Data inputs must differ.
+      if (a == DVal::X) {
+        net = fin[kMuxPinA];
+        value = is_assigned(b) ? negate(good_of(b)) : Logic::One;
+        return true;
+      }
+      if (b == DVal::X) {
+        net = fin[kMuxPinB];
+        value = is_assigned(a) ? negate(good_of(a)) : Logic::Zero;
+        return true;
+      }
+      return false;
+    }
+    // Error on a data pin but select already known: value flows already or
+    // is blocked; nothing useful to assign here.
+    for (std::size_t p = 0; p < fin.size(); ++p) {
+      if (pin_val(best, p) == DVal::X) {
+        net = fin[p];
+        value = Logic::Zero;
+        return true;
+      }
+    }
+    return false;
+  }
+  // XOR family (and buffers, which never linger on the frontier): bind any
+  // X input; any binary value propagates through parity gates.
+  for (std::size_t p = 0; p < fin.size(); ++p) {
+    if (pin_val(best, p) == DVal::X) {
+      net = fin[p];
+      value = Logic::Zero;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Podem::backtrace(GateId net, Logic value, std::size_t& source_index,
+                      bool& set_to_one) const {
+  int guard = static_cast<int>(nl_->size()) + 8;
+  while (guard-- > 0) {
+    if (source_index_of_[net] >= 0) {
+      if (assignment_[static_cast<std::size_t>(source_index_of_[net])] !=
+          Logic::X) {
+        return false;  // source already bound: objective unreachable here
+      }
+      source_index = static_cast<std::size_t>(source_index_of_[net]);
+      set_to_one = value == Logic::One;
+      return true;
+    }
+    const GateType t = nl_->type(net);
+    const auto& fin = nl_->fanin(net);
+    if (fin.empty()) return false;  // constants cannot be justified
+
+    Logic target = inverts(t) ? negate(value) : value;
+    Logic c;
+    if (controlling_value(t, c)) {
+      // Controlling target: one (easiest) input suffices; non-controlling:
+      // all inputs needed, descend the hardest to fail fast.
+      const bool want_controlling = target == c;
+      GateId pick = kNoGate;
+      int best_cost = 0;
+      for (GateId fi : fin) {
+        if (good_of(values_[fi]) != Logic::X) continue;
+        const int cost = target == Logic::One ? scoap_.cc1[fi] : scoap_.cc0[fi];
+        if (pick == kNoGate || (want_controlling ? cost < best_cost
+                                                 : cost > best_cost)) {
+          pick = fi;
+          best_cost = cost;
+        }
+      }
+      if (pick == kNoGate) return false;
+      net = pick;
+      value = target;
+      continue;
+    }
+    if (t == GateType::Buf || t == GateType::Not || t == GateType::Output) {
+      net = fin[0];
+      value = target;
+      continue;
+    }
+    if (t == GateType::Xor || t == GateType::Xnor) {
+      // Choose an X input; required value is target xor parity of known
+      // inputs (other X inputs optimistically treated as 0).
+      GateId pick = kNoGate;
+      bool parity = target == Logic::One;
+      for (GateId fi : fin) {
+        const Logic g = good_of(values_[fi]);
+        if (g == Logic::One) parity = !parity;
+        if (g == Logic::X && pick == kNoGate) pick = fi;
+      }
+      if (pick == kNoGate) return false;
+      net = pick;
+      value = parity ? Logic::One : Logic::Zero;
+      continue;
+    }
+    if (t == GateType::Mux) {
+      const DVal sel = values_[fin[kMuxPinSel]];
+      if (good_of(sel) == Logic::Zero) {
+        net = fin[kMuxPinA];
+      } else if (good_of(sel) == Logic::One) {
+        net = fin[kMuxPinB];
+      } else {
+        // Bind the select first, toward the cheaper data side.
+        net = fin[kMuxPinSel];
+        const int costa = target == Logic::One ? scoap_.cc1[fin[kMuxPinA]]
+                                               : scoap_.cc0[fin[kMuxPinA]];
+        const int costb = target == Logic::One ? scoap_.cc1[fin[kMuxPinB]]
+                                               : scoap_.cc0[fin[kMuxPinB]];
+        value = costa <= costb ? Logic::Zero : Logic::One;
+        continue;
+      }
+      value = target;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+AtpgOutcome Podem::generate(const Fault& fault) {
+  std::fill(assignment_.begin(), assignment_.end(), Logic::X);
+  std::vector<Decision> stack;
+  AtpgOutcome out;
+
+  for (;;) {
+    simulate(fault);
+    if (fault_detected(fault)) {
+      out.status = AtpgStatus::TestFound;
+      out.pattern = assignment_;
+      return out;
+    }
+    bool need_backtrack = excitation_impossible(fault);
+    GateId net = kNoGate;
+    Logic value = Logic::X;
+    if (!need_backtrack && !objective(fault, net, value)) {
+      need_backtrack = true;
+    }
+    if (!need_backtrack) {
+      std::size_t si = 0;
+      bool one = false;
+      if (backtrace(net, value, si, one)) {
+        stack.push_back({si, false});
+        assignment_[si] = one ? Logic::One : Logic::Zero;
+        continue;
+      }
+      need_backtrack = true;
+    }
+    // Backtrack: flip the most recent untried decision.
+    for (;;) {
+      if (stack.empty()) {
+        out.status = AtpgStatus::Redundant;
+        return out;
+      }
+      Decision& d = stack.back();
+      if (!d.tried_both) {
+        d.tried_both = true;
+        assignment_[d.source_index] =
+            assignment_[d.source_index] == Logic::One ? Logic::Zero
+                                                      : Logic::One;
+        if (++out.backtracks > backtrack_limit_) {
+          out.status = AtpgStatus::Aborted;
+          return out;
+        }
+        break;
+      }
+      assignment_[d.source_index] = Logic::X;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace dft

@@ -1,0 +1,70 @@
+// PODEM (path-oriented decision making) deterministic test generation.
+//
+// The survey's structured techniques exist precisely to make this viable:
+// "the test generation problem [is] completely reduced to one of generating
+// tests for combinational logic" (Sec. I). PODEM searches over primary-input
+// (and pseudo-primary-input, i.e. scan flip-flop) assignments only, with
+// SCOAP-guided backtrace, an X-path check, and a backtrack limit.
+//
+// Outcomes are exact: TestFound (with the generated cube), Redundant (the
+// search space is exhausted -- the fault is untestable), or Aborted (limit
+// hit).
+#pragma once
+
+#include <vector>
+
+#include "atpg/dvalue.h"
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "measure/scoap.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+enum class AtpgStatus { TestFound, Redundant, Aborted };
+
+struct AtpgOutcome {
+  AtpgStatus status = AtpgStatus::Aborted;
+  // Test cube over sources (inputs then storage); unassigned entries are X.
+  SourceVector pattern;
+  int backtracks = 0;
+};
+
+class Podem {
+ public:
+  explicit Podem(const Netlist& nl, int backtrack_limit = 20000);
+  explicit Podem(Netlist&&, int = 0) = delete;  // would dangle
+
+  AtpgOutcome generate(const Fault& fault);
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  struct Decision {
+    std::size_t source_index;
+    bool tried_both;
+  };
+
+  void simulate(const Fault& f);
+  bool fault_detected(const Fault& f) const;
+  // True when the fault can no longer be excited under current assignments.
+  bool excitation_impossible(const Fault& f) const;
+  bool x_path_exists(const Fault& f) const;
+  // Next objective (net, value) or false if none (needs backtrack).
+  bool objective(const Fault& f, GateId& net, Logic& value) const;
+  // Maps an objective to a source assignment; false on failure.
+  bool backtrace(GateId net, Logic value, std::size_t& source_index,
+                 bool& set_to_one) const;
+
+  const Netlist* nl_;
+  int backtrack_limit_;
+  ScoapResult scoap_;
+  std::vector<GateId> sources_;
+  std::vector<int> source_index_of_;  // GateId -> index in sources_, or -1
+  std::vector<Logic> assignment_;    // per source: 0/1/X
+  std::vector<DVal> values_;         // per gate
+  std::vector<char> observe_;        // gate drives a PO or a storage D pin
+  mutable std::vector<DVal> scratch_;
+};
+
+}  // namespace dft

@@ -1,0 +1,87 @@
+#include "atpg/random_tpg.h"
+
+#include <random>
+
+namespace dft {
+
+namespace {
+
+SourceVector draw(const Netlist& nl, const std::vector<double>& weights,
+                  std::mt19937_64& rng) {
+  SourceVector v(source_count(nl));
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double w = weights.empty() ? 0.5 : weights[i];
+    v[i] = to_logic(u(rng) < w);
+  }
+  return v;
+}
+
+}  // namespace
+
+RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
+                           const RandomTpgOptions& options) {
+  RandomTpgResult res;
+  res.detected.assign(faults.size(), 0);
+  std::mt19937_64 rng(options.seed);
+  ParallelFaultSimulator fsim(nl);
+
+  // Weight profiles for the adaptive mode: balanced, 1-heavy, 0-heavy, and
+  // per-source random weights redrawn each round.
+  const std::vector<double> kBias = {0.5, 0.75, 0.25, 0.875, 0.125};
+  int profile = 0;
+
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < faults.size(); ++i) alive.push_back(i);
+
+  int stall = 0;
+  while (res.patterns_tried < options.max_patterns && !alive.empty() &&
+         stall < options.stall_blocks) {
+    std::vector<double> weights = options.weights;
+    if (options.adaptive) {
+      weights.assign(source_count(nl), kBias[profile % kBias.size()]);
+      if (profile % kBias.size() == kBias.size() - 1) {
+        std::uniform_real_distribution<double> u(0.0625, 0.9375);
+        for (auto& w : weights) w = u(rng);
+      }
+      ++profile;
+    }
+
+    const int blk = std::min(64, options.max_patterns - res.patterns_tried);
+    std::vector<SourceVector> block;
+    block.reserve(static_cast<std::size_t>(blk));
+    for (int i = 0; i < blk; ++i) block.push_back(draw(nl, weights, rng));
+    res.patterns_tried += blk;
+
+    std::vector<Fault> alive_faults;
+    alive_faults.reserve(alive.size());
+    for (std::size_t fi : alive) alive_faults.push_back(faults[fi]);
+    const FaultSimResult sim = fsim.run(block, alive_faults);
+
+    if (sim.num_detected == 0) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+    // Keep only patterns that detected something new.
+    std::vector<char> keep(block.size(), 0);
+    std::vector<std::size_t> next_alive;
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      const int by = sim.first_detected_by[k];
+      if (by >= 0) {
+        keep[static_cast<std::size_t>(by)] = 1;
+        res.detected[alive[k]] = 1;
+        ++res.num_detected;
+      } else {
+        next_alive.push_back(alive[k]);
+      }
+    }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
+    }
+    alive = std::move(next_alive);
+  }
+  return res;
+}
+
+}  // namespace dft

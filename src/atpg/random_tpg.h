@@ -1,0 +1,44 @@
+// Random and weighted-random test pattern generation (Sec. IV-A:
+// "adaptive random test generation [87], [95], [98] ... viable approaches").
+//
+// Patterns are drawn in blocks of 64, fault-simulated with dropping, and a
+// pattern is kept only if it detects at least one not-yet-detected fault.
+// The weighted/adaptive variant rotates per-source 1-probability profiles
+// (Schnurmann et al. [95]) to reach faults that balanced randomness misses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct RandomTpgOptions {
+  int max_patterns = 4096;
+  // Stop after this many consecutive 64-pattern blocks with no new
+  // detection.
+  int stall_blocks = 4;
+  std::uint64_t seed = 1;
+  // Per-source probability of a 1; empty = 0.5 everywhere.
+  std::vector<double> weights;
+  // Rotate through weight profiles (adaptive/weighted random).
+  bool adaptive = false;
+};
+
+struct RandomTpgResult {
+  std::vector<SourceVector> kept_patterns;
+  std::vector<char> detected;  // parallel to the fault list
+  int num_detected = 0;
+  int patterns_tried = 0;
+  double coverage(std::size_t total) const {
+    return total == 0 ? 1.0 : static_cast<double>(num_detected) / total;
+  }
+};
+
+RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
+                           const RandomTpgOptions& options);
+
+}  // namespace dft

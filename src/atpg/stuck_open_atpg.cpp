@@ -1,0 +1,98 @@
+#include "atpg/stuck_open_atpg.h"
+
+#include <random>
+#include <vector>
+
+#include "atpg/podem.h"
+#include "sim/comb_sim.h"
+#include "sim/eval.h"
+
+namespace dft {
+
+namespace {
+
+GateType first_stage(GateType t) {
+  switch (t) {
+    case GateType::And: return GateType::Nand;
+    case GateType::Or: return GateType::Nor;
+    case GateType::Buf: return GateType::Not;
+    default: return t;
+  }
+}
+
+}  // namespace
+
+std::optional<std::pair<SourceVector, SourceVector>> generate_stuck_open_test(
+    const Netlist& nl, const StuckOpenFault& f, std::uint64_t seed,
+    int random_tries) {
+  // Stuck-open tests map exactly onto stuck-at targets:
+  //  * a broken parallel device on pin i behaves, under its float condition
+  //    with the wrong retained value, like that PIN stuck at the complement
+  //    of its condition value -- and PODEM's activation + propagation of
+  //    that pin fault force exactly the float condition on the other pins;
+  //  * a broken series stack behaves like the OUTPUT stuck at the retained
+  //    value, and excitation of that output fault forces the all-
+  //    controlling condition.
+  // The init pattern is the excitation cube of the complementary output
+  // fault, which by construction does NOT satisfy the float condition, so
+  // the node is genuinely driven to the complement first.
+  const GateType t = nl.type(f.gate);
+  if (!stuck_open_supported(t)) return std::nullopt;
+  const GateType s = first_stage(t);
+  const std::size_t npins = nl.fanin(f.gate).size();
+
+  // Good composite output value v under the float condition.
+  std::vector<Logic> cond(npins, Logic::X);
+  if (s == GateType::Not) {
+    cond[0] = f.open_pullup ? Logic::Zero : Logic::One;
+  } else if (s == GateType::Nand) {
+    if (f.open_pullup && !f.series_stack) {
+      for (std::size_t i = 0; i < npins; ++i) {
+        cond[i] = static_cast<int>(i) == f.pin ? Logic::Zero : Logic::One;
+      }
+    } else {
+      for (auto& c : cond) c = Logic::One;
+    }
+  } else {  // Nor first stage
+    if (!f.open_pullup && !f.series_stack) {
+      for (std::size_t i = 0; i < npins; ++i) {
+        cond[i] = static_cast<int>(i) == f.pin ? Logic::One : Logic::Zero;
+      }
+    } else {
+      for (auto& c : cond) c = Logic::Zero;
+    }
+  }
+  const Logic v = eval_gate(t, cond);
+
+  Fault test_target;
+  const bool parallel_device =
+      !f.series_stack && (s == GateType::Nand || s == GateType::Nor) &&
+      npins > 1;
+  if (parallel_device) {
+    // Pin stuck at the complement of its condition value.
+    test_target = {f.gate, f.pin,
+                   cond[static_cast<std::size_t>(f.pin)] == Logic::Zero};
+  } else {
+    test_target = {f.gate, -1, v == Logic::Zero};  // output stuck at !v
+  }
+
+  Podem podem(nl);
+  const AtpgOutcome test_out = podem.generate(test_target);
+  if (test_out.status != AtpgStatus::TestFound) return std::nullopt;
+  // Init: excitation of output-stuck-at-v drives the node to !v.
+  const AtpgOutcome init_out =
+      podem.generate({f.gate, -1, v == Logic::One});
+  if (init_out.status != AtpgStatus::TestFound) return std::nullopt;
+
+  std::mt19937_64 rng(seed);
+  for (int k = 0; k < random_tries; ++k) {
+    SourceVector init = init_out.pattern;
+    SourceVector test = test_out.pattern;
+    random_fill(init, rng);
+    random_fill(test, rng);
+    if (stuck_open_detected(nl, f, init, test)) return {{init, test}};
+  }
+  return std::nullopt;
+}
+
+}  // namespace dft

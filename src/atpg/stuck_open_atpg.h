@@ -1,0 +1,23 @@
+// Deterministic two-pattern test generation for CMOS stuck-open faults.
+//
+// Maps each stuck-open fault onto an equivalent stuck-at target (pin fault
+// for a broken parallel device, output fault for a broken series stack) so
+// that PODEM's excitation + propagation force the float condition, and
+// derives the initialization cube from the complementary output fault.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "fault/fault_sim.h"
+#include "fault/stuck_open.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+std::optional<std::pair<SourceVector, SourceVector>> generate_stuck_open_test(
+    const Netlist& nl, const StuckOpenFault& f, std::uint64_t seed = 1,
+    int random_tries = 4096);
+
+}  // namespace dft

@@ -1,0 +1,102 @@
+// Autonomous testing (McCluskey & Bozorgui-Nesbat [118]; Sec. V-D,
+// Figs. 26-34).
+//
+// Autonomous testing applies ALL input patterns to (sub)networks and checks
+// every response, so it "will detect the faults" irrespective of the fault
+// model (as long as the faulty network stays combinational). Since 2^n is
+// infeasible for wide cones, the network is partitioned:
+//   * multiplexer partitioning (Figs. 30-32): muxes isolate each subnetwork
+//     so it can be exhausted from the primary inputs directly;
+//   * sensitized partitioning (Figs. 33-34): hold selected inputs at values
+//     that create sensitized paths, exhausting each subnetwork in place --
+//     demonstrated on the 74181 (hold S2=S3=low, then S0=S1=high).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "lfsr/lfsr.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// --- Exhaustive verification ----------------------------------------------
+
+// True when some input pattern distinguishes faulty from good machine.
+bool exhaustive_detects(const Netlist& nl, const Fault& f);
+
+// Coverage of a fault list under the all-2^n-patterns test.
+double exhaustive_coverage(const Netlist& nl, const std::vector<Fault>& faults);
+
+// Model-independence demonstration: replace one gate's function entirely
+// (e.g. AND -> OR) and check the exhaustive test still catches it whenever
+// the substitution changes the function at all.
+bool exhaustive_detects_gate_swap(const Netlist& nl, GateId gate,
+                                  GateType wrong_type);
+
+// --- Reconfigurable LFSR module (Figs. 26-29) ------------------------------
+
+enum class RlmMode {
+  Normal,            // N=1: parallel register
+  SignatureAnalyzer, // N=0, S=1: MISR
+  InputGenerator,    // N=0, S=0: autonomous maximal LFSR
+};
+
+class ReconfigurableLfsrModule {
+ public:
+  explicit ReconfigurableLfsrModule(int width, std::uint64_t seed = 1);
+  void set_mode(RlmMode m) { mode_ = m; }
+  RlmMode mode() const { return mode_; }
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s & mask_; }
+  void clock(std::uint64_t parallel_in = 0);
+  int width() const { return width_; }
+
+ private:
+  int width_;
+  std::uint64_t mask_, taps_, state_;
+  RlmMode mode_ = RlmMode::Normal;
+};
+
+// --- Multiplexer partitioning (Figs. 30-32) --------------------------------
+
+struct MuxPartitioned {
+  Netlist netlist;
+  GateId test_select = kNoGate;  // PI: 0 = functional (G1->G2), 1 = test G2
+  std::vector<GateId> primary_data_inputs;  // the x inputs
+  std::vector<GateId> g1_observation_pos;   // POs added to watch G1 outputs
+  int mux_gate_equivalents = 0;             // the partitioning overhead
+};
+
+// Composes g1 (n1 -> m1) and g2 (m1 -> m2) per Fig. 30: functionally a
+// cascade; with test_select = 1 the G2 inputs come directly from the first
+// m1 primary inputs. G1's outputs are always observable on dedicated POs.
+// Requires n1 >= m1 so the PIs can drive G2 exhaustively.
+MuxPartitioned build_mux_partitioned(const Netlist& g1, const Netlist& g2);
+
+// Patterns needed to test both subnetworks autonomously vs the whole.
+struct PartitionPatternCounts {
+  std::uint64_t unpartitioned = 0;
+  std::uint64_t partitioned = 0;
+};
+PartitionPatternCounts mux_partition_pattern_counts(const Netlist& g1,
+                                                    const Netlist& g2);
+
+// --- Sensitized partitioning of the SN74181 (Figs. 33-34) -----------------
+
+struct SensitizedPartitionResult {
+  std::vector<SourceVector> patterns;  // both sensitized sessions
+  std::uint64_t session_patterns = 0;
+  std::uint64_t exhaustive_patterns = 0;
+  double session_coverage = 0.0;     // over collapsed faults
+  double exhaustive_coverage = 0.0;  // ceiling (testable faults only)
+};
+
+// Runs the paper's two sensitized sessions on the gate-level 74181:
+// session A holds S2 = S3 = 0, session B holds S0 = S1 = 1; every other
+// input is exhausted. Compares coverage against full exhaustion.
+SensitizedPartitionResult sensitized_partition_74181();
+
+}  // namespace dft

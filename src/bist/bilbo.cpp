@@ -1,0 +1,150 @@
+#include "bist/bilbo.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dft {
+
+BilboRegister::BilboRegister(int width, std::uint64_t seed) : width_(width) {
+  if (width < 2 || width > 63) throw std::invalid_argument("BILBO width");
+  mask_ = (1ull << width) - 1;
+  taps_ = 0;
+  for (int t : primitive_taps(width)) taps_ |= 1ull << (t - 1);
+  state_ = seed & mask_;
+}
+
+bool BilboRegister::clock(std::uint64_t parallel_in, bool serial_in) {
+  const bool out = (state_ >> (width_ - 1)) & 1;
+  switch (mode_) {
+    case BilboMode::System:
+      state_ = parallel_in & mask_;
+      break;
+    case BilboMode::LinearShift:
+      state_ = ((state_ << 1) | (serial_in ? 1u : 0u)) & mask_;
+      break;
+    case BilboMode::Signature: {
+      const bool fb = (std::popcount(state_ & taps_) & 1) != 0;
+      state_ = (((state_ << 1) | (fb ? 1u : 0u)) ^ parallel_in) & mask_;
+      break;
+    }
+    case BilboMode::Reset:
+      state_ = 0;
+      break;
+  }
+  return out;
+}
+
+std::uint64_t BilboRegister::next_pattern() {
+  if (mode_ != BilboMode::Signature) {
+    throw std::logic_error("PN generation requires Signature mode");
+  }
+  clock(0);  // inputs held at constant 0: pure maximal LFSR stepping
+  return state_;
+}
+
+namespace {
+
+// Word-in/word-out evaluation of a combinational network with an optional
+// injected fault; the simulator is reused across patterns.
+class NetworkEval {
+ public:
+  NetworkEval(const Netlist& nl, const Fault* f) : nl_(&nl), sim_(nl) {
+    if (f != nullptr) {
+      sim_.set_stuck({f->gate, f->pin, f->sa1 ? Logic::One : Logic::Zero});
+    }
+  }
+  std::uint64_t operator()(std::uint64_t in_bits) {
+    const auto& pis = nl_->inputs();
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      sim_.set_value(pis[i], to_logic((in_bits >> i) & 1));
+    }
+    sim_.evaluate();
+    std::uint64_t out = 0;
+    const auto& pos = nl_->outputs();
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      if (sim_.value(pos[i]) == Logic::One) out |= 1ull << i;
+    }
+    return out;
+  }
+
+ private:
+  const Netlist* nl_;
+  CombSim sim_;
+};
+
+}  // namespace
+
+BilboBist::BilboBist(const Netlist& cln1, const Netlist& cln2,
+                     std::uint64_t seed)
+    : cln1_(&cln1), cln2_(&cln2), seed_(seed) {
+  w1_ = static_cast<int>(cln1.inputs().size());
+  w2_ = static_cast<int>(cln1.outputs().size());
+  if (static_cast<int>(cln2.inputs().size()) != w2_ ||
+      static_cast<int>(cln2.outputs().size()) != w1_) {
+    throw std::invalid_argument("BILBO loop widths do not close");
+  }
+  if (!cln1.storage().empty() || !cln2.storage().empty()) {
+    throw std::invalid_argument("BILBO networks must be combinational");
+  }
+}
+
+BilboBist::Session BilboBist::run(int patterns_per_phase, int faulty_cln,
+                                  const Fault* f) {
+  Session s;
+  // Phase 1 (Fig. 20): R1 = PRPG into CLN1, R2 = MISR on CLN1 outputs.
+  BilboRegister r1(w1_, seed_);
+  BilboRegister r2(w2_, 0);
+  r1.set_mode(BilboMode::Signature);
+  r2.set_mode(BilboMode::Signature);
+  NetworkEval eval1(*cln1_, faulty_cln == 1 ? f : nullptr);
+  NetworkEval eval2(*cln2_, faulty_cln == 2 ? f : nullptr);
+  for (int p = 0; p < patterns_per_phase; ++p) {
+    const std::uint64_t pattern = r1.next_pattern();
+    r2.clock(eval1(pattern));
+    ++s.patterns;
+  }
+  s.signature_cln1 = r2.state();
+  s.scan_bits += w2_;  // signature scanned out once per phase
+
+  // Phase 2 (Fig. 21): roles reversed.
+  r2.set_state(seed_ | 1);
+  r1.set_state(0);
+  for (int p = 0; p < patterns_per_phase; ++p) {
+    r2.clock(0);  // PN generation in R2
+    r1.clock(eval2(r2.state()));
+    ++s.patterns;
+  }
+  s.signature_cln2 = r1.state();
+  s.scan_bits += w1_;
+  return s;
+}
+
+BilboBist::Session BilboBist::run_good(int patterns_per_phase) {
+  return run(patterns_per_phase, 0, nullptr);
+}
+
+BilboBist::Session BilboBist::run_faulty(int which_cln, const Fault& f,
+                                         int patterns_per_phase) {
+  if (which_cln != 1 && which_cln != 2) {
+    throw std::invalid_argument("which_cln must be 1 or 2");
+  }
+  return run(patterns_per_phase, which_cln, &f);
+}
+
+double BilboBist::signature_coverage(int which_cln,
+                                     const std::vector<Fault>& faults,
+                                     int patterns_per_phase) {
+  if (faults.empty()) return 1.0;
+  const Session good = run_good(patterns_per_phase);
+  int caught = 0;
+  for (const Fault& f : faults) {
+    const Session bad = run_faulty(which_cln, f, patterns_per_phase);
+    if (bad.signature_cln1 != good.signature_cln1 ||
+        bad.signature_cln2 != good.signature_cln2) {
+      ++caught;
+    }
+  }
+  return static_cast<double>(caught) / static_cast<double>(faults.size());
+}
+
+}  // namespace dft

@@ -1,0 +1,93 @@
+// Built-In Logic Block Observation -- BILBO (Koenemann/Mucha/Zwiehoff [25],
+// Sec. V-A, Figs. 19-21).
+//
+// A BILBO register has four modes selected by B1B2:
+//   11  System     -- ordinary parallel register
+//   00  LinearShift-- plain scan shift register
+//   10  Signature  -- maximal-length LFSR with multiple (parallel) inputs:
+//                     a MISR; with its inputs held constant it degenerates
+//                     into a pseudo-random pattern generator (PRPG)
+//   01  Reset      -- forces zero
+//
+// The two-register architecture of Figs. 20-21 sandwiches combinational
+// networks between BILBOs: R1 generates PN patterns into CLN1 while R2
+// signs CLN1's responses; then the roles reverse for CLN2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "lfsr/lfsr.h"
+#include "netlist/netlist.h"
+#include "sim/comb_sim.h"
+
+namespace dft {
+
+enum class BilboMode : std::uint8_t {
+  System = 0b11,
+  LinearShift = 0b00,
+  Signature = 0b10,
+  Reset = 0b01,
+};
+
+class BilboRegister {
+ public:
+  explicit BilboRegister(int width, std::uint64_t seed = 1);
+
+  int width() const { return width_; }
+  BilboMode mode() const { return mode_; }
+  void set_mode(BilboMode m) { mode_ = m; }
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s) { state_ = s & mask_; }
+
+  // One clock. `parallel_in` is Z1..Zw (used in System/Signature modes);
+  // `serial_in` feeds LinearShift mode. Returns the serial scan-out bit.
+  bool clock(std::uint64_t parallel_in = 0, bool serial_in = false);
+
+  // Convenience: in Signature mode with inputs held constant the register
+  // emits pseudo-random patterns; this returns the next PN pattern.
+  std::uint64_t next_pattern();
+
+ private:
+  int width_;
+  std::uint64_t mask_;
+  std::uint64_t taps_;
+  std::uint64_t state_;
+  BilboMode mode_ = BilboMode::System;
+};
+
+// The Figs. 20-21 self-test architecture around two combinational networks:
+// cln1 maps R1-width inputs to R2-width outputs; cln2 maps back.
+class BilboBist {
+ public:
+  BilboBist(const Netlist& cln1, const Netlist& cln2,
+            std::uint64_t seed = 0x5);
+
+  struct Session {
+    std::uint64_t signature_cln1 = 0;  // accumulated in R2
+    std::uint64_t signature_cln2 = 0;  // accumulated in R1
+    int patterns = 0;
+    long long scan_bits = 0;  // bits shifted out for signature compare
+  };
+
+  // Runs the full two-phase self-test of a fault-free machine.
+  Session run_good(int patterns_per_phase);
+  // Same session with a stuck-at fault injected into one of the networks.
+  Session run_faulty(int which_cln, const Fault& f, int patterns_per_phase);
+
+  // Fraction of `faults` (in the chosen network) whose faulty session
+  // signature differs from the good one.
+  double signature_coverage(int which_cln, const std::vector<Fault>& faults,
+                            int patterns_per_phase);
+
+ private:
+  Session run(int patterns_per_phase, int faulty_cln, const Fault* f);
+  const Netlist* cln1_;
+  const Netlist* cln2_;
+  std::uint64_t seed_;
+  int w1_;  // R1 width = cln1 inputs = cln2 outputs
+  int w2_;  // R2 width = cln1 outputs = cln2 inputs
+};
+
+}  // namespace dft

@@ -1,0 +1,65 @@
+// Structural BILBO (Fig. 19's gate-level form).
+//
+// Each register cell is a flip-flop whose D input is the four-way mode
+// logic selected by (B1, B2):
+//   11 System       D = Z_i               (parallel load)
+//   00 LinearShift  D = previous cell     (scan path; cell 0 takes SIN)
+//   10 Signature    D = Z_i xor prev      (MISR; "prev" of cell 0 is the
+//                                          feedback parity of the taps)
+//   01 Reset        D = 0
+// The two-register architecture of Figs. 20-21 is assembled as ONE netlist:
+// R1 -> CLN1 -> R2 -> CLN2 -> R1, with shared mode controls per register.
+// Bit ordering matches the behavioral BilboRegister exactly, so signatures
+// agree bit for bit -- the tests exploit that for cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/seq_sim.h"
+
+namespace dft {
+
+struct StructuralBilbo {
+  std::vector<GateId> cells;  // flip-flops, LSB (cell 0, fed by feedback) first
+  GateId b1 = kNoGate;        // PIs
+  GateId b2 = kNoGate;
+  // Gates the parallel Z inputs: 0 holds them at constant zero, which turns
+  // Signature mode into pure PN generation ("if the inputs ... can be
+  // controlled to fixed values", Sec. V-A).
+  GateId z_gate = kNoGate;
+  GateId scan_in = kNoGate;   // net feeding cell 0 in shift mode
+};
+
+// Adds a structural BILBO register of |z_inputs| cells to `nl`. `z_inputs`
+// are the parallel data nets; `scan_in` feeds shift mode. Control PIs are
+// named <prefix>_b1 / <prefix>_b2.
+StructuralBilbo add_structural_bilbo(Netlist& nl,
+                                     const std::vector<GateId>& z_inputs,
+                                     GateId scan_in,
+                                     const std::string& prefix);
+
+// The complete Figs. 20-21 loop over two combinational networks
+// (cln1: n1 -> n2, cln2: n2 -> n1), as a single netlist.
+struct BilboLoop {
+  Netlist netlist;
+  StructuralBilbo r1;
+  StructuralBilbo r2;
+  GateId scan_in = kNoGate;   // PI feeding R1 cell 0 in shift mode
+  GateId scan_out = kNoGate;  // PO: R2's last cell
+};
+BilboLoop build_bilbo_loop(const Netlist& cln1, const Netlist& cln2);
+
+// Drives one self-test phase on the structural loop: seeds the generator,
+// zeroes the accumulator, puts both registers in Signature mode with the
+// generator's Z inputs gated off (pure PN), clocks `patterns` times, and
+// returns the accumulating register's final state.
+std::uint64_t run_structural_phase(const BilboLoop& loop, SeqSim& sim,
+                                   bool generator_is_r1, std::uint64_t seed,
+                                   int patterns);
+
+// Reads a register's state bits from the simulation.
+std::uint64_t register_state(const SeqSim& sim, const StructuralBilbo& reg);
+
+}  // namespace dft

@@ -1,0 +1,248 @@
+#include "bist/syndrome.h"
+
+#include <bit>
+#include <stdexcept>
+
+#include "sim/parallel_sim.h"
+
+namespace dft {
+
+namespace {
+
+// Applies all 2^n patterns 64 at a time and accumulates per-output ones
+// counts; optionally with a fault. Storage-free circuits only.
+std::vector<std::uint64_t> count_ones(const Netlist& nl, const Fault* f) {
+  const std::size_t n = nl.inputs().size();
+  if (!nl.storage().empty()) {
+    throw std::invalid_argument("syndrome testing needs combinational logic");
+  }
+  if (n > 26) throw std::invalid_argument("too many inputs for exhaustion");
+
+  // For faulty counting we reuse the parallel simulator and inject via a
+  // forced word on the fault site (output faults) or a per-gate override
+  // pattern (pin faults) by exploiting the fault cone like PPSFP -- but the
+  // simplest exact method at this scale is to re-evaluate the whole network
+  // with the fault folded into the evaluation. We do that by simulating the
+  // good machine, then for the faulty machine forcing the site and
+  // re-evaluating its cone only.
+  ParallelSim sim(nl);
+  const std::size_t total = 1ull << n;
+  std::vector<std::uint64_t> counts(nl.outputs().size(), 0);
+
+  // Pre-sort the fault cone for faulty evaluation.
+  std::vector<GateId> cone;
+  if (f != nullptr) {
+    cone = nl.fanout_cone(f->gate);
+    const auto& levels = nl.levels();
+    std::erase_if(cone, [&](GateId c) {
+      return c == f->gate || !is_combinational(nl.type(c));
+    });
+    std::sort(cone.begin(), cone.end(),
+              [&](GateId a, GateId b) { return levels[a] < levels[b]; });
+  }
+
+  for (std::uint64_t base = 0; base < total; base += 64) {
+    const std::uint64_t blk = std::min<std::uint64_t>(64, total - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t w = 0;
+      for (std::uint64_t b = 0; b < blk; ++b) {
+        if (((base + b) >> i) & 1) w |= 1ull << b;
+      }
+      sim.set_word(nl.inputs()[i], w);
+    }
+    sim.evaluate();
+    if (f != nullptr) {
+      const std::uint64_t forced = f->sa1 ? ~0ull : 0ull;
+      std::uint64_t site;
+      if (f->pin < 0) {
+        site = forced;
+      } else {
+        site = sim.eval_with_forced_pin(f->gate, f->pin, forced);
+      }
+      sim.force_word(f->gate, site);
+      sim.evaluate_gates(cone);
+    }
+    const std::uint64_t valid = blk == 64 ? ~0ull : ((1ull << blk) - 1);
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      counts[o] += std::popcount(sim.word(nl.outputs()[o]) & valid);
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> minterm_counts(const Netlist& nl) {
+  return count_ones(nl, nullptr);
+}
+
+std::vector<std::uint64_t> minterm_counts_faulty(const Netlist& nl,
+                                                 const Fault& f) {
+  return count_ones(nl, &f);
+}
+
+std::vector<double> syndromes(const Netlist& nl) {
+  const auto counts = minterm_counts(nl);
+  const double denom =
+      static_cast<double>(1ull << nl.inputs().size());
+  std::vector<double> out;
+  out.reserve(counts.size());
+  for (auto k : counts) out.push_back(static_cast<double>(k) / denom);
+  return out;
+}
+
+SyndromeAnalysis analyze_syndrome_testability(
+    const Netlist& nl, const std::vector<Fault>& faults) {
+  SyndromeAnalysis res;
+  res.total_faults = static_cast<int>(faults.size());
+  const auto good = minterm_counts(nl);
+  for (const Fault& f : faults) {
+    if (minterm_counts_faulty(nl, f) != good) {
+      ++res.syndrome_testable;
+    } else {
+      res.untestable.push_back(f);
+    }
+  }
+  return res;
+}
+
+HeldInputTest syndrome_test_with_held_input(const Netlist& nl,
+                                            const Fault& f) {
+  // Hold input i at v: compare ones-counts restricted to the subcube.
+  // Implemented by counting over all patterns but masking to the subcube:
+  // equivalent to two passes of 2^(n-1) patterns each.
+  const std::size_t n = nl.inputs().size();
+  if (n > 22) throw std::invalid_argument("too many inputs");
+  HeldInputTest out;
+
+  for (std::size_t i = 0; i < n && !out.testable; ++i) {
+    for (int v = 0; v < 2 && !out.testable; ++v) {
+      // Count ones over patterns with input i == v, good vs faulty.
+      ParallelSim sim(nl);
+      std::vector<GateId> cone = nl.fanout_cone(f.gate);
+      const auto& levels = nl.levels();
+      std::erase_if(cone, [&](GateId c) {
+        return c == f.gate || !is_combinational(nl.type(c));
+      });
+      std::sort(cone.begin(), cone.end(),
+                [&](GateId a, GateId b) { return levels[a] < levels[b]; });
+      const std::uint64_t total = 1ull << n;
+      // Subcube ones-counts, good vs faulty, accumulated over all blocks:
+      // a syndrome is a count, so the comparison happens on the totals.
+      std::vector<std::uint64_t> good_count(nl.outputs().size(), 0);
+      std::vector<std::uint64_t> bad_count(nl.outputs().size(), 0);
+      for (std::uint64_t base = 0; base < total; base += 64) {
+        const std::uint64_t blk = std::min<std::uint64_t>(64, total - base);
+        std::uint64_t subcube = 0;
+        for (std::uint64_t b = 0; b < blk; ++b) {
+          if ((((base + b) >> i) & 1) == static_cast<std::uint64_t>(v)) {
+            subcube |= 1ull << b;
+          }
+        }
+        if (subcube == 0) continue;
+        for (std::size_t k = 0; k < n; ++k) {
+          std::uint64_t w = 0;
+          for (std::uint64_t b = 0; b < blk; ++b) {
+            if (((base + b) >> k) & 1) w |= 1ull << b;
+          }
+          sim.set_word(nl.inputs()[k], w);
+        }
+        sim.evaluate();
+        for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+          good_count[o] += std::popcount(sim.word(nl.outputs()[o]) & subcube);
+        }
+        const std::uint64_t forced = f.sa1 ? ~0ull : 0ull;
+        const std::uint64_t site =
+            f.pin < 0 ? forced
+                      : sim.eval_with_forced_pin(f.gate, f.pin, forced);
+        sim.force_word(f.gate, site);
+        sim.evaluate_gates(cone);
+        for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+          bad_count[o] += std::popcount(sim.word(nl.outputs()[o]) & subcube);
+        }
+      }
+      if (good_count != bad_count) {
+        out.testable = true;
+        out.held_input = nl.inputs()[i];
+        out.held_value = v != 0;
+      }
+    }
+  }
+  return out;
+}
+
+SyndromeModification make_syndrome_testable(const Netlist& nl,
+                                            const Fault& f) {
+  SyndromeModification res;
+  if (nl.inputs().size() > 15) {
+    throw std::invalid_argument("network too wide to search exhaustively");
+  }
+  // Candidate splice nets: splicing the propagation path itself applies the
+  // same monotone transform to good and faulty function and preserves count
+  // equality, so the effective candidates are the SIDE inputs of the gates
+  // along the fault's fanout cone (plus the cone nets, which occasionally
+  // help through reconvergence).
+  const auto cone = nl.fanout_cone(f.gate);
+  std::vector<char> seen(nl.size(), 0);
+  std::vector<GateId> candidates;
+  auto add = [&](GateId g) {
+    if (!seen[g] && nl.type(g) != GateType::Output && !nl.fanout(g).empty() &&
+        nl.type(g) != GateType::Const0 && nl.type(g) != GateType::Const1) {
+      seen[g] = 1;
+      candidates.push_back(g);
+    }
+  };
+  for (GateId g : cone) {
+    for (GateId x : nl.fanin(g)) add(x);  // side inputs first
+  }
+  for (GateId g : cone) add(g);
+
+  for (GateId x : candidates) {
+    for (bool use_or : {true, false}) {
+      Netlist mod = nl;  // ids preserved
+      const GateId c = mod.add_input("syn_ctl");
+      GateId splice;
+      int gates = 1;
+      if (use_or) {
+        splice = mod.add_gate(GateType::Or, {x, c}, "syn_splice");
+      } else {
+        const GateId nc = mod.add_gate(GateType::Not, {c}, "syn_nc");
+        splice = mod.add_gate(GateType::And, {x, nc}, "syn_splice");
+        gates = 2;
+      }
+      // Rewire x's sinks to the splice.
+      std::vector<std::pair<GateId, int>> sinks;
+      for (GateId s : mod.fanout(x)) {
+        if (s == splice) continue;
+        const auto& fin = mod.fanin(s);
+        for (std::size_t p = 0; p < fin.size(); ++p) {
+          if (fin[p] == x) sinks.emplace_back(s, static_cast<int>(p));
+        }
+      }
+      for (const auto& [s, p] : sinks) mod.set_fanin(s, p, splice);
+      mod.validate();
+
+      if (minterm_counts_faulty(mod, f) != minterm_counts(mod)) {
+        res.found = true;
+        res.spliced_net = x;
+        res.used_or = use_or;
+        res.extra_inputs = 1;
+        res.extra_gates = gates;
+        res.modified = std::move(mod);
+        return res;
+      }
+    }
+  }
+  return res;
+}
+
+SyndromeTestResult run_syndrome_tester(const Netlist& nl, const Fault* f) {
+  SyndromeTestResult res;
+  res.expected = minterm_counts(nl);
+  res.observed = f == nullptr ? res.expected : minterm_counts_faulty(nl, *f);
+  res.patterns_applied = 1ull << nl.inputs().size();
+  res.pass = res.observed == res.expected;
+  return res;
+}
+
+}  // namespace dft

@@ -1,0 +1,81 @@
+// Syndrome testing (Savir [115], [116]; Sec. V-B, Fig. 23, Definition 1).
+//
+// The syndrome of a Boolean function is S = K / 2^n, K the number of
+// minterms. Testing applies all 2^n patterns and counts output 1's; a fault
+// is syndrome-testable when its presence changes the count. The module also
+// implements the [116] extension: making untestable faults syndrome-testable
+// by holding chosen inputs constant and measuring partial syndromes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// Ones-count per primary output over all 2^n input patterns (n <= 26).
+std::vector<std::uint64_t> minterm_counts(const Netlist& nl);
+// Counts with a stuck-at fault injected.
+std::vector<std::uint64_t> minterm_counts_faulty(const Netlist& nl,
+                                                 const Fault& f);
+
+// Syndromes S = K / 2^n, per output.
+std::vector<double> syndromes(const Netlist& nl);
+
+struct SyndromeAnalysis {
+  int total_faults = 0;
+  int syndrome_testable = 0;
+  std::vector<Fault> untestable;  // syndrome-untestable faults
+  double fraction_testable() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(syndrome_testable) / total_faults;
+  }
+};
+
+// Classifies every fault by comparing good/faulty ones-counts across all
+// outputs.
+SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
+                                              const std::vector<Fault>& faults);
+
+// The [116] scheme: a fault missed by the global syndrome may be exposed by
+// holding one input constant and syndrome-testing the remaining subcube
+// (two passes per held input). Returns true if some (input, value) hold
+// makes the fault syndrome-testable; reports the hold found.
+struct HeldInputTest {
+  bool testable = false;
+  GateId held_input = kNoGate;
+  bool held_value = false;
+};
+HeldInputTest syndrome_test_with_held_input(const Netlist& nl,
+                                            const Fault& f);
+
+// The [115] design modification: make a syndrome-untestable fault testable
+// by adding ONE extra primary input and one gate -- a control input c with
+// OR(x, c) (or AND(x, NOT c)) spliced into a net x near the fault, which
+// unbalances the counts over the doubled pattern space while c = 0 keeps
+// normal operation intact. The paper reports <=1 extra input (<=5%) and
+// <=2 gates (<=4%) sufficed on real networks like the SN74181.
+struct SyndromeModification {
+  bool found = false;
+  GateId spliced_net = kNoGate;  // in the ORIGINAL netlist's ids
+  bool used_or = true;           // OR(x, c); false = AND(x, NOT c)
+  int extra_inputs = 0;
+  int extra_gates = 0;
+  Netlist modified;  // original ids preserved; extra PI named "syn_ctl"
+};
+SyndromeModification make_syndrome_testable(const Netlist& nl, const Fault& f);
+
+// The Fig. 23 structure: counter-driven pattern generator + 1's counter +
+// comparator. Go/NoGo result for a (possibly faulty) unit under test.
+struct SyndromeTestResult {
+  bool pass = true;
+  std::vector<std::uint64_t> expected;
+  std::vector<std::uint64_t> observed;
+  std::uint64_t patterns_applied = 0;
+};
+SyndromeTestResult run_syndrome_tester(const Netlist& nl, const Fault* f);
+
+}  // namespace dft

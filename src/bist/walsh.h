@@ -1,0 +1,62 @@
+// Testing by verifying Walsh coefficients (Susskind [117]; Sec. V-C,
+// Figs. 24-25, Table I).
+//
+// With logic 0 mapped to arithmetic -1 and logic 1 to +1, the Walsh function
+// W_S(x) is the product of the mapped values of the inputs in S, and the
+// coefficient C_S = sum over all 2^n inputs of W_S(x) * F(x). Checking only
+// C_all (S = all inputs) and C_0 detects every stuck-at fault on primary
+// inputs when C_all != 0 (a present input fault forces C_all = 0), plus all
+// single stuck-at faults under the reconvergence conditions of [117].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// C_S for output `output_index`, with S given as an input-index bitmask
+// (bit i = netlist.inputs()[i] in S). Mask 0 gives C_0.
+long long walsh_coefficient(const Netlist& nl, std::size_t output_index,
+                            std::uint32_t subset_mask);
+long long walsh_coefficient_faulty(const Netlist& nl,
+                                   std::size_t output_index,
+                                   std::uint32_t subset_mask, const Fault& f);
+
+inline std::uint32_t all_inputs_mask(const Netlist& nl) {
+  return nl.inputs().size() >= 32
+             ? ~0u
+             : (1u << nl.inputs().size()) - 1;
+}
+
+// One row of Table I for a 3-input function.
+struct WalshTableRow {
+  int x1 = 0, x2 = 0, x3 = 0;
+  int w2 = 0;     // W_2
+  int w13 = 0;    // W_{1,3}
+  int f = 0;      // F (0/1)
+  int w2f = 0;    // W_2 * F~   (F~ = +-1 mapping of F)
+  int w13f = 0;   // W_{1,3} * F~
+  int wall = 0;   // W_{1,2,3}
+  int wallf = 0;  // W_{1,2,3} * F~
+};
+
+// Reproduces Table I for a 3-input, 1-output netlist (inputs in order
+// x1, x2, x3).
+std::vector<WalshTableRow> walsh_table(const Netlist& nl);
+
+// The Fig. 25 tester: a driving counter sweeps all patterns (two passes)
+// while an up/down counter accumulates C_all and C_0; Go/NoGo against the
+// good-machine coefficients.
+struct WalshTestResult {
+  bool pass = true;
+  long long c0_expected = 0, c0_observed = 0;
+  long long call_expected = 0, call_observed = 0;
+  std::uint64_t patterns_applied = 0;  // two passes of 2^n
+};
+WalshTestResult run_walsh_tester(const Netlist& nl, std::size_t output_index,
+                                 const Fault* f);
+
+}  // namespace dft

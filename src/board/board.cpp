@@ -1,0 +1,149 @@
+#include "board/board.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace dft {
+
+int Board::add_module(std::string instance_name, Netlist chip) {
+  for (const auto& n : names_) {
+    if (n == instance_name) {
+      throw std::invalid_argument("duplicate instance name " + instance_name);
+    }
+  }
+  names_.push_back(std::move(instance_name));
+  modules_.push_back(std::move(chip));
+  return static_cast<int>(modules_.size()) - 1;
+}
+
+void Board::add_board_input(const std::string& name) {
+  board_inputs_.push_back(name);
+}
+
+void Board::add_board_output(const std::string& name) {
+  board_outputs_.push_back(name);
+}
+
+void Board::connect(const std::string& source, const std::string& sink) {
+  wires_.emplace_back(source, sink);
+}
+
+void Board::add_bus(const std::string& bus_name,
+                    std::vector<std::string> driver_sources) {
+  buses_.emplace_back(bus_name, std::move(driver_sources));
+}
+
+Netlist Board::flatten() const {
+  Netlist flat(name_);
+  std::map<std::string, GateId> by_name;  // global name -> flat gate
+
+  for (const auto& bi : board_inputs_) by_name[bi] = flat.add_input(bi);
+
+  // Create every module's gates except its Input/Output markers; inputs are
+  // resolved through the wire list afterwards, so create placeholders.
+  const GateId placeholder = flat.add_gate(GateType::Const0, {});
+
+  for (std::size_t m = 0; m < modules_.size(); ++m) {
+    const Netlist& sub = modules_[m];
+    const std::string& inst = names_[m];
+    std::vector<GateId> map(sub.size(), kNoGate);
+
+    // Module PIs become buffers whose driver is resolved via wires.
+    for (GateId g : sub.inputs()) {
+      map[g] = flat.add_gate(GateType::Buf, {placeholder},
+                             inst + "." + sub.label(g));
+    }
+    // Storage first (feedback), then combinational in topo order.
+    for (GateId g : sub.storage()) {
+      std::vector<GateId> f(sub.fanin(g).size(), placeholder);
+      map[g] = flat.add_gate(sub.type(g), std::move(f),
+                             inst + "." + sub.label(g));
+    }
+    for (GateId g = 0; g < sub.size(); ++g) {
+      const GateType t = sub.type(g);
+      if (t == GateType::Const0 || t == GateType::Const1) {
+        map[g] = flat.add_gate(t, {}, inst + "." + sub.label(g));
+      }
+    }
+    for (GateId g : sub.topo_order()) {
+      if (sub.type(g) == GateType::Output) continue;  // markers dropped
+      if (map[g] != kNoGate) continue;
+      std::vector<GateId> f;
+      for (GateId x : sub.fanin(g)) {
+        if (map[x] == kNoGate) {
+          throw std::logic_error("flatten ordering bug at " + sub.label(x));
+        }
+        f.push_back(map[x]);
+      }
+      map[g] = flat.add_gate(sub.type(g), std::move(f),
+                             inst + "." + sub.label(g));
+    }
+    for (GateId g : sub.storage()) {
+      for (std::size_t p = 0; p < sub.fanin(g).size(); ++p) {
+        flat.set_fanin(map[g], static_cast<int>(p), map[sub.fanin(g)[p]]);
+      }
+    }
+    for (GateId g = 0; g < sub.size(); ++g) {
+      if (map[g] != kNoGate && sub.type(g) != GateType::Output) {
+        by_name[inst + "." + sub.label(g)] = map[g];
+      }
+    }
+    // A module's Output markers alias the net that drives them, so boards
+    // can wire "<inst>.<po-name>".
+    for (GateId o : sub.outputs()) {
+      by_name.emplace(inst + "." + sub.label(o), map[sub.fanin(o)[0]]);
+    }
+  }
+
+  // Board-level buses: resolution gates over tri-state module outputs.
+  for (const auto& [bus_name, drivers] : buses_) {
+    std::vector<GateId> f;
+    for (const auto& d : drivers) {
+      auto it = by_name.find(d);
+      if (it == by_name.end()) {
+        throw std::invalid_argument("unknown bus driver " + d);
+      }
+      f.push_back(it->second);
+    }
+    by_name[bus_name] = flat.add_gate(GateType::Bus, std::move(f), bus_name);
+  }
+
+  // Resolve wires: source name -> sink (module PI buf, or board output).
+  std::map<std::string, std::string> sink_driver;
+  for (const auto& [src, dst] : wires_) {
+    if (!sink_driver.emplace(dst, src).second) {
+      throw std::invalid_argument("sink " + dst + " driven twice");
+    }
+  }
+  for (std::size_t m = 0; m < modules_.size(); ++m) {
+    const Netlist& sub = modules_[m];
+    const std::string& inst = names_[m];
+    for (GateId g : sub.inputs()) {
+      const std::string pin_name = inst + "." + sub.label(g);
+      auto it = sink_driver.find(pin_name);
+      if (it == sink_driver.end()) {
+        throw std::invalid_argument("unconnected module input " + pin_name);
+      }
+      auto drv = by_name.find(it->second);
+      if (drv == by_name.end()) {
+        throw std::invalid_argument("unknown source " + it->second);
+      }
+      flat.set_fanin(by_name.at(pin_name), 0, drv->second);
+    }
+  }
+  for (const auto& bo : board_outputs_) {
+    auto it = sink_driver.find(bo);
+    if (it == sink_driver.end()) {
+      throw std::invalid_argument("unconnected board output " + bo);
+    }
+    auto drv = by_name.find(it->second);
+    if (drv == by_name.end()) {
+      throw std::invalid_argument("unknown source " + it->second);
+    }
+    flat.add_output(drv->second, bo);
+  }
+  flat.validate();
+  return flat;
+}
+
+}  // namespace dft

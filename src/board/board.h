@@ -1,0 +1,63 @@
+// Board-level modeling for the ad hoc techniques of Sec. III.
+//
+// A Board is a set of modules (each a chip-level netlist) wired through
+// board nets, with an edge connector of board-level inputs/outputs.
+// flatten() produces one simulatable netlist; every inter-module net keeps a
+// name ("<module>.<port>") so probes, nails, and test points can address it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// A connection endpoint: module index + the module-local gate name of a PI
+// (for sinks) or of any net (for sources).
+struct PortRef {
+  int module = -1;
+  std::string port;
+};
+
+class Board {
+ public:
+  explicit Board(std::string name) : name_(std::move(name)) {}
+
+  // Adds a module (a copy of `chip`); returns its index.
+  int add_module(std::string instance_name, Netlist chip);
+
+  // Board-level edge connector.
+  void add_board_input(const std::string& name);
+  void add_board_output(const std::string& name);
+
+  // Wires a source (board input, or "<instance>.<net>" on a module) to a
+  // sink (board output, or a module primary input). Each module PI and each
+  // board output accepts exactly one driver.
+  void connect(const std::string& source, const std::string& sink);
+
+  // Declares a board bus (Sec. III-C) resolving several tri-state module
+  // outputs; the bus is then usable as a wire source under `bus_name`.
+  void add_bus(const std::string& bus_name,
+               std::vector<std::string> driver_sources);
+
+  // Produces a flat netlist: module gates are named
+  // "<instance>.<gate-name>", board inputs/outputs keep their names.
+  // Unconnected module PIs throw.
+  Netlist flatten() const;
+
+  int num_modules() const { return static_cast<int>(modules_.size()); }
+  const std::string& instance_name(int m) const { return names_.at(m); }
+  const Netlist& module(int m) const { return modules_.at(m); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> names_;
+  std::vector<Netlist> modules_;
+  std::vector<std::string> board_inputs_;
+  std::vector<std::string> board_outputs_;
+  std::vector<std::pair<std::string, std::string>> wires_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> buses_;
+};
+
+}  // namespace dft

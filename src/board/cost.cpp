@@ -1,0 +1,61 @@
+#include "board/cost.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dft {
+
+double fault_detection_cost(PackagingLevel level) {
+  switch (level) {
+    case PackagingLevel::Chip: return 0.30;
+    case PackagingLevel::Board: return 3.0;
+    case PackagingLevel::System: return 30.0;
+    case PackagingLevel::Field: return 300.0;
+  }
+  return 0.0;
+}
+
+double expected_cost_per_fault(const std::vector<double>& escape_rates) {
+  if (escape_rates.size() != 3) {
+    throw std::invalid_argument("need 3 escape rates (chip, board, system)");
+  }
+  double p_reach = 1.0;  // probability the fault is still undetected
+  double cost = 0.0;
+  const PackagingLevel levels[] = {PackagingLevel::Chip, PackagingLevel::Board,
+                                   PackagingLevel::System,
+                                   PackagingLevel::Field};
+  for (int i = 0; i < 4; ++i) {
+    const double caught_here =
+        i < 3 ? p_reach * (1.0 - escape_rates[static_cast<std::size_t>(i)])
+              : p_reach;  // the field always finds it eventually
+    cost += caught_here * fault_detection_cost(levels[i]);
+    if (i < 3) p_reach *= escape_rates[static_cast<std::size_t>(i)];
+  }
+  return cost;
+}
+
+double test_generation_work(double n_gates, double k, double exponent) {
+  return k * std::pow(n_gates, exponent);
+}
+
+double partitioning_gain(double n_gates, int parts, double exponent) {
+  if (parts < 1) throw std::invalid_argument("parts must be >= 1");
+  const double whole = test_generation_work(n_gates, 1.0, exponent);
+  const double split =
+      parts * test_generation_work(n_gates / parts, 1.0, exponent);
+  return whole / split;  // e.g. 2 parts, e=3: 8/2 = 4; per-part work is 8x less
+}
+
+double exhaustive_pattern_count(int inputs, int latches) {
+  return std::pow(2.0, inputs + latches);
+}
+
+double exhaustive_test_seconds(int inputs, int latches, double rate_hz) {
+  return exhaustive_pattern_count(inputs, latches) / rate_hz;
+}
+
+double seconds_to_years(double seconds) {
+  return seconds / (365.25 * 24 * 3600);
+}
+
+}  // namespace dft

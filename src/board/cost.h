@@ -1,0 +1,41 @@
+// Economic and complexity models from Secs. I-B and I-C.
+//
+//  * rule of tens: a fault costs $0.30 / $3 / $30 / $300 to find at chip /
+//    board / system / field level;
+//  * Eq. (1): test generation + fault simulation work T = K * N^e, e ~ 2..3;
+//  * exhaustive functional testing needs 2^(N+M) patterns -- N=25, M=50 at
+//    1 us per pattern exceeds a billion years.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dft {
+
+enum class PackagingLevel { Chip, Board, System, Field };
+
+// Dollars to detect one fault at the given level (the rule of tens).
+double fault_detection_cost(PackagingLevel level);
+
+// Expected test-escape cost: faults escaping level L are caught at L+1 at
+// 10x the price. `escape_rates[i]` = fraction of faults not caught at level
+// i (size 3: chip->board, board->system, system->field).
+double expected_cost_per_fault(const std::vector<double>& escape_rates);
+
+// Eq. (1): T = K * N^exponent.
+double test_generation_work(double n_gates, double k = 1.0,
+                            double exponent = 3.0);
+
+// Work ratio of testing `parts` equal partitions of an N-gate network vs
+// the whole (the "divide and conquer" factor; halving a board gives 8x for
+// exponent 3, with 2 boards to test -> net factor 4 per board set).
+double partitioning_gain(double n_gates, int parts, double exponent = 3.0);
+
+// Patterns for complete functional test: 2^(inputs + latches).
+double exhaustive_pattern_count(int inputs, int latches);
+// Seconds to apply them at `rate_hz` patterns per second.
+double exhaustive_test_seconds(int inputs, int latches, double rate_hz);
+double seconds_to_years(double seconds);
+
+}  // namespace dft

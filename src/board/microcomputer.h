@@ -1,0 +1,50 @@
+// The Fig. 6 bus-structured microcomputer board.
+//
+// Four modules -- CPU (accumulator machine), ROM, RAM (one word), and an I/O
+// controller -- share a 4-bit tri-state data bus. A fifth "EXT" driver gives
+// the tester external access to the bus, and per-module select lines let it
+// put any subset of drivers in the high-impedance state. That access
+// "partitions the board in a unique way, so that testing of subunits can be
+// accomplished".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "board/board.h"
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct Microcomputer {
+  Netlist flat;  // flattened board
+  // Edge-connector input names.
+  std::vector<std::string> select_inputs;  // sel_cpu, sel_rom, sel_ram, sel_io
+  std::vector<std::string> ext_data;       // ext_d0..3
+  std::string ext_enable;                  // ext_en
+  std::vector<std::string> addr_inputs;    // a0..a3
+  std::vector<std::string> bus_outputs;    // bus0..3 observed at the edge
+};
+
+Microcomputer make_microcomputer_board();
+
+// Faults whose site lies inside the given instance (label prefix match).
+std::vector<Fault> module_faults(const Netlist& flat,
+                                 const std::string& instance);
+
+// Random-pattern coverage of one module's faults from the edge connector.
+// With `isolate` the select lines enable only that module on the bus (plus
+// EXT for driving); without it every select line toggles randomly, modeling
+// a board with no external bus control.
+double bus_module_coverage(const Microcomputer& mc, const std::string& instance,
+                           bool isolate, int patterns, std::uint64_t seed);
+
+// The bus-diagnosis ambiguity of Sec. III-C: returns true when the bus
+// stuck fault and a driver-output stuck fault produce identical edge
+// responses for every pattern in which that module drives the bus alone.
+bool bus_fault_ambiguous(const Microcomputer& mc, const std::string& instance,
+                         int patterns, std::uint64_t seed);
+
+}  // namespace dft

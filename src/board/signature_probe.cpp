@@ -1,0 +1,102 @@
+#include "board/signature_probe.h"
+
+#include <algorithm>
+
+#include "sim/seq_sim.h"
+
+namespace dft {
+
+SignatureAnalysisSession::SignatureAnalysisSession(
+    const Netlist& board, SignatureSessionConfig config)
+    : nl_(&board), cfg_(config) {
+  // Probe order: sources first, then combinational gates by level -- the
+  // "start with a kernel of logic and build up" discipline.
+  for (GateId g : nl_->inputs()) probe_order_.push_back(g);
+  for (GateId g = 0; g < nl_->size(); ++g) {
+    if (nl_->type(g) == GateType::Const0 || nl_->type(g) == GateType::Const1) {
+      probe_order_.push_back(g);
+    }
+  }
+  for (GateId g : nl_->storage()) probe_order_.push_back(g);
+  std::vector<GateId> comb(nl_->topo_order().begin(), nl_->topo_order().end());
+  for (GateId g : comb) {
+    if (nl_->type(g) != GateType::Output) probe_order_.push_back(g);
+  }
+
+  const auto streams = trace(nullptr);
+  for (GateId g : probe_order_) {
+    golden_[g] = SignatureAnalyzer::of_stream(streams[g],
+                                              cfg_.analyzer_degree);
+  }
+}
+
+std::vector<std::vector<bool>> SignatureAnalysisSession::trace(
+    const Fault* f) const {
+  SeqSim sim(*nl_);
+  sim.reset(Logic::Zero);  // boards need an initialization (Sec. III-D)
+  if (f != nullptr) {
+    sim.set_stuck({f->gate, f->pin, f->sa1 ? Logic::One : Logic::Zero});
+  }
+  Lfsr stim = Lfsr::maximal(16, cfg_.stimulus_seed);
+
+  std::vector<std::vector<bool>> streams(nl_->size());
+  for (auto& s : streams) s.reserve(static_cast<std::size_t>(cfg_.clock_cycles));
+  for (int t = 0; t < cfg_.clock_cycles; ++t) {
+    for (GateId pi : nl_->inputs()) {
+      sim.set_input(pi, to_logic(stim.step()));
+    }
+    sim.evaluate();
+    for (GateId g = 0; g < nl_->size(); ++g) {
+      streams[g].push_back(sim.value(g) == Logic::One);
+    }
+    sim.clock();
+  }
+  return streams;
+}
+
+std::uint64_t SignatureAnalysisSession::probe(GateId net,
+                                              const Fault& f) const {
+  const auto streams = trace(&f);
+  return SignatureAnalyzer::of_stream(streams[net], cfg_.analyzer_degree);
+}
+
+SignatureAnalysisSession::Diagnosis SignatureAnalysisSession::diagnose(
+    const Fault& f) const {
+  Diagnosis d;
+  const auto streams = trace(&f);
+  std::map<GateId, bool> bad;
+  for (GateId g : probe_order_) {
+    const std::uint64_t sig =
+        SignatureAnalyzer::of_stream(streams[g], cfg_.analyzer_degree);
+    bad[g] = sig != golden_.at(g);
+    if (bad[g]) d.bad_nets.push_back(g);
+  }
+  for (GateId po : nl_->outputs()) {
+    const std::uint64_t sig = SignatureAnalyzer::of_stream(
+        streams[nl_->fanin(po)[0]], cfg_.analyzer_degree);
+    if (sig != golden_.at(nl_->fanin(po)[0])) d.board_fails = true;
+  }
+  // Walk kernel-outward; the first bad net whose fanins all look good is
+  // the failing component.
+  for (std::size_t i = 0; i < probe_order_.size(); ++i) {
+    const GateId g = probe_order_[i];
+    ++d.probes_used;
+    if (!bad[g]) continue;
+    bool fanins_good = true;
+    for (GateId x : nl_->fanin(g)) {
+      if (bad.count(x) != 0 && bad[x]) fanins_good = false;
+    }
+    if (fanins_good) {
+      d.suspect = g;
+      break;
+    }
+  }
+  return d;
+}
+
+std::string SignatureAnalysisSession::suspect_name(const Diagnosis& d) const {
+  if (d.suspect == kNoGate) return "(none)";
+  return nl_->label(d.suspect);
+}
+
+}  // namespace dft

@@ -1,0 +1,68 @@
+// Board-level Signature Analysis (Sec. III-D, Fig. 8).
+//
+// The board stimulates itself (a free-running pattern source on its inputs,
+// standing in for the microprocessor kernel); the technician probes one net
+// at a time with the signature-analysis tool, whose LFSR is synchronized to
+// the board clock and re-initialized for every probe. Comparing each probed
+// signature against the golden one localizes the fault: the first bad net
+// whose fanin signatures are all good pins the failing gate/module.
+//
+// The session enforces the survey's two requirements: closed loops must be
+// broken (combinational loops are rejected by construction; sequential
+// feedback is fine because probing is per-net over a fixed clock count) and
+// probing starts from the kernel (we walk nets in topological order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "lfsr/lfsr.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct SignatureSessionConfig {
+  int clock_cycles = 50;      // Fig. 8's fixed number of clock periods
+  int analyzer_degree = 16;   // HP-style 16-bit signature register
+  std::uint64_t stimulus_seed = 0xACE1;
+};
+
+class SignatureAnalysisSession {
+ public:
+  SignatureAnalysisSession(const Netlist& board,
+                           SignatureSessionConfig config = {});
+
+  // Golden signature of one net (fault-free board).
+  std::uint64_t golden(GateId net) const { return golden_.at(net); }
+
+  // Signature of one net with a fault present.
+  std::uint64_t probe(GateId net, const Fault& f) const;
+
+  struct Diagnosis {
+    bool board_fails = false;      // some PO signature is bad
+    GateId suspect = kNoGate;      // first bad net with all-good fanins
+    std::vector<GateId> bad_nets;  // every net with a bad signature
+    int probes_used = 0;
+  };
+
+  // Probes in topological (kernel-outward) order until the fault is
+  // localized.
+  Diagnosis diagnose(const Fault& f) const;
+
+  // The module/gate name containing the suspect, for reporting.
+  std::string suspect_name(const Diagnosis& d) const;
+
+ private:
+  // Values of every net over the whole run, as one bit-stream per net.
+  std::vector<std::vector<bool>> trace(const Fault* f) const;
+
+  const Netlist* nl_;
+  SignatureSessionConfig cfg_;
+  std::map<GateId, std::uint64_t> golden_;
+  std::vector<GateId> probe_order_;  // topological
+};
+
+}  // namespace dft

@@ -1,0 +1,90 @@
+#include "board/test_points.h"
+
+#include <stdexcept>
+
+namespace dft {
+
+GateId add_observation_point(Netlist& nl, GateId net,
+                             const std::string& name) {
+  if (nl.type(net) == GateType::Output) {
+    throw std::invalid_argument("cannot observe an output marker");
+  }
+  return nl.add_output(net, name);
+}
+
+namespace {
+
+// Rewires every sink pin of `net` (except `skip`) to `replacement`.
+void rewire_sinks(Netlist& nl, GateId net, GateId replacement, GateId skip) {
+  // Collect first: rewiring invalidates fanout caches.
+  std::vector<std::pair<GateId, int>> sinks;
+  for (GateId s : nl.fanout(net)) {
+    if (s == skip || s == replacement) continue;
+    const auto& fin = nl.fanin(s);
+    for (std::size_t p = 0; p < fin.size(); ++p) {
+      if (fin[p] == net) sinks.emplace_back(s, static_cast<int>(p));
+    }
+  }
+  for (const auto& [s, p] : sinks) nl.set_fanin(s, p, replacement);
+}
+
+}  // namespace
+
+ControlPoint add_control_point(Netlist& nl, GateId net,
+                               const std::string& name) {
+  ControlPoint cp;
+  cp.select = nl.add_input(name + "_sel");
+  cp.drive = nl.add_input(name + "_drv");
+  cp.mux = nl.add_gate(GateType::Mux, {net, cp.drive, cp.select},
+                       name + "_mux");
+  rewire_sinks(nl, net, cp.mux, cp.mux);
+  nl.validate();
+  return cp;
+}
+
+Degate add_degating(Netlist& nl, GateId net, const std::string& name,
+                    GateId existing_degate_line) {
+  Degate d;
+  d.degate_line = existing_degate_line != kNoGate
+                      ? existing_degate_line
+                      : nl.add_input(name + "_degate");
+  d.control_line = nl.add_input(name + "_ctl");
+  const GateId ndeg = nl.add_gate(GateType::Not, {d.degate_line},
+                                  name + "_ndeg");
+  const GateId pass = nl.add_gate(GateType::And, {net, ndeg}, name + "_pass");
+  const GateId force =
+      nl.add_gate(GateType::And, {d.control_line, d.degate_line},
+                  name + "_force");
+  d.resolved = nl.add_gate(GateType::Or, {pass, force}, name + "_or");
+  rewire_sinks(nl, net, d.resolved, pass);
+  nl.validate();
+  return d;
+}
+
+GateId add_clear_function(Netlist& nl, const std::string& name) {
+  const GateId clear = nl.add_input(name);
+  const GateId nclear = nl.add_gate(GateType::Not, {clear}, name + "_n");
+  int k = 0;
+  for (GateId ff : nl.storage()) {
+    const GateId d = nl.fanin(ff)[kStoragePinD];
+    const GateId gated = nl.add_gate(GateType::And, {d, nclear},
+                                     name + "_g" + std::to_string(k++));
+    nl.set_fanin(ff, kStoragePinD, gated);
+  }
+  nl.validate();
+  return clear;
+}
+
+double coverage_with_nails(const Netlist& nl, const std::vector<Fault>& faults,
+                           const std::vector<SourceVector>& patterns,
+                           const std::vector<GateId>& nails) {
+  Netlist copy = nl;  // gate ids are preserved; add nail observation POs
+  int k = 0;
+  for (GateId n : nails) {
+    copy.add_output(n, "nail" + std::to_string(k++));
+  }
+  ParallelFaultSimulator fsim(copy);
+  return fsim.run(patterns, faults).coverage();
+}
+
+}  // namespace dft

@@ -1,0 +1,59 @@
+// Test points and degating (Secs. III-A and III-B, Figs. 2-5).
+//
+// * observation points add a primary output on a hard-to-observe net;
+// * control points insert a MUX so a new primary input can override the
+//   net (a jumper / external-pin drive);
+// * degating (Fig. 2) gates a module output with a degate line so a control
+//   line can drive the downstream logic directly;
+// * bed-of-nails access (Fig. 5) treats every named internal net as both
+//   observable and drivable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// Adds a PO observing `net`. Returns the Output gate.
+GateId add_observation_point(Netlist& nl, GateId net, const std::string& name);
+
+// Control point: every sink of `net` (PO taps included) is rewired to
+// MUX(net, ctrl_in, sel); with sel = 1 the new primary input drives the
+// downstream logic.
+struct ControlPoint {
+  GateId select = kNoGate;
+  GateId drive = kNoGate;
+  GateId mux = kNoGate;
+};
+ControlPoint add_control_point(Netlist& nl, GateId net,
+                               const std::string& name);
+
+// Fig. 2 degating: sinks of `net` see OR(AND(net, NOT degate), AND(ctrl,
+// degate)) -- with degate = 1 the control line drives the logic.
+struct Degate {
+  GateId degate_line = kNoGate;  // shared enable (pass the same PI to reuse)
+  GateId control_line = kNoGate;
+  GateId resolved = kNoGate;  // the OR output now feeding the old sinks
+};
+Degate add_degating(Netlist& nl, GateId net, const std::string& name,
+                    GateId existing_degate_line = kNoGate);
+
+// Predictability test point (Sec. III-B): "a CLEAR or PRESET function for
+// all memory elements can be used. Thus the sequential machine can be put
+// into a known state with very few patterns." Gives every plain DFF a
+// synchronous clear: D' = AND(D, NOT clear). Returns the new clear PI.
+GateId add_clear_function(Netlist& nl, const std::string& name = "clear");
+
+// Bed-of-nails: fault coverage when every listed nail net is directly
+// observable (drive capability is modeled by the in-circuit isolation demo
+// in the board tests). Implemented by scoring detection at nails in
+// addition to POs.
+double coverage_with_nails(const Netlist& nl, const std::vector<Fault>& faults,
+                           const std::vector<SourceVector>& patterns,
+                           const std::vector<GateId>& nails);
+
+}  // namespace dft

@@ -1,0 +1,223 @@
+#include "circuits/basic.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dft {
+
+namespace {
+
+using G = GateType;
+
+std::string idx(const char* base, int i) {
+  return std::string(base) + std::to_string(i);
+}
+
+}  // namespace
+
+Netlist make_c17() {
+  Netlist nl("c17");
+  const GateId i1 = nl.add_input("1");
+  const GateId i2 = nl.add_input("2");
+  const GateId i3 = nl.add_input("3");
+  const GateId i6 = nl.add_input("6");
+  const GateId i7 = nl.add_input("7");
+  const GateId n10 = nl.add_gate(G::Nand, {i1, i3}, "10");
+  const GateId n11 = nl.add_gate(G::Nand, {i3, i6}, "11");
+  const GateId n16 = nl.add_gate(G::Nand, {i2, n11}, "16");
+  const GateId n19 = nl.add_gate(G::Nand, {n11, i7}, "19");
+  const GateId n22 = nl.add_gate(G::Nand, {n10, n16}, "22");
+  const GateId n23 = nl.add_gate(G::Nand, {n16, n19}, "23");
+  nl.add_output(n22, "22o");
+  nl.add_output(n23, "23o");
+  return nl;
+}
+
+Netlist make_ripple_adder(int n) {
+  if (n < 1) throw std::invalid_argument("adder width must be >= 1");
+  Netlist nl("rca" + std::to_string(n));
+  std::vector<GateId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = nl.add_input(idx("a", i));
+  for (int i = 0; i < n; ++i) b[i] = nl.add_input(idx("b", i));
+  GateId carry = nl.add_input("cin");
+  for (int i = 0; i < n; ++i) {
+    const GateId axb = nl.add_gate(G::Xor, {a[i], b[i]}, idx("axb", i));
+    const GateId sum = nl.add_gate(G::Xor, {axb, carry}, idx("s", i));
+    const GateId g1 = nl.add_gate(G::And, {a[i], b[i]}, idx("gab", i));
+    const GateId g2 = nl.add_gate(G::And, {axb, carry}, idx("gpc", i));
+    carry = nl.add_gate(G::Or, {g1, g2}, idx("c", i + 1));
+    nl.add_output(sum, idx("so", i));
+  }
+  nl.add_output(carry, "cout");
+  return nl;
+}
+
+Netlist make_array_multiplier(int n) {
+  if (n < 1) throw std::invalid_argument("multiplier width must be >= 1");
+  Netlist nl("mul" + std::to_string(n));
+  std::vector<GateId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = nl.add_input(idx("a", i));
+  for (int i = 0; i < n; ++i) b[i] = nl.add_input(idx("b", i));
+  const GateId zero = nl.add_gate(G::Const0, {}, "zero");
+
+  // Partial products pp[j][i] = a[i] & b[j], accumulated row by row with
+  // ripple adders. Cells that would only add zeros are skipped so the
+  // netlist carries no dead (untestable) logic.
+  std::vector<GateId> acc(2 * n, zero);
+  for (int j = 0; j < n; ++j) {
+    std::vector<GateId> row(2 * n, zero);
+    for (int i = 0; i < n; ++i) {
+      row[i + j] = nl.add_gate(
+          G::And, {a[i], b[j]}, "pp" + std::to_string(j) + "_" + std::to_string(i));
+    }
+    if (j == 0) {
+      for (int k = 0; k < n; ++k) acc[k] = row[k];  // nothing to add yet
+      continue;
+    }
+    GateId carry = zero;
+    std::vector<GateId> next = acc;
+    // Active columns: the row occupies [j, j+n-1]; a carry can reach j+n.
+    for (int k = j; k <= std::min(2 * n - 1, j + n); ++k) {
+      const std::string tag = std::to_string(j) + "_" + std::to_string(k);
+      if (k == j + n) {
+        next[k] = carry;  // only the ripple carry reaches this column
+        break;
+      }
+      if (carry == zero) {
+        // First column of the row: a half adder suffices.
+        next[k] = nl.add_gate(G::Xor, {acc[k], row[k]}, "sum" + tag);
+        carry = nl.add_gate(G::And, {acc[k], row[k]}, "cy" + tag);
+        continue;
+      }
+      const GateId axb = nl.add_gate(G::Xor, {acc[k], row[k]}, "x" + tag);
+      next[k] = nl.add_gate(G::Xor, {axb, carry}, "sum" + tag);
+      const GateId g1 = nl.add_gate(G::And, {acc[k], row[k]}, "ca" + tag);
+      const GateId g2 = nl.add_gate(G::And, {axb, carry}, "cb" + tag);
+      carry = nl.add_gate(G::Or, {g1, g2}, "cy" + tag);
+    }
+    acc = next;
+  }
+  for (int k = 0; k < 2 * n; ++k) nl.add_output(acc[k], idx("p", k));
+  return nl;
+}
+
+Netlist make_decoder(int n) {
+  if (n < 1 || n > 16) throw std::invalid_argument("decoder width out of range");
+  Netlist nl("dec" + std::to_string(n));
+  std::vector<GateId> a(n), na(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = nl.add_input(idx("a", i));
+  }
+  const GateId en = nl.add_input("en");
+  for (int i = 0; i < n; ++i) {
+    na[i] = nl.add_gate(G::Not, {a[i]}, idx("na", i));
+  }
+  for (int v = 0; v < (1 << n); ++v) {
+    std::vector<GateId> terms{en};
+    for (int i = 0; i < n; ++i) {
+      terms.push_back((v >> i) & 1 ? a[i] : na[i]);
+    }
+    const GateId y = nl.add_gate(G::And, terms, idx("y", v));
+    nl.add_output(y, idx("yo", v));
+  }
+  return nl;
+}
+
+Netlist make_parity_tree(int n) {
+  if (n < 2) throw std::invalid_argument("parity tree needs >= 2 inputs");
+  Netlist nl("par" + std::to_string(n));
+  std::vector<GateId> layer(n);
+  for (int i = 0; i < n; ++i) layer[i] = nl.add_input(idx("d", i));
+  int tag = 0;
+  while (layer.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(
+          nl.add_gate(G::Xor, {layer[i], layer[i + 1]}, idx("x", tag++)));
+    }
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  nl.add_output(layer.front(), "parity");
+  return nl;
+}
+
+Netlist make_mux_tree(int k) {
+  if (k < 1 || k > 10) throw std::invalid_argument("mux tree sel width out of range");
+  Netlist nl("mux" + std::to_string(k));
+  const int n = 1 << k;
+  std::vector<GateId> layer(n);
+  for (int i = 0; i < n; ++i) layer[i] = nl.add_input(idx("d", i));
+  std::vector<GateId> sel(k);
+  for (int i = 0; i < k; ++i) sel[i] = nl.add_input(idx("s", i));
+  int tag = 0;
+  for (int level = 0; level < k; ++level) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(nl.add_gate(G::Mux, {layer[i], layer[i + 1], sel[level]},
+                                 idx("m", tag++)));
+    }
+    layer = std::move(next);
+  }
+  nl.add_output(layer.front(), "y");
+  return nl;
+}
+
+Netlist make_comparator(int n) {
+  if (n < 1) throw std::invalid_argument("comparator width must be >= 1");
+  Netlist nl("cmp" + std::to_string(n));
+  std::vector<GateId> a(n), b(n);
+  for (int i = 0; i < n; ++i) a[i] = nl.add_input(idx("a", i));
+  for (int i = 0; i < n; ++i) b[i] = nl.add_input(idx("b", i));
+  // Process from MSB down: gt/lt latch the first difference.
+  GateId gt = nl.add_gate(G::Const0, {}, "gt_seed");
+  GateId lt = nl.add_gate(G::Const0, {}, "lt_seed");
+  for (int i = n - 1; i >= 0; --i) {
+    const std::string tag = std::to_string(i);
+    const GateId nb = nl.add_gate(G::Not, {b[i]}, "nb" + tag);
+    const GateId na = nl.add_gate(G::Not, {a[i]}, "na" + tag);
+    const GateId a_gt_b = nl.add_gate(G::And, {a[i], nb}, "agtb" + tag);
+    const GateId a_lt_b = nl.add_gate(G::And, {na, b[i]}, "altb" + tag);
+    const GateId undecided = nl.add_gate(
+        G::Nor, {gt, lt}, "und" + tag);
+    const GateId gt_new = nl.add_gate(G::And, {undecided, a_gt_b}, "gtn" + tag);
+    const GateId lt_new = nl.add_gate(G::And, {undecided, a_lt_b}, "ltn" + tag);
+    gt = nl.add_gate(G::Or, {gt, gt_new}, "gt" + tag);
+    lt = nl.add_gate(G::Or, {lt, lt_new}, "lt" + tag);
+  }
+  const GateId eq = nl.add_gate(G::Nor, {gt, lt}, "eq");
+  nl.add_output(lt, "lt_o");
+  nl.add_output(eq, "eq_o");
+  nl.add_output(gt, "gt_o");
+  return nl;
+}
+
+Netlist make_majority_voter(int n) {
+  if (n < 1) throw std::invalid_argument("voter width must be >= 1");
+  Netlist nl("vote" + std::to_string(n));
+  std::vector<GateId> a(n), b(n), c(n);
+  for (int i = 0; i < n; ++i) a[i] = nl.add_input(idx("a", i));
+  for (int i = 0; i < n; ++i) b[i] = nl.add_input(idx("b", i));
+  for (int i = 0; i < n; ++i) c[i] = nl.add_input(idx("c", i));
+  for (int i = 0; i < n; ++i) {
+    const std::string tag = std::to_string(i);
+    const GateId ab = nl.add_gate(G::And, {a[i], b[i]}, "ab" + tag);
+    const GateId bc = nl.add_gate(G::And, {b[i], c[i]}, "bc" + tag);
+    const GateId ac = nl.add_gate(G::And, {a[i], c[i]}, "ac" + tag);
+    const GateId v = nl.add_gate(G::Or, {ab, bc, ac}, "v" + tag);
+    nl.add_output(v, idx("vo", i));
+  }
+  return nl;
+}
+
+Netlist make_fig1_and() {
+  Netlist nl("fig1_and");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_gate(G::And, {a, b}, "c");
+  nl.add_output(c, "c_o");
+  return nl;
+}
+
+}  // namespace dft

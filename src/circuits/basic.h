@@ -1,0 +1,41 @@
+// Combinational circuit generators used throughout the tests and benches.
+//
+// These are the stand-ins for the paper's example networks: small benchmark
+// circuits (c17), arithmetic blocks, decoders (Sec. III-B test-point
+// decoding), parity/mux trees, and comparators. All are built gate by gate
+// through the public Netlist API.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// The ISCAS-85 c17 benchmark: 5 PIs, 2 POs, six NAND gates.
+Netlist make_c17();
+
+// n-bit ripple-carry adder: inputs a0..a(n-1), b0..b(n-1), cin;
+// outputs s0..s(n-1), cout.
+Netlist make_ripple_adder(int n);
+
+// n x n array multiplier: inputs a*, b*; outputs p0..p(2n-1).
+Netlist make_array_multiplier(int n);
+
+// n-to-2^n decoder with enable: inputs a0.., en; outputs y0..y(2^n-1).
+Netlist make_decoder(int n);
+
+// n-input XOR parity tree: inputs d0..d(n-1); output parity.
+Netlist make_parity_tree(int n);
+
+// 2^k-to-1 multiplexer tree: inputs d*, s0..s(k-1); output y.
+Netlist make_mux_tree(int k);
+
+// n-bit magnitude comparator: outputs lt, eq, gt.
+Netlist make_comparator(int n);
+
+// Majority-of-three voter over three n-bit words: outputs v0..v(n-1).
+Netlist make_majority_voter(int n);
+
+// The 2-input AND gate of Fig. 1 (inputs a, b; output c).
+Netlist make_fig1_and();
+
+}  // namespace dft

@@ -1,0 +1,89 @@
+#include "circuits/pla.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace dft {
+
+Netlist make_pla(const PlaSpec& spec) {
+  if (spec.num_inputs < 1 || spec.num_outputs < 1) {
+    throw std::invalid_argument("PLA needs inputs and outputs");
+  }
+  Netlist nl("pla");
+  std::vector<GateId> in(spec.num_inputs), ninv(spec.num_inputs);
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    in[i] = nl.add_input("in" + std::to_string(i));
+  }
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    ninv[i] = nl.add_gate(GateType::Not, {in[i]}, "nin" + std::to_string(i));
+  }
+  std::vector<GateId> terms;
+  terms.reserve(spec.product_terms.size());
+  for (std::size_t t = 0; t < spec.product_terms.size(); ++t) {
+    const auto& row = spec.product_terms[t];
+    if (static_cast<int>(row.size()) != spec.num_inputs) {
+      throw std::invalid_argument("PLA term width mismatch");
+    }
+    std::vector<GateId> lits;
+    for (int i = 0; i < spec.num_inputs; ++i) {
+      if (row[i] == PlaLit::True) lits.push_back(in[i]);
+      if (row[i] == PlaLit::False) lits.push_back(ninv[i]);
+    }
+    if (lits.empty()) {
+      throw std::invalid_argument("PLA term with no literals");
+    }
+    terms.push_back(nl.add_gate(GateType::And, lits, "pt" + std::to_string(t)));
+  }
+  if (static_cast<int>(spec.or_plane.size()) != spec.num_outputs) {
+    throw std::invalid_argument("PLA OR-plane row count mismatch");
+  }
+  for (int o = 0; o < spec.num_outputs; ++o) {
+    std::vector<GateId> ins;
+    for (int t : spec.or_plane[o]) ins.push_back(terms.at(t));
+    GateId y;
+    if (ins.empty()) {
+      y = nl.add_gate(GateType::Const0, {}, "out" + std::to_string(o));
+    } else {
+      y = nl.add_gate(GateType::Or, ins, "out" + std::to_string(o));
+    }
+    nl.add_output(y, "out" + std::to_string(o) + "_o");
+  }
+  nl.validate();
+  return nl;
+}
+
+PlaSpec make_random_pla_spec(int num_inputs, int num_outputs, int num_terms,
+                             int term_fanin, std::uint64_t seed) {
+  if (term_fanin < 1 || term_fanin > num_inputs) {
+    throw std::invalid_argument("term fan-in out of range");
+  }
+  std::mt19937_64 rng(seed);
+  PlaSpec spec;
+  spec.num_inputs = num_inputs;
+  spec.num_outputs = num_outputs;
+  std::vector<int> cols(num_inputs);
+  for (int i = 0; i < num_inputs; ++i) cols[i] = i;
+  for (int t = 0; t < num_terms; ++t) {
+    std::shuffle(cols.begin(), cols.end(), rng);
+    std::vector<PlaLit> row(num_inputs, PlaLit::Absent);
+    for (int k = 0; k < term_fanin; ++k) {
+      row[cols[k]] = (rng() & 1) ? PlaLit::True : PlaLit::False;
+    }
+    spec.product_terms.push_back(std::move(row));
+  }
+  spec.or_plane.assign(num_outputs, {});
+  for (int t = 0; t < num_terms; ++t) {
+    spec.or_plane[static_cast<int>(rng() % num_outputs)].push_back(t);
+  }
+  // Guarantee every output has at least one term.
+  for (int o = 0; o < num_outputs; ++o) {
+    if (spec.or_plane[o].empty() && num_terms > 0) {
+      spec.or_plane[o].push_back(static_cast<int>(rng() % num_terms));
+    }
+  }
+  return spec;
+}
+
+}  // namespace dft

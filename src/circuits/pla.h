@@ -1,0 +1,37 @@
+// Programmable Logic Array model (Fig. 22).
+//
+// A PLA is an AND plane (product terms over input literals) feeding an OR
+// plane. The survey uses the PLA as the canonical random-pattern-resistant
+// structure: a product term with fan-in 20 is exercised by a random pattern
+// with probability 2^-20 (Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// One row of the AND plane: for each input, True/False literal or absent.
+enum class PlaLit : std::uint8_t { Absent, True, False };
+
+struct PlaSpec {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  // product_terms[t][i] = literal of input i in term t.
+  std::vector<std::vector<PlaLit>> product_terms;
+  // or_plane[o] = list of product-term indices feeding output o.
+  std::vector<std::vector<int>> or_plane;
+};
+
+// Builds the two-plane gate-level netlist: inputs in0.., outputs out0..,
+// AND-plane terms named pt<t>.
+Netlist make_pla(const PlaSpec& spec);
+
+// Random PLA with every product term having exactly `term_fanin` literals --
+// the parameter the survey's random-resistance argument sweeps.
+PlaSpec make_random_pla_spec(int num_inputs, int num_outputs, int num_terms,
+                             int term_fanin, std::uint64_t seed);
+
+}  // namespace dft

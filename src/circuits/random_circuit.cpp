@@ -1,0 +1,161 @@
+#include "circuits/random_circuit.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dft {
+
+namespace {
+
+using G = GateType;
+
+GateType pick_gate_type(std::mt19937_64& rng) {
+  // Mix weighted toward AND/OR-family logic, with some inverters and XORs;
+  // roughly the composition of random control logic.
+  static constexpr GateType kTypes[] = {G::And, G::Nand, G::Or,  G::Nor,
+                                        G::And, G::Nand, G::Or,  G::Nor,
+                                        G::Xor, G::Xnor, G::Not, G::Buf};
+  return kTypes[rng() % std::size(kTypes)];
+}
+
+}  // namespace
+
+Netlist make_random_combinational(const RandomCircuitSpec& spec) {
+  if (spec.num_inputs < 2 || spec.num_gates < 1 || spec.max_fanin < 2) {
+    throw std::invalid_argument("bad random circuit spec");
+  }
+  std::mt19937_64 rng(spec.seed);
+  Netlist nl("rand_comb_" + std::to_string(spec.num_gates));
+  std::vector<GateId> pool;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    pool.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  std::vector<int> fanout_count(pool.size(), 0);
+
+  for (int g = 0; g < spec.num_gates; ++g) {
+    const GateType t = pick_gate_type(rng);
+    int want = 1;
+    if (t != G::Not && t != G::Buf) {
+      want = 2 + static_cast<int>(rng() % (spec.max_fanin - 1));
+    }
+    std::vector<GateId> fin;
+    for (int k = 0; k < want; ++k) {
+      // Bias toward recent gates to build depth (locality), otherwise
+      // uniform over everything created so far.
+      std::size_t pick;
+      if (std::uniform_real_distribution<double>(0, 1)(rng) < spec.locality &&
+          pool.size() > 8) {
+        const std::size_t window = std::max<std::size_t>(8, pool.size() / 4);
+        pick = pool.size() - 1 - (rng() % window);
+      } else {
+        pick = rng() % pool.size();
+      }
+      if (std::find(fin.begin(), fin.end(), pool[pick]) != fin.end()) {
+        pick = rng() % pool.size();  // one retry to avoid duplicate pins
+      }
+      fin.push_back(pool[pick]);
+      ++fanout_count[pick];
+    }
+    pool.push_back(nl.add_gate(t, fin, "n" + std::to_string(g)));
+    fanout_count.push_back(0);
+  }
+
+  // Primary outputs: requested count, preferring gates with no fanout so the
+  // whole network is observable.
+  std::vector<std::size_t> dangling;
+  for (std::size_t i = static_cast<std::size_t>(spec.num_inputs);
+       i < pool.size(); ++i) {
+    if (fanout_count[i] == 0) dangling.push_back(i);
+  }
+  std::vector<GateId> po_drivers;
+  for (std::size_t i : dangling) po_drivers.push_back(pool[i]);
+  int extra = 0;
+  while (static_cast<int>(po_drivers.size()) < spec.num_outputs) {
+    po_drivers.push_back(pool[pool.size() - 1 - (extra++ % spec.num_gates)]);
+  }
+  // If there are more dangling gates than requested outputs, fold the excess
+  // into wide XOR "observation" gates so nothing is logically dead.
+  if (static_cast<int>(po_drivers.size()) > spec.num_outputs) {
+    const std::size_t keep = static_cast<std::size_t>(spec.num_outputs) - 1;
+    std::vector<GateId> rest(po_drivers.begin() + keep, po_drivers.end());
+    po_drivers.resize(keep);
+    po_drivers.push_back(nl.add_gate(G::Xor, rest, "obs_fold"));
+  }
+  for (std::size_t i = 0; i < po_drivers.size(); ++i) {
+    nl.add_output(po_drivers[i], "out" + std::to_string(i));
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist make_random_sequential(const RandomSeqSpec& spec) {
+  if (spec.num_flops < 1 || spec.num_inputs < 1) {
+    throw std::invalid_argument("bad random sequential spec");
+  }
+  std::mt19937_64 rng(spec.seed);
+  Netlist nl("rand_seq_" + std::to_string(spec.num_flops));
+
+  std::vector<GateId> pis;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    pis.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  // Flip-flops first (placeholder D), so cones can use their outputs.
+  const GateId tie = nl.add_gate(G::Const0, {}, "tie0");
+  std::vector<GateId> ffs;
+  for (int i = 0; i < spec.num_flops; ++i) {
+    ffs.push_back(nl.add_gate(G::Dff, {tie}, "ff" + std::to_string(i)));
+  }
+  std::vector<GateId> sources = pis;
+  sources.insert(sources.end(), ffs.begin(), ffs.end());
+
+  int gate_no = 0;
+  auto build_cone = [&](const std::string& tag) -> GateId {
+    std::vector<GateId> pool = sources;
+    std::vector<GateId> fresh;
+    std::vector<char> used;
+    for (int g = 0; g < spec.gates_per_cone; ++g) {
+      const GateType t = pick_gate_type(rng);
+      int want = (t == G::Not || t == G::Buf)
+                     ? 1
+                     : 2 + static_cast<int>(rng() % (spec.max_fanin - 1));
+      std::vector<GateId> fin;
+      for (int k = 0; k < want; ++k) {
+        const std::size_t pick = rng() % pool.size();
+        fin.push_back(pool[pick]);
+        if (pick >= sources.size()) used[pick - sources.size()] = 1;
+      }
+      const GateId id =
+          nl.add_gate(t, fin, tag + "_g" + std::to_string(gate_no++));
+      pool.push_back(id);
+      fresh.push_back(id);
+      used.push_back(0);
+    }
+    // Fold gates nothing consumed into the cone output so the cone has no
+    // dead logic (every fault can matter).
+    std::vector<GateId> loose;
+    for (std::size_t i = 0; i + 1 < fresh.size(); ++i) {
+      if (!used[i]) loose.push_back(fresh[i]);
+    }
+    GateId out = fresh.back();
+    if (!loose.empty()) {
+      loose.push_back(out);
+      out = nl.add_gate(G::Xor, loose, tag + "_fold");
+    }
+    return out;
+  };
+
+  for (int i = 0; i < spec.num_flops; ++i) {
+    nl.set_fanin(ffs[i], kStoragePinD, build_cone("ns" + std::to_string(i)));
+  }
+  for (int o = 0; o < spec.num_outputs; ++o) {
+    nl.add_output(build_cone("po" + std::to_string(o)),
+                  "out" + std::to_string(o));
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace dft

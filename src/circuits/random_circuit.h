@@ -1,0 +1,45 @@
+// Random circuit generators.
+//
+// The paper's scaling law (Eq. 1, T = K*N^3) and the coverage claims are
+// statements over families of circuits; these generators provide the
+// parameterized families: random combinational logic with bounded fan-in
+// ("random combinational logic networks with maximum fan-in of 4 can do
+// quite well with random patterns", Sec. V-A) and random sequential machines
+// for the scan benches.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct RandomCircuitSpec {
+  int num_inputs = 8;
+  int num_outputs = 8;
+  int num_gates = 100;
+  int max_fanin = 4;
+  std::uint64_t seed = 1;
+  // Fraction of gates biased toward near-level wiring; larger values make
+  // deeper circuits.
+  double locality = 0.5;
+};
+
+// Random combinational network: AND/NAND/OR/NOR/XOR/NOT mix, every gate in
+// the transitive fanin of some output (dangling gates are tied to outputs).
+Netlist make_random_combinational(const RandomCircuitSpec& spec);
+
+struct RandomSeqSpec {
+  int num_inputs = 6;
+  int num_outputs = 4;
+  int num_flops = 16;
+  int gates_per_cone = 12;
+  int max_fanin = 4;
+  std::uint64_t seed = 1;
+};
+
+// Random Moore-ish sequential machine: each flip-flop's next state and each
+// output is a random cone over {PIs, FF outputs}.
+Netlist make_random_sequential(const RandomSeqSpec& spec);
+
+}  // namespace dft

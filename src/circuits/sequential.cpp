@@ -1,0 +1,97 @@
+#include "circuits/sequential.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dft {
+
+namespace {
+using G = GateType;
+std::string idx(const char* base, int i) {
+  return std::string(base) + std::to_string(i);
+}
+}  // namespace
+
+Netlist make_counter(int n) {
+  if (n < 1) throw std::invalid_argument("counter width must be >= 1");
+  Netlist nl("cnt" + std::to_string(n));
+  const GateId en = nl.add_input("en");
+  const GateId tie = nl.add_gate(G::Const0, {}, "tie0");
+  std::vector<GateId> q(n);
+  for (int i = 0; i < n; ++i) q[i] = nl.add_gate(G::Dff, {tie}, idx("cnt", i));
+  // Ripple-style increment: toggle bit i when en and all lower bits are 1.
+  GateId carry = en;
+  for (int i = 0; i < n; ++i) {
+    const GateId next = nl.add_gate(G::Xor, {q[i], carry}, idx("nq", i));
+    nl.set_fanin(q[i], kStoragePinD, next);
+    carry = nl.add_gate(G::And, {carry, q[i]}, idx("cc", i));
+    nl.add_output(q[i], idx("qo", i));
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist make_shift_register(int n) {
+  if (n < 1) throw std::invalid_argument("shift register length must be >= 1");
+  Netlist nl("sr" + std::to_string(n));
+  GateId prev = nl.add_input("sin");
+  std::vector<GateId> q(n);
+  for (int i = 0; i < n; ++i) {
+    q[i] = nl.add_gate(G::Dff, {prev}, idx("sr", i));
+    prev = q[i];
+    nl.add_output(q[i], idx("qo", i));
+  }
+  nl.set_name(nl.outputs().back(), "sout");
+  nl.validate();
+  return nl;
+}
+
+Netlist make_sequence_detector() {
+  Netlist nl("seqdet011");
+  const GateId din = nl.add_input("din");
+  const GateId tie = nl.add_gate(G::Const0, {}, "tie0");
+  // State encoding: s1 s0 -- 00 idle, 01 seen '0', 10 seen '01', 11 unused.
+  const GateId s0 = nl.add_gate(G::Dff, {tie}, "s0");
+  const GateId s1 = nl.add_gate(G::Dff, {tie}, "s1");
+  // On a 0 go to "seen '0'" from any state; on a 1, "seen '0'" advances to
+  // "seen '01'".
+  const GateId ns0 = nl.add_gate(G::Not, {din}, "ns0");
+  const GateId ns1 = nl.add_gate(G::And, {s0, din}, "ns1");
+  nl.set_fanin(s0, kStoragePinD, ns0);
+  nl.set_fanin(s1, kStoragePinD, ns1);
+  // Detected when in state "seen '01'" and input is 1.
+  const GateId det = nl.add_gate(G::And, {s1, din}, "det");
+  nl.add_output(det, "det_o");
+  nl.validate();
+  return nl;
+}
+
+Netlist make_accumulator(int n) {
+  if (n < 1) throw std::invalid_argument("accumulator width must be >= 1");
+  Netlist nl("acc" + std::to_string(n));
+  std::vector<GateId> a(n);
+  for (int i = 0; i < n; ++i) a[i] = nl.add_input(idx("a", i));
+  const GateId load = nl.add_input("load");
+  const GateId tie = nl.add_gate(G::Const0, {}, "tie0");
+  std::vector<GateId> acc(n);
+  for (int i = 0; i < n; ++i) acc[i] = nl.add_gate(G::Dff, {tie}, idx("acc", i));
+  // sum = acc + a (ripple), next = load ? sum : acc.
+  GateId carry = nl.add_gate(G::Const0, {}, "cin0");
+  for (int i = 0; i < n; ++i) {
+    const std::string t = std::to_string(i);
+    const GateId axb = nl.add_gate(G::Xor, {acc[i], a[i]}, "axb" + t);
+    const GateId sum = nl.add_gate(G::Xor, {axb, carry}, "sum" + t);
+    const GateId g1 = nl.add_gate(G::And, {acc[i], a[i]}, "g1_" + t);
+    const GateId g2 = nl.add_gate(G::And, {axb, carry}, "g2_" + t);
+    carry = nl.add_gate(G::Or, {g1, g2}, "cy" + t);
+    const GateId next =
+        nl.add_gate(G::Mux, {acc[i], sum, load}, "next" + t);
+    nl.set_fanin(acc[i], kStoragePinD, next);
+    nl.add_output(acc[i], idx("qo", i));
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace dft

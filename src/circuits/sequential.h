@@ -1,0 +1,24 @@
+// Sequential example circuits for the scan and self-test demonstrations.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// n-bit synchronous binary counter with enable: inputs en; outputs q0..;
+// flip-flops cnt0..cnt(n-1).
+Netlist make_counter(int n);
+
+// n-bit serial-in shift register: input sin; output sout (plus parallel q*).
+Netlist make_shift_register(int n);
+
+// Serial 0-1-1 sequence detector (Mealy FSM, 2 state flops):
+// inputs din; output det, asserted when the last three bits were 011.
+Netlist make_sequence_detector();
+
+// n-bit accumulator datapath: state += in when load, a typical register +
+// adder structure for the BILBO demonstrations. Inputs a0.., load;
+// outputs q0..; flip-flops acc*.
+Netlist make_accumulator(int n);
+
+}  // namespace dft

@@ -1,0 +1,163 @@
+#include "circuits/sn74181.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dft {
+
+namespace {
+using G = GateType;
+std::string idx(const char* base, int i) {
+  return std::string(base) + std::to_string(i);
+}
+}  // namespace
+
+Netlist make_sn74181() {
+  Netlist nl("sn74181");
+  std::vector<GateId> a(4), b(4), s(4);
+  for (int i = 0; i < 4; ++i) a[i] = nl.add_input(idx("a", i));
+  for (int i = 0; i < 4; ++i) b[i] = nl.add_input(idx("b", i));
+  for (int i = 0; i < 4; ++i) s[i] = nl.add_input(idx("s", i));
+  const GateId m = nl.add_input("m");
+  const GateId cn = nl.add_input("cn");
+
+  const GateId mn = nl.add_gate(G::Not, {m}, "mn");
+
+  // First level: per-bit E ("kill"-side) and D ("generate"-side) signals.
+  std::vector<GateId> e(4), d(4), sum(4);
+  for (int i = 0; i < 4; ++i) {
+    const std::string t = std::to_string(i);
+    const GateId nb = nl.add_gate(G::Not, {b[i]}, "nb" + t);
+    const GateId e1 = nl.add_gate(G::And, {b[i], s[0]}, "e1_" + t);
+    const GateId e2 = nl.add_gate(G::And, {nb, s[1]}, "e2_" + t);
+    e[i] = nl.add_gate(G::Nor, {a[i], e1, e2}, "e" + t);
+    const GateId d1 = nl.add_gate(G::And, {a[i], nb, s[2]}, "d1_" + t);
+    const GateId d2 = nl.add_gate(G::And, {a[i], b[i], s[3]}, "d2_" + t);
+    d[i] = nl.add_gate(G::Nor, {d1, d2}, "d" + t);
+    sum[i] = nl.add_gate(G::Xor, {e[i], d[i]}, "sum" + t);
+  }
+
+  // Carry-lookahead chain, active-low (nc == H means no carry into bit i).
+  // nc_{i+1} = D_i * (E_i + nc_i), expanded to two-level AND-OR.
+  std::vector<GateId> nc(5);
+  nc[0] = cn;
+  nc[1] = nl.add_gate(
+      G::Or,
+      {nl.add_gate(G::And, {d[0], e[0]}, "nc1a"),
+       nl.add_gate(G::And, {d[0], cn}, "nc1b")},
+      "nc1");
+  nc[2] = nl.add_gate(
+      G::Or,
+      {nl.add_gate(G::And, {d[1], e[1]}, "nc2a"),
+       nl.add_gate(G::And, {d[1], d[0], e[0]}, "nc2b"),
+       nl.add_gate(G::And, {d[1], d[0], cn}, "nc2c")},
+      "nc2");
+  nc[3] = nl.add_gate(
+      G::Or,
+      {nl.add_gate(G::And, {d[2], e[2]}, "nc3a"),
+       nl.add_gate(G::And, {d[2], d[1], e[1]}, "nc3b"),
+       nl.add_gate(G::And, {d[2], d[1], d[0], e[0]}, "nc3c"),
+       nl.add_gate(G::And, {d[2], d[1], d[0], cn}, "nc3d")},
+      "nc3");
+  const GateId gbar = nl.add_gate(
+      G::Or,
+      {nl.add_gate(G::And, {d[3], e[3]}, "nc4a"),
+       nl.add_gate(G::And, {d[3], d[2], e[2]}, "nc4b"),
+       nl.add_gate(G::And, {d[3], d[2], d[1], e[1]}, "nc4c"),
+       nl.add_gate(G::And, {d[3], d[2], d[1], d[0], e[0]}, "nc4d")},
+      "gbar");
+  const GateId pall = nl.add_gate(G::And, {d[3], d[2], d[1], d[0], cn}, "pall");
+  nc[4] = nl.add_gate(G::Or, {gbar, pall}, "nc4");
+
+  // F_i = sum_i XOR NAND(Mn, nc_i): logic mode inverts (gate==1), arithmetic
+  // mode injects the (complemented) ripple carry.
+  std::vector<GateId> f(4);
+  for (int i = 0; i < 4; ++i) {
+    const std::string t = std::to_string(i);
+    const GateId gate = nl.add_gate(G::Nand, {mn, nc[i]}, "cg" + t);
+    f[i] = nl.add_gate(G::Xor, {sum[i], gate}, "f" + t);
+    nl.add_output(f[i], "f" + t + "_o");
+  }
+
+  const GateId aeqb = nl.add_gate(G::And, {f[0], f[1], f[2], f[3]}, "aeqb");
+  nl.add_output(aeqb, "aeqb_o");
+  nl.add_output(nc[4], "cn4_o");
+  const GateId pbar = nl.add_gate(G::Or, {e[0], e[1], e[2], e[3]}, "pbar");
+  nl.add_output(pbar, "pbar_o");
+  nl.add_output(gbar, "gbar_o");
+  nl.validate();
+  return nl;
+}
+
+Alu181Result alu181_reference(int s, bool m, bool cn, int a, int b) {
+  if (s < 0 || s > 15 || a < 0 || a > 15 || b < 0 || b > 15) {
+    throw std::invalid_argument("alu181_reference operand out of range");
+  }
+  Alu181Result r;
+  if (m) {
+    // Logic mode, active-high table.
+    int f = 0;
+    for (int i = 0; i < 4; ++i) {
+      const bool ai = (a >> i) & 1;
+      const bool bi = (b >> i) & 1;
+      bool fi = false;
+      switch (s) {
+        case 0x0: fi = !ai; break;
+        case 0x1: fi = !(ai || bi); break;
+        case 0x2: fi = !ai && bi; break;
+        case 0x3: fi = false; break;
+        case 0x4: fi = !(ai && bi); break;
+        case 0x5: fi = !bi; break;
+        case 0x6: fi = ai != bi; break;
+        case 0x7: fi = ai && !bi; break;
+        case 0x8: fi = !ai || bi; break;
+        case 0x9: fi = ai == bi; break;
+        case 0xA: fi = bi; break;
+        case 0xB: fi = ai && bi; break;
+        case 0xC: fi = true; break;
+        case 0xD: fi = ai || !bi; break;
+        case 0xE: fi = ai || bi; break;
+        case 0xF: fi = ai; break;
+        default: break;
+      }
+      f |= fi << i;
+    }
+    r.f = f;
+    r.cn4 = true;
+    // Data sheet: in logic mode Cn+4 still reflects the internal chain; we
+    // model the common convention of "no carry" for the functional reference
+    // and exclude cn4 from logic-mode structural checks.
+  } else {
+    // Arithmetic mode: F = U + V + c with c = 1 when the active-low Cn pin
+    // is low. Row decomposition of the data sheet table.
+    const int nb = ~b & 0xF;
+    int u = 0, v = 0;
+    switch (s) {
+      case 0x0: u = a; v = 0; break;
+      case 0x1: u = a | b; v = 0; break;
+      case 0x2: u = a | nb; v = 0; break;
+      case 0x3: u = 0xF; v = 0; break;
+      case 0x4: u = a; v = a & nb; break;
+      case 0x5: u = a | b; v = a & nb; break;
+      case 0x6: u = a; v = nb; break;
+      case 0x7: u = a & nb; v = 0xF; break;
+      case 0x8: u = a; v = a & b; break;
+      case 0x9: u = a; v = b; break;
+      case 0xA: u = a | nb; v = a & b; break;
+      case 0xB: u = a & b; v = 0xF; break;
+      case 0xC: u = a; v = a; break;
+      case 0xD: u = a | b; v = a; break;
+      case 0xE: u = a | nb; v = a; break;
+      case 0xF: u = a; v = 0xF; break;
+      default: break;
+    }
+    const int raw = u + v + (cn ? 0 : 1);
+    r.f = raw & 0xF;
+    r.cn4 = (raw & 0x10) == 0;  // active-low: H when no carry out
+  }
+  r.aeqb = r.f == 0xF;
+  return r;
+}
+
+}  // namespace dft

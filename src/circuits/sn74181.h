@@ -1,0 +1,33 @@
+// Gate-level model of the SN74181 4-bit ALU / function generator.
+//
+// The 74181 is the survey's workhorse example: syndrome testability was
+// demonstrated on it (Sec. V-B, "real networks (i.e., SN74181)") and the
+// sensitized-partitioning approach to Autonomous Testing partitions it into
+// N1/N2 subnetworks (Sec. V-D, Figs. 33-34).
+//
+// Conventions: active-high operands; Cn and Cn+4 are active-LOW carries
+// (H = no carry), matching the TI data sheet. Port names:
+//   inputs : a0..a3, b0..b3, s0..s3, m, cn
+//   outputs: f0..f3, aeqb, cn4, pbar, gbar
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+Netlist make_sn74181();
+
+// Functional reference model (bit-true against the data sheet tables).
+struct Alu181Result {
+  int f = 0;        // F3..F0
+  bool aeqb = false;
+  bool cn4 = true;  // active-low carry out (true = H = no carry)
+};
+
+// `s` is S3..S0, `m` true selects logic mode, `cn` is the active-low carry
+// pin level (true = H).
+Alu181Result alu181_reference(int s, bool m, bool cn, int a, int b);
+
+}  // namespace dft

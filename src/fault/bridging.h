@@ -1,0 +1,57 @@
+// Bridging faults (Sec. I-A).
+//
+// "the single Stuck-At fault assumption does not, in general, cover the
+// bridging faults that may occur. Historically ... bridging faults have
+// been detected by having a high level -- that is, in the high 90 percent --
+// single Stuck-At fault coverage."
+//
+// A bridge shorts two nets; in the wired-AND (wired-OR) model both nets
+// assume the AND (OR) of their driven values. We model a bridge by netlist
+// transformation: a resolution gate is added and every sink of either net
+// is rewired to it, which is exact for feedback-free bridges. Feedback
+// bridges (one net in the other's cone) are rejected -- those are the
+// bridges that "change a combinational network into a sequential network".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+enum class BridgeType { WiredAnd, WiredOr };
+
+struct BridgingFault {
+  GateId a = kNoGate;
+  GateId b = kNoGate;
+  BridgeType type = BridgeType::WiredAnd;
+};
+
+// True when bridging a and b would create combinational feedback.
+bool bridge_creates_feedback(const Netlist& nl, GateId a, GateId b);
+
+// The bridged netlist: same gate ids for all original gates, plus the
+// resolution gate; sinks of a and b read the resolved value. Throws on
+// feedback bridges.
+Netlist make_bridged_netlist(const Netlist& nl, const BridgingFault& bridge);
+
+// True when `pattern` distinguishes the bridged machine from the good one
+// (at POs or captured next states).
+bool bridge_detected(const Netlist& nl, const BridgingFault& bridge,
+                     const SourceVector& pattern);
+
+// Enumerates random feedback-free bridge candidates between distinct nets
+// (excluding trivial pairs that share a driver).
+std::vector<BridgingFault> sample_bridges(const Netlist& nl, int count,
+                                          std::uint64_t seed);
+
+// Fraction of `bridges` detected by the pattern set; the experiment behind
+// the paper's "high stuck-at coverage covers bridges" claim.
+double bridge_coverage(const Netlist& nl,
+                       const std::vector<BridgingFault>& bridges,
+                       const std::vector<SourceVector>& patterns);
+
+}  // namespace dft

@@ -1,0 +1,49 @@
+// Deductive fault simulation (Armstrong [100]; Sec. I-B's fault-simulation
+// toolbox).
+//
+// One pass per pattern computes, for EVERY fault at once, whether it flips
+// each net: fault lists propagate through gates by set algebra. With
+// controlling-value set S on a gate's inputs:
+//    L_out = (intersection of L_j, j in S)  -  (union of L_i, i not in S)
+// and when no input is controlling, L_out is the union (parity gates: the
+// odd-membership symmetric difference). The detected set is the union of
+// the lists at the observation points.
+//
+// This is the third, independent engine next to the serial reference and
+// the parallel-pattern simulator; the tests require all three to agree
+// exactly.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+#include "sim/comb_sim.h"
+
+namespace dft {
+
+class DeductiveFaultSimulator {
+ public:
+  explicit DeductiveFaultSimulator(const Netlist& nl);
+  explicit DeductiveFaultSimulator(Netlist&&) = delete;  // would dangle
+
+  // Per-fault detection flags for one (binary) pattern.
+  std::vector<char> detected(const SourceVector& pattern,
+                             const std::vector<Fault>& faults);
+
+  // Same contract as the other engines.
+  FaultSimResult run(const std::vector<SourceVector>& patterns,
+                     const std::vector<Fault>& faults,
+                     bool drop_detected = true);
+
+ private:
+  using List = std::vector<int>;  // sorted fault indices
+
+  const Netlist* nl_;
+  CombSim good_;
+  std::vector<List> lists_;
+  std::vector<char> observed_;
+};
+
+}  // namespace dft

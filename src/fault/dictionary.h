@@ -1,0 +1,56 @@
+// Fault dictionaries for fault location (the survey's "Testing and Fault
+// Location" reference cluster [52]-[68]; Sec. III-D's probe-based diagnosis
+// is the poor man's version of this).
+//
+// A dictionary records, for every modeled fault, the full pass/fail
+// response map over a test set (which pattern failed at which output).
+// Diagnosis matches a unit's observed failure map against the dictionary;
+// faults with identical maps form indistinguishability classes, and the
+// class count / fault count ratio is the test set's diagnostic resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+class FaultDictionary {
+ public:
+  // Patterns must be binary. Observation: primary outputs plus captured
+  // storage states (full-scan view).
+  FaultDictionary(const Netlist& nl, std::vector<SourceVector> patterns,
+                  std::vector<Fault> faults);
+  FaultDictionary(Netlist&&, std::vector<SourceVector>, std::vector<Fault>) =
+      delete;
+
+  // The failure map a tester would record for a device carrying `f`
+  // (f need not be in the dictionary's fault list).
+  std::vector<std::uint64_t> observe(const Fault& f) const;
+
+  // Dictionary faults whose map equals the observation (empty = no match,
+  // e.g. a fault outside the modeled universe).
+  std::vector<int> diagnose(const std::vector<std::uint64_t>& observed) const;
+
+  // Number of distinct failure maps among DETECTED faults.
+  int distinguishable_classes() const;
+  // classes / detected faults: 1.0 = every fault uniquely located.
+  double diagnostic_resolution() const;
+
+  const std::vector<Fault>& faults() const { return faults_; }
+  int detected_count() const { return detected_; }
+
+ private:
+  std::vector<std::uint64_t> response_map(const Fault& f) const;
+
+  const Netlist* nl_;
+  std::vector<SourceVector> patterns_;
+  std::vector<Fault> faults_;
+  std::vector<std::vector<std::uint64_t>> maps_;
+  int detected_ = 0;
+};
+
+}  // namespace dft

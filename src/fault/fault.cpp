@@ -1,0 +1,206 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+namespace dft {
+
+namespace {
+
+// Disjoint-set forest over fault indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+bool has_output_faults(const Netlist& nl, GateId g) {
+  return nl.type(g) != GateType::Output && !nl.fanout(g).empty();
+}
+
+bool has_pin_faults(const Netlist& nl, GateId g, int pin) {
+  const GateType t = nl.type(g);
+  if (t == GateType::Output) return false;
+  if (is_storage(t)) return pin == kStoragePinD;
+  return is_combinational(t);
+}
+
+}  // namespace
+
+std::string fault_name(const Netlist& nl, const Fault& f) {
+  std::string s = nl.label(f.gate);
+  if (f.pin >= 0) {
+    s += ".in" + std::to_string(f.pin) + "(" +
+         nl.label(nl.fanin(f.gate)[static_cast<std::size_t>(f.pin)]) + ")";
+  }
+  return s + (f.sa1 ? "/1" : "/0");
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& nl) {
+  std::vector<Fault> out;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (has_output_faults(nl, g)) {
+      out.push_back({g, -1, false});
+      out.push_back({g, -1, true});
+    }
+    const int npins = static_cast<int>(nl.fanin(g).size());
+    for (int p = 0; p < npins; ++p) {
+      if (has_pin_faults(nl, g, p)) {
+        out.push_back({g, p, false});
+        out.push_back({g, p, true});
+      }
+    }
+  }
+  return out;
+}
+
+CollapseResult collapse_faults(const Netlist& nl) {
+  CollapseResult res;
+  res.universe = enumerate_faults(nl);
+  std::unordered_map<Fault, std::size_t, FaultHash> index;
+  index.reserve(res.universe.size() * 2);
+  for (std::size_t i = 0; i < res.universe.size(); ++i) {
+    index.emplace(res.universe[i], i);
+  }
+  UnionFind uf(res.universe.size());
+  auto unite = [&](const Fault& a, const Fault& b) {
+    auto ia = index.find(a);
+    auto ib = index.find(b);
+    if (ia != index.end() && ib != index.end()) uf.unite(ia->second, ib->second);
+  };
+
+  // Rule 1: a stem with exactly one sink connection is the same net as that
+  // sink pin.
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (!has_output_faults(nl, g)) continue;
+    int connections = 0;
+    GateId sink = kNoGate;
+    int sink_pin = -1;
+    for (GateId s : nl.fanout(g)) {
+      const auto& fin = nl.fanin(s);
+      for (std::size_t p = 0; p < fin.size(); ++p) {
+        if (fin[p] == g) {
+          ++connections;
+          sink = s;
+          sink_pin = static_cast<int>(p);
+        }
+      }
+    }
+    if (connections == 1 && has_pin_faults(nl, sink, sink_pin)) {
+      unite({g, -1, false}, {sink, sink_pin, false});
+      unite({g, -1, true}, {sink, sink_pin, true});
+    }
+  }
+
+  // Rule 2: controlling-value input faults are equivalent to the implied
+  // output fault; inverters/buffers map through.
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const GateType t = nl.type(g);
+    const int npins = static_cast<int>(nl.fanin(g).size());
+    auto unite_all_pins = [&](bool pin_v, bool out_v) {
+      for (int p = 0; p < npins; ++p) {
+        if (has_pin_faults(nl, g, p)) unite({g, p, pin_v}, {g, -1, out_v});
+      }
+    };
+    switch (t) {
+      case GateType::And: unite_all_pins(false, false); break;
+      case GateType::Nand: unite_all_pins(false, true); break;
+      case GateType::Or: unite_all_pins(true, true); break;
+      case GateType::Nor: unite_all_pins(true, false); break;
+      case GateType::Buf:
+        unite_all_pins(false, false);
+        unite_all_pins(true, true);
+        break;
+      case GateType::Not:
+        unite_all_pins(false, true);
+        unite_all_pins(true, false);
+        break;
+      default: break;  // XOR-family, MUX, bus logic: no structural equivalences
+    }
+  }
+
+  // Extract representatives: the smallest member of each class.
+  std::unordered_map<std::size_t, std::size_t> best;  // root -> universe index
+  for (std::size_t i = 0; i < res.universe.size(); ++i) {
+    const std::size_t r = uf.find(i);
+    auto it = best.find(r);
+    if (it == best.end() || res.universe[i] < res.universe[it->second]) {
+      best[r] = i;
+    }
+  }
+  std::unordered_map<std::size_t, int> rep_slot;  // root -> representative idx
+  for (std::size_t i = 0; i < res.universe.size(); ++i) {
+    const std::size_t r = uf.find(i);
+    if (rep_slot.find(r) == rep_slot.end()) {
+      rep_slot[r] = static_cast<int>(res.representatives.size());
+      res.representatives.push_back(res.universe[best[r]]);
+    }
+  }
+  res.rep_index_of_universe.resize(res.universe.size());
+  for (std::size_t i = 0; i < res.universe.size(); ++i) {
+    res.rep_index_of_universe[i] = rep_slot[uf.find(i)];
+  }
+  std::sort(res.representatives.begin(), res.representatives.end());
+  // Re-map after sort.
+  std::unordered_map<Fault, int, FaultHash> pos;
+  for (std::size_t i = 0; i < res.representatives.size(); ++i) {
+    pos[res.representatives[i]] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < res.universe.size(); ++i) {
+    const std::size_t r = uf.find(i);
+    res.rep_index_of_universe[i] = pos[res.universe[best[r]]];
+  }
+  return res;
+}
+
+std::vector<Fault> checkpoint_faults(const Netlist& nl) {
+  std::vector<Fault> out;
+  for (GateId g : nl.inputs()) {
+    if (!nl.fanout(g).empty()) {
+      out.push_back({g, -1, false});
+      out.push_back({g, -1, true});
+    }
+  }
+  for (GateId g : nl.storage()) {
+    if (!nl.fanout(g).empty()) {
+      out.push_back({g, -1, false});
+      out.push_back({g, -1, true});
+    }
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::Output || is_storage(nl.type(g)) ||
+        nl.type(g) == GateType::Input) {
+      continue;
+    }
+    // Branch pins: pins whose driving stem has more than one connection.
+    const auto& fin = nl.fanin(g);
+    for (std::size_t p = 0; p < fin.size(); ++p) {
+      const GateId d = fin[p];
+      int connections = 0;
+      for (GateId s : nl.fanout(d)) {
+        for (GateId f : nl.fanin(s)) connections += f == d;
+      }
+      if (connections > 1 && has_pin_faults(nl, g, static_cast<int>(p))) {
+        out.push_back({g, static_cast<int>(p), false});
+        out.push_back({g, static_cast<int>(p), true});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dft

@@ -1,0 +1,105 @@
+// Fault simulation (Sec. I-B).
+//
+// Two engines:
+//  * SerialFaultSimulator -- the textbook reference: one good-machine and one
+//    faulty-machine simulation per (pattern, fault) pair. "Fault simulation,
+//    with respect to run time, is similar to doing 3001 good machine
+//    simulations."
+//  * ParallelFaultSimulator -- parallel-pattern single-fault propagation
+//    (PPSFP): 64 patterns per word, fault-cone-only resimulation, and fault
+//    dropping. This is the engine the benches use.
+//
+// Both use the combinational test model: primary inputs and storage outputs
+// are controllable (pseudo primary inputs), primary outputs and storage D
+// pins are observable (pseudo primary outputs) -- precisely the access that
+// LSSD/Scan Path/RAS provide (Sec. IV).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+#include "sim/comb_sim.h"
+#include "sim/parallel_sim.h"
+
+namespace dft {
+
+// One test pattern: values for netlist.inputs() followed by
+// netlist.storage(), in order.
+using SourceVector = std::vector<Logic>;
+
+std::size_t source_count(const Netlist& nl);
+
+// Uniform random binary pattern.
+SourceVector random_source_vector(const Netlist& nl, std::mt19937_64& rng);
+// Replaces X/Z entries with random binary values (test-pattern "fill").
+void random_fill(SourceVector& v, std::mt19937_64& rng);
+
+struct FaultSimResult {
+  // Parallel to the fault list passed in: index of the first detecting
+  // pattern, or -1 if undetected.
+  std::vector<int> first_detected_by;
+  int num_detected = 0;
+  double coverage() const {
+    return first_detected_by.empty()
+               ? 1.0
+               : static_cast<double>(num_detected) /
+                     static_cast<double>(first_detected_by.size());
+  }
+};
+
+class SerialFaultSimulator {
+ public:
+  explicit SerialFaultSimulator(const Netlist& nl);
+  explicit SerialFaultSimulator(Netlist&&) = delete;  // would dangle
+
+  // True when `pattern` is a test for `f`: some primary output or captured
+  // next state differs binarily between good and faulty machine.
+  bool detects(const SourceVector& pattern, const Fault& f);
+
+  FaultSimResult run(const std::vector<SourceVector>& patterns,
+                     const std::vector<Fault>& faults,
+                     bool drop_detected = true);
+
+ private:
+  void apply(CombSim& sim, const SourceVector& pattern);
+  const Netlist* nl_;
+  CombSim good_;
+  CombSim bad_;
+};
+
+class ParallelFaultSimulator {
+ public:
+  explicit ParallelFaultSimulator(const Netlist& nl);
+  explicit ParallelFaultSimulator(Netlist&&) = delete;  // would dangle
+
+  // Patterns must be binary (use random_fill for X entries).
+  FaultSimResult run(const std::vector<SourceVector>& patterns,
+                     const std::vector<Fault>& faults,
+                     bool drop_detected = true);
+
+  // Overrides the observation points. The default is the full-scan view
+  // (primary outputs + every storage D net); restricting this models
+  // partial observability (no-scan boards, Scan/Set sampling, nails).
+  void set_observation_points(const std::vector<GateId>& observed);
+  void reset_observation_points();
+
+ private:
+  struct Site {
+    std::vector<GateId> cone;  // combinational cone in evaluation order
+  };
+  const Site& site_for(GateId g);
+  std::uint64_t detect_word(const Fault& f);
+
+  const Netlist* nl_;
+  ParallelSim sim_;
+  std::vector<std::uint64_t> good_;
+  std::vector<char> observed_;
+  std::vector<Site> sites_;
+  std::vector<char> site_built_;
+};
+
+}  // namespace dft

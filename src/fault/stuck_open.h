@@ -1,0 +1,67 @@
+// CMOS stuck-open (transistor-open) faults (Sec. I-A).
+//
+// "The problem with CMOS is that there are a number of faults which could
+// change a combinational network into a sequential network. Therefore, the
+// combinational patterns are no longer effective in testing the network in
+// all cases."
+//
+// A stuck-open transistor leaves the gate output floating -- i.e. holding
+// its previous value -- exactly when the broken device was the only path
+// that should have driven the output. Detection therefore needs a
+// *two-pattern* test: an initialization pattern that sets the node to the
+// complement of the expected value, then a test pattern that triggers the
+// float condition and propagates the stale value.
+//
+// Gate-level conditions (static CMOS realizations):
+//   NAND, pFET of pin i open : floats when in_i = 0 and all others = 1
+//   NAND, nFET (series stack): floats when all inputs = 1
+//   NOR,  nFET of pin i open : floats when in_i = 1 and all others = 0
+//   NOR,  pFET (series stack): floats when all inputs = 0
+//   NOT/BUF                  : pFET floats on driving-1, nFET on driving-0
+// AND/OR are modeled as NAND/NOR + inverter with the fault in the first
+// stage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct StuckOpenFault {
+  GateId gate = kNoGate;
+  int pin = 0;            // which input's transistor (ignored for stacks)
+  bool open_pullup = false;  // pFET side (true) or nFET side (false)
+  bool series_stack = false; // the whole series stack is broken
+  friend bool operator==(const StuckOpenFault&, const StuckOpenFault&) =
+      default;
+};
+
+// True for gate types this model supports.
+bool stuck_open_supported(GateType t);
+
+// The float condition under the given gate-input values (binary only).
+bool stuck_open_floats(GateType t, const std::vector<Logic>& in,
+                       const StuckOpenFault& f);
+
+// All stuck-open faults of a netlist's supported gates.
+std::vector<StuckOpenFault> enumerate_stuck_open(const Netlist& nl);
+
+// Two-pattern simulation: evaluates `init` fault-free, then `test` with the
+// float-retention behavior; true when some PO / captured state differs from
+// the good machine on the test pattern.
+bool stuck_open_detected(const Netlist& nl, const StuckOpenFault& f,
+                         const SourceVector& init, const SourceVector& test);
+
+// Coverage of a pattern SEQUENCE applied back to back (each consecutive
+// pair is a candidate two-pattern test) -- how a tester actually streams
+// patterns, and why pattern ORDER suddenly matters for CMOS.
+double stuck_open_coverage(const Netlist& nl,
+                           const std::vector<StuckOpenFault>& faults,
+                           const std::vector<SourceVector>& sequence);
+
+}  // namespace dft

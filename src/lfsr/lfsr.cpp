@@ -1,0 +1,113 @@
+#include "lfsr/lfsr.h"
+
+#include <bit>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace dft {
+
+const std::vector<int>& primitive_taps(int degree) {
+  // Classical maximal-length tap table (external-XOR convention).
+  static const std::map<int, std::vector<int>> kTable = {
+      {2, {2, 1}},         {3, {3, 2}},          {4, {4, 3}},
+      {5, {5, 3}},         {6, {6, 5}},          {7, {7, 6}},
+      {8, {8, 6, 5, 4}},   {9, {9, 5}},          {10, {10, 7}},
+      {11, {11, 9}},       {12, {12, 6, 4, 1}},  {13, {13, 4, 3, 1}},
+      {14, {14, 5, 3, 1}}, {15, {15, 14}},       {16, {16, 15, 13, 4}},
+      {17, {17, 14}},      {18, {18, 11}},       {19, {19, 6, 2, 1}},
+      {20, {20, 17}},      {21, {21, 19}},       {22, {22, 21}},
+      {23, {23, 18}},      {24, {24, 23, 22, 17}}, {25, {25, 22}},
+      {26, {26, 6, 2, 1}}, {27, {27, 5, 2, 1}},  {28, {28, 25}},
+      {29, {29, 27}},      {30, {30, 6, 4, 1}},  {31, {31, 28}},
+      {32, {32, 22, 2, 1}},
+  };
+  auto it = kTable.find(degree);
+  if (it == kTable.end()) {
+    throw std::out_of_range("no primitive polynomial tabled for degree " +
+                            std::to_string(degree));
+  }
+  return it->second;
+}
+
+Lfsr::Lfsr(std::vector<int> taps, std::uint64_t seed) {
+  if (taps.empty()) throw std::invalid_argument("empty tap list");
+  degree_ = taps.front();
+  if (degree_ < 1 || degree_ > 63) {
+    throw std::invalid_argument("LFSR degree out of range");
+  }
+  for (int t : taps) {
+    if (t < 1 || t > degree_) throw std::invalid_argument("bad tap");
+    tap_mask_ |= 1ull << (t - 1);
+  }
+  state_mask_ = degree_ == 64 ? ~0ull : (1ull << degree_) - 1;
+  set_state(seed);
+}
+
+Lfsr Lfsr::maximal(int degree, std::uint64_t seed) {
+  return Lfsr(primitive_taps(degree), seed);
+}
+
+void Lfsr::set_state(std::uint64_t s) { state_ = s & state_mask_; }
+
+bool Lfsr::feedback_parity() const {
+  return (std::popcount(state_ & tap_mask_) & 1) != 0;
+}
+
+bool Lfsr::step() {
+  const bool out = stage(degree_);
+  const bool fb = feedback_parity();
+  state_ = ((state_ << 1) | (fb ? 1u : 0u)) & state_mask_;
+  return out;
+}
+
+bool Lfsr::step_with_input(bool data_in) {
+  const bool out = stage(degree_);
+  const bool fb = feedback_parity() != data_in;
+  state_ = ((state_ << 1) | (fb ? 1u : 0u)) & state_mask_;
+  return out;
+}
+
+std::uint64_t Lfsr::period() const {
+  Lfsr copy = *this;
+  const std::uint64_t start = copy.state();
+  std::uint64_t n = 0;
+  do {
+    copy.step();
+    ++n;
+  } while (copy.state() != start && n < (1ull << degree_) + 1);
+  return n;
+}
+
+SignatureAnalyzer::SignatureAnalyzer(int degree, std::uint64_t seed)
+    : lfsr_(Lfsr::maximal(degree, seed)) {}
+
+void SignatureAnalyzer::reset(std::uint64_t seed) { lfsr_.set_state(seed); }
+
+void SignatureAnalyzer::shift(bool data_bit) {
+  lfsr_.step_with_input(data_bit);
+}
+
+std::uint64_t SignatureAnalyzer::of_stream(const std::vector<bool>& stream,
+                                           int degree, std::uint64_t seed) {
+  SignatureAnalyzer sa(degree, seed);
+  for (bool b : stream) sa.shift(b);
+  return sa.signature();
+}
+
+Misr::Misr(int width, std::uint64_t seed) : width_(width) {
+  if (width < 2 || width > 63) throw std::invalid_argument("MISR width");
+  tap_mask_ = 0;
+  for (int t : primitive_taps(width)) tap_mask_ |= 1ull << (t - 1);
+  state_mask_ = (1ull << width) - 1;
+  state_ = seed & state_mask_;
+}
+
+void Misr::reset(std::uint64_t seed) { state_ = seed & state_mask_; }
+
+void Misr::clock(std::uint64_t parallel_in) {
+  const bool fb = (std::popcount(state_ & tap_mask_) & 1) != 0;
+  state_ = (((state_ << 1) | (fb ? 1u : 0u)) ^ parallel_in) & state_mask_;
+}
+
+}  // namespace dft

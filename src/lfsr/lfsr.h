@@ -1,0 +1,88 @@
+// Linear feedback shift registers, signature analysis, and MISRs
+// (Secs. III-D and V-A, Figs. 7-8, 19).
+//
+// The Fibonacci (external-XOR) register matches Fig. 7: the feedback bit is
+// the XOR of the tapped stages and shifts into stage 1. A SignatureAnalyzer
+// additionally XORs a probed data stream into the feedback -- the signature
+// is "the remainder of the data stream after division by an irreducible
+// polynomial". A MISR (the BILBO's B1B2=10 mode) XORs one data bit into
+// every stage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dft {
+
+// Taps for a maximal-length (primitive) feedback polynomial of the given
+// degree (2..32), e.g. degree 3 -> {3, 2} meaning x^3 + x^2 + 1.
+// Throws std::out_of_range outside the table.
+const std::vector<int>& primitive_taps(int degree);
+
+class Lfsr {
+ public:
+  // `taps` lists the polynomial exponents (stage numbers, 1-based); the
+  // degree is taps.front(). Example: {3, 2} is the Fig. 7 register.
+  explicit Lfsr(std::vector<int> taps, std::uint64_t seed = 1);
+  // Maximal-length register of the given degree from the built-in table.
+  static Lfsr maximal(int degree, std::uint64_t seed = 1);
+
+  int degree() const { return degree_; }
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t s);
+
+  // One autonomous shift; returns the bit shifted out of the last stage.
+  bool step();
+  // One shift with serial data XORed into the feedback (signature mode).
+  bool step_with_input(bool data_in);
+
+  // Period of the autonomous sequence from the current state.
+  std::uint64_t period() const;
+
+  // The bit of stage `i` (1-based, stage 1 = the stage fed by feedback).
+  bool stage(int i) const { return (state_ >> (i - 1)) & 1; }
+
+ private:
+  bool feedback_parity() const;
+  int degree_;
+  std::uint64_t tap_mask_ = 0;  // bit i-1 set when stage i is tapped
+  std::uint64_t state_;
+  std::uint64_t state_mask_;
+};
+
+// Single-probe signature analyzer (Fig. 8): a maximal LFSR accumulating a
+// serial bit stream; the final state is the signature.
+class SignatureAnalyzer {
+ public:
+  explicit SignatureAnalyzer(int degree = 16, std::uint64_t seed = 0);
+  void reset(std::uint64_t seed = 0);
+  void shift(bool data_bit);
+  std::uint64_t signature() const { return lfsr_.state(); }
+  int degree() const { return lfsr_.degree(); }
+
+  // Signature of a whole stream from a fresh register.
+  static std::uint64_t of_stream(const std::vector<bool>& stream, int degree,
+                                 std::uint64_t seed = 0);
+
+ private:
+  Lfsr lfsr_;
+};
+
+// Multiple-input signature register: every clock XORs a word of data bits
+// (one per stage) into the shifted state -- the BILBO signature mode.
+class Misr {
+ public:
+  explicit Misr(int width, std::uint64_t seed = 0);
+  void reset(std::uint64_t seed = 0);
+  void clock(std::uint64_t parallel_in);
+  std::uint64_t signature() const { return state_; }
+  int width() const { return width_; }
+
+ private:
+  int width_;
+  std::uint64_t tap_mask_;
+  std::uint64_t state_;
+  std::uint64_t state_mask_;
+};
+
+}  // namespace dft

@@ -1,0 +1,147 @@
+#include "measure/cop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dft {
+
+namespace {
+
+double gate_p1(GateType t, const std::vector<double>& in) {
+  switch (t) {
+    case GateType::Const0: return 0.0;
+    case GateType::Const1: return 1.0;
+    case GateType::Buf:
+    case GateType::Output: return in[0];
+    case GateType::Not: return 1.0 - in[0];
+    case GateType::And:
+    case GateType::Nand: {
+      double p = 1.0;
+      for (double x : in) p *= x;
+      return t == GateType::And ? p : 1.0 - p;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      double q = 1.0;
+      for (double x : in) q *= 1.0 - x;
+      return t == GateType::Or ? 1.0 - q : q;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      double p = 0.0;
+      for (double x : in) p = p * (1.0 - x) + x * (1.0 - p);
+      return t == GateType::Xor ? p : 1.0 - p;
+    }
+    case GateType::Mux:
+      return (1.0 - in[kMuxPinSel]) * in[kMuxPinA] +
+             in[kMuxPinSel] * in[kMuxPinB];
+    case GateType::Tristate:
+      // Matches the two-valued pull-down bus model (data AND enable).
+      return in[kTristatePinData] * in[kTristatePinEnable];
+    case GateType::Bus: {
+      double q = 1.0;
+      for (double x : in) q *= 1.0 - x;
+      return 1.0 - q;
+    }
+    default:
+      throw std::logic_error("gate_p1 on non-combinational gate");
+  }
+}
+
+// Probability that a flip on pin `pin` of gate g propagates to g's output.
+double pin_transparency(const Netlist& nl, const CopResult& r, GateId g,
+                        std::size_t pin) {
+  const auto& fin = nl.fanin(g);
+  switch (nl.type(g)) {
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Output: return 1.0;
+    case GateType::And:
+    case GateType::Nand: {
+      double p = 1.0;
+      for (std::size_t j = 0; j < fin.size(); ++j) {
+        if (j != pin) p *= r.p1[fin[j]];
+      }
+      return p;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      double p = 1.0;
+      for (std::size_t j = 0; j < fin.size(); ++j) {
+        if (j != pin) p *= 1.0 - r.p1[fin[j]];
+      }
+      return p;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: return 1.0;
+    case GateType::Mux:
+      if (pin == kMuxPinA) return 1.0 - r.p1[fin[kMuxPinSel]];
+      if (pin == kMuxPinB) return r.p1[fin[kMuxPinSel]];
+      {
+        const double pa = r.p1[fin[kMuxPinA]];
+        const double pb = r.p1[fin[kMuxPinB]];
+        return pa * (1.0 - pb) + pb * (1.0 - pa);  // data inputs differ
+      }
+    case GateType::Tristate:
+      return pin == kTristatePinData ? r.p1[fin[kTristatePinEnable]]
+                                     : r.p1[fin[kTristatePinData]];
+    case GateType::Bus: return 1.0;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+CopResult compute_cop(const Netlist& nl) {
+  CopResult r;
+  r.p1.assign(nl.size(), 0.5);
+  r.obs.assign(nl.size(), 0.0);
+
+  for (GateId g : nl.topo_order()) {
+    std::vector<double> in;
+    for (GateId f : nl.fanin(g)) in.push_back(r.p1[f]);
+    r.p1[g] = gate_p1(nl.type(g), in);
+  }
+
+  for (GateId g : nl.outputs()) r.obs[g] = 1.0;
+  for (GateId ff : nl.storage()) r.obs[nl.fanin(ff)[kStoragePinD]] = 1.0;
+
+  const auto& topo = nl.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId g = *it;
+    const auto& fin = nl.fanin(g);
+    for (std::size_t pin = 0; pin < fin.size(); ++pin) {
+      const double via = r.obs[g] * pin_transparency(nl, r, g, pin);
+      const GateId src = fin[pin];
+      // Combine branch observabilities assuming independence.
+      r.obs[src] = 1.0 - (1.0 - r.obs[src]) * (1.0 - via);
+    }
+  }
+  return r;
+}
+
+double cop_detectability(const Netlist& nl, const CopResult& cop,
+                         const Fault& f) {
+  if (f.pin < 0) {
+    const double activate = f.sa1 ? 1.0 - cop.p1[f.gate] : cop.p1[f.gate];
+    return activate * cop.obs[f.gate];
+  }
+  const GateId driver = nl.fanin(f.gate)[static_cast<std::size_t>(f.pin)];
+  if (is_storage(nl.type(f.gate)) && f.pin == kStoragePinD) {
+    return f.sa1 ? 1.0 - cop.p1[driver] : cop.p1[driver];
+  }
+  const double activate = f.sa1 ? 1.0 - cop.p1[driver] : cop.p1[driver];
+  const double through =
+      pin_transparency(nl, cop, f.gate, static_cast<std::size_t>(f.pin));
+  return activate * through * cop.obs[f.gate];
+}
+
+double patterns_for_confidence(double p, double confidence) {
+  if (p <= 0.0) return std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return 1.0;
+  return std::log(1.0 - confidence) / std::log(1.0 - p);
+}
+
+}  // namespace dft

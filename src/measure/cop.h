@@ -1,0 +1,40 @@
+// COP-style random-pattern testability: signal probabilities and
+// observabilities under uniform random inputs (Parker-McCluskey [45],
+// Shedletsky [66]).
+//
+// This quantifies the survey's random-testing arguments: a PLA product term
+// with fan-in 20 has detection probability ~2^-20 per random pattern
+// (Sec. V-A, Fig. 22), while fan-in-4 logic does "quite well".
+//
+// Probabilities are computed with the standard independence assumption
+// (reconvergent fan-out correlation is ignored), which is the textbook COP
+// approximation.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct CopResult {
+  std::vector<double> p1;   // P(net = 1) per gate
+  std::vector<double> obs;  // P(a flip on the net reaches an observation)
+};
+
+// Full-scan view: storage outputs are random sources (p1 = 0.5) and storage
+// D nets are fully observable.
+CopResult compute_cop(const Netlist& nl);
+
+// Per-random-pattern detection probability of a stuck-at fault (output
+// faults exactly per COP; pin faults approximated through the gate's
+// propagation condition).
+double cop_detectability(const Netlist& nl, const CopResult& cop,
+                         const Fault& f);
+
+// Number of random patterns needed to detect a fault of detection
+// probability `p` with confidence `c`: n = ln(1-c)/ln(1-p).
+double patterns_for_confidence(double p, double confidence);
+
+}  // namespace dft

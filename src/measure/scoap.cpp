@@ -1,0 +1,283 @@
+#include "measure/scoap.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace dft {
+
+namespace {
+
+int sat_add(int a, int b) {
+  const long long s = static_cast<long long>(a) + b;
+  return s >= kScoapInf ? kScoapInf : static_cast<int>(s);
+}
+
+int sat_sum(const std::vector<int>& v) {
+  int s = 0;
+  for (int x : v) s = sat_add(s, x);
+  return s;
+}
+
+struct PinCosts {
+  std::vector<int> c0;  // cost to set each fanin pin to 0
+  std::vector<int> c1;
+};
+
+// Controllability of one gate's output from its pin costs.
+void gate_controllability(GateType t, const PinCosts& p, int& cc0, int& cc1) {
+  const std::size_t n = p.c0.size();
+  auto min_of = [](const std::vector<int>& v) {
+    return v.empty() ? kScoapInf : *std::min_element(v.begin(), v.end());
+  };
+  switch (t) {
+    case GateType::Const0: cc0 = 0; cc1 = kScoapInf; return;
+    case GateType::Const1: cc0 = kScoapInf; cc1 = 0; return;
+    case GateType::Buf:
+    case GateType::Output:
+      cc0 = sat_add(p.c0[0], 1);
+      cc1 = sat_add(p.c1[0], 1);
+      return;
+    case GateType::Not:
+      cc0 = sat_add(p.c1[0], 1);
+      cc1 = sat_add(p.c0[0], 1);
+      return;
+    case GateType::And:
+      cc1 = sat_add(sat_sum(p.c1), 1);
+      cc0 = sat_add(min_of(p.c0), 1);
+      return;
+    case GateType::Nand:
+      cc0 = sat_add(sat_sum(p.c1), 1);
+      cc1 = sat_add(min_of(p.c0), 1);
+      return;
+    case GateType::Or:
+      cc0 = sat_add(sat_sum(p.c0), 1);
+      cc1 = sat_add(min_of(p.c1), 1);
+      return;
+    case GateType::Nor:
+      cc1 = sat_add(sat_sum(p.c0), 1);
+      cc0 = sat_add(min_of(p.c1), 1);
+      return;
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // Fold pairwise: cost of parity 0/1 over the inputs.
+      int e = p.c0[0], o = p.c1[0];
+      for (std::size_t i = 1; i < n; ++i) {
+        const int e2 = std::min(sat_add(e, p.c0[i]), sat_add(o, p.c1[i]));
+        const int o2 = std::min(sat_add(e, p.c1[i]), sat_add(o, p.c0[i]));
+        e = e2;
+        o = o2;
+      }
+      if (t == GateType::Xor) {
+        cc0 = sat_add(e, 1);
+        cc1 = sat_add(o, 1);
+      } else {
+        cc0 = sat_add(o, 1);
+        cc1 = sat_add(e, 1);
+      }
+      return;
+    }
+    case GateType::Mux: {
+      const int a0 = p.c0[kMuxPinA], a1 = p.c1[kMuxPinA];
+      const int b0 = p.c0[kMuxPinB], b1 = p.c1[kMuxPinB];
+      const int s0 = p.c0[kMuxPinSel], s1 = p.c1[kMuxPinSel];
+      cc0 = sat_add(std::min(sat_add(s0, a0), sat_add(s1, b0)), 1);
+      cc1 = sat_add(std::min(sat_add(s0, a1), sat_add(s1, b1)), 1);
+      return;
+    }
+    case GateType::Tristate:
+      // Driving a value requires enable = 1.
+      cc0 = sat_add(sat_add(p.c0[kTristatePinData], p.c1[kTristatePinEnable]), 1);
+      cc1 = sat_add(sat_add(p.c1[kTristatePinData], p.c1[kTristatePinEnable]), 1);
+      return;
+    case GateType::Bus:
+      // Cheapest driver wins (other drivers assumed releasable).
+      cc0 = sat_add(min_of(p.c0), 1);
+      cc1 = sat_add(min_of(p.c1), 1);
+      return;
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::ScanDff:
+    case GateType::Srl:
+    case GateType::AddressableLatch:
+      cc0 = cc1 = kScoapInf;  // handled by the caller
+      return;
+  }
+}
+
+}  // namespace
+
+ScoapResult compute_scoap(const Netlist& nl, ScoapMode mode) {
+  const std::size_t n = nl.size();
+  ScoapResult r;
+  r.cc0.assign(n, kScoapInf);
+  r.cc1.assign(n, kScoapInf);
+  r.co.assign(n, kScoapInf);
+
+  for (GateId g : nl.inputs()) r.cc0[g] = r.cc1[g] = 1;
+  if (mode == ScoapMode::FullScan) {
+    for (GateId g : nl.storage()) r.cc0[g] = r.cc1[g] = 1;
+  }
+
+  // Controllability: iterate topological passes until fixpoint (one pass
+  // suffices combinationally; sequential feedback needs iteration).
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 1 + static_cast<int>(nl.storage().size()) * 2 + 4) {
+    changed = false;
+    for (GateId g : nl.topo_order()) {
+      PinCosts p;
+      for (GateId f : nl.fanin(g)) {
+        p.c0.push_back(r.cc0[f]);
+        p.c1.push_back(r.cc1[f]);
+      }
+      int cc0 = kScoapInf, cc1 = kScoapInf;
+      gate_controllability(nl.type(g), p, cc0, cc1);
+      if (cc0 != r.cc0[g] || cc1 != r.cc1[g]) {
+        r.cc0[g] = cc0;
+        r.cc1[g] = cc1;
+        changed = true;
+      }
+    }
+    if (mode == ScoapMode::Sequential) {
+      for (GateId g : nl.storage()) {
+        const GateId d = nl.fanin(g)[kStoragePinD];
+        // One clock to latch: costs flow through the D pin.
+        const int cc0 = sat_add(r.cc0[d], 1);
+        const int cc1 = sat_add(r.cc1[d], 1);
+        if (cc0 < r.cc0[g] || cc1 < r.cc1[g]) {
+          r.cc0[g] = std::min(r.cc0[g], cc0);
+          r.cc1[g] = std::min(r.cc1[g], cc1);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Observability: reverse passes to fixpoint.
+  for (GateId g : nl.outputs()) r.co[g] = 0;
+  const auto& topo = nl.topo_order();
+  changed = true;
+  guard = 0;
+  while (changed && guard++ < 1 + static_cast<int>(nl.storage().size()) * 2 + 4) {
+    changed = false;
+    if (mode == ScoapMode::FullScan) {
+      for (GateId g : nl.storage()) {
+        const GateId d = nl.fanin(g)[kStoragePinD];
+        if (0 < r.co[d]) {  // scan capture observes the D net directly
+          r.co[d] = 0;
+          changed = true;
+        }
+      }
+    } else {
+      for (GateId g : nl.storage()) {
+        const GateId d = nl.fanin(g)[kStoragePinD];
+        const int via = sat_add(r.co[g], 1);
+        if (via < r.co[d]) {
+          r.co[d] = via;
+          changed = true;
+        }
+      }
+    }
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const GateId g = *it;
+      const auto& fin = nl.fanin(g);
+      if (nl.type(g) == GateType::Output) {
+        if (r.co[g] < r.co[fin[0]]) {
+          r.co[fin[0]] = r.co[g];
+          changed = true;
+        }
+        continue;
+      }
+      for (std::size_t pin = 0; pin < fin.size(); ++pin) {
+        // Cost to propagate pin -> output: hold side pins at non-controlling
+        // values.
+        int side = 0;
+        const GateType t = nl.type(g);
+        switch (t) {
+          case GateType::And:
+          case GateType::Nand:
+            for (std::size_t j = 0; j < fin.size(); ++j) {
+              if (j != pin) side = sat_add(side, r.cc1[fin[j]]);
+            }
+            break;
+          case GateType::Or:
+          case GateType::Nor:
+            for (std::size_t j = 0; j < fin.size(); ++j) {
+              if (j != pin) side = sat_add(side, r.cc0[fin[j]]);
+            }
+            break;
+          case GateType::Xor:
+          case GateType::Xnor:
+            for (std::size_t j = 0; j < fin.size(); ++j) {
+              if (j != pin) {
+                side = sat_add(side, std::min(r.cc0[fin[j]], r.cc1[fin[j]]));
+              }
+            }
+            break;
+          case GateType::Mux:
+            if (pin == kMuxPinA) {
+              side = r.cc0[fin[kMuxPinSel]];
+            } else if (pin == kMuxPinB) {
+              side = r.cc1[fin[kMuxPinSel]];
+            } else {
+              // Observing the select requires the data inputs to differ.
+              side = std::min(
+                  sat_add(r.cc0[fin[kMuxPinA]], r.cc1[fin[kMuxPinB]]),
+                  sat_add(r.cc1[fin[kMuxPinA]], r.cc0[fin[kMuxPinB]]));
+            }
+            break;
+          case GateType::Tristate:
+            side = pin == kTristatePinData ? r.cc1[fin[kTristatePinEnable]]
+                                           : std::min(r.cc0[fin[kTristatePinData]],
+                                                      r.cc1[fin[kTristatePinData]]);
+            break;
+          case GateType::Bus:
+            side = 0;  // assume other drivers released
+            break;
+          default:
+            side = 0;
+            break;
+        }
+        const int via = sat_add(sat_add(r.co[g], side), 1);
+        if (via < r.co[fin[pin]]) {
+          r.co[fin[pin]] = via;
+          changed = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<GateId> rank_hardest_nets(const Netlist& nl, const ScoapResult& r,
+                                      std::size_t top_n) {
+  std::vector<GateId> ids;
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) != GateType::Output) ids.push_back(g);
+  }
+  std::sort(ids.begin(), ids.end(), [&](GateId a, GateId b) {
+    return r.difficulty(a) > r.difficulty(b);
+  });
+  if (ids.size() > top_n) ids.resize(top_n);
+  return ids;
+}
+
+std::string scoap_report(const Netlist& nl, const ScoapResult& r,
+                         std::size_t top_n) {
+  std::ostringstream os;
+  os << "SCOAP report for " << nl.name() << " (hardest nets first)\n";
+  os << "  net                 CC0       CC1        CO\n";
+  for (GateId g : rank_hardest_nets(nl, r, top_n)) {
+    auto fmt = [](int v) {
+      return v >= kScoapInf ? std::string("inf") : std::to_string(v);
+    };
+    os << "  " << nl.label(g);
+    for (std::size_t k = nl.label(g).size(); k < 16; ++k) os << ' ';
+    os << "  " << fmt(r.cc0[g]) << "  " << fmt(r.cc1[g]) << "  "
+       << fmt(r.co[g]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dft

@@ -1,0 +1,55 @@
+// SCOAP-style controllability/observability measures (Sec. II; Goldstein
+// [70]).
+//
+// "A number of programs have been written which essentially give analytic
+// measures of controllability and observability for different nets in a
+// given sequential network" -- this is that program. CC0/CC1 count how many
+// net assignments are needed to force a net to 0/1; CO counts the work to
+// propagate a net's value to an observable point. High numbers flag nets
+// that need test points or scan (Sec. II / III-B).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// Saturation value for uncontrollable/unobservable nets.
+inline constexpr int kScoapInf = std::numeric_limits<int>::max() / 4;
+
+enum class ScoapMode {
+  // Storage outputs are controllable and observable for free (CC = 1,
+  // CO at D pin = 0): the access scan provides.
+  FullScan,
+  // Storage elements cost one time frame; values iterate to a fixpoint.
+  Sequential,
+};
+
+struct ScoapResult {
+  // Indexed by GateId (the net the gate drives).
+  std::vector<int> cc0;
+  std::vector<int> cc1;
+  std::vector<int> co;  // observability of the gate output net
+
+  int worst_cc(GateId g) const { return std::max(cc0[g], cc1[g]); }
+  // Combined testability figure for the fault site (larger = harder).
+  long long difficulty(GateId g) const {
+    return static_cast<long long>(worst_cc(g)) + co[g];
+  }
+};
+
+ScoapResult compute_scoap(const Netlist& nl,
+                          ScoapMode mode = ScoapMode::Sequential);
+
+// Nets ranked hardest-first by CC+CO; the candidate list for test points /
+// scan conversion.
+std::vector<GateId> rank_hardest_nets(const Netlist& nl, const ScoapResult& r,
+                                      std::size_t top_n);
+
+std::string scoap_report(const Netlist& nl, const ScoapResult& r,
+                         std::size_t top_n = 10);
+
+}  // namespace dft

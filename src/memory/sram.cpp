@@ -1,0 +1,197 @@
+#include "memory/sram.h"
+
+#include <stdexcept>
+
+namespace dft {
+
+SramModel::SramModel(int addr_bits, int word_bits)
+    : addr_bits_(addr_bits), word_bits_(word_bits) {
+  if (addr_bits < 1 || addr_bits > 16 || word_bits < 1 || word_bits > 63) {
+    throw std::invalid_argument("SRAM geometry out of range");
+  }
+  cells_.assign(static_cast<std::size_t>(1) << addr_bits, 0);
+}
+
+int SramModel::map_addr(int addr) const {
+  for (const auto& [a, actual] : addr_faults_) {
+    if (a == addr) return actual;
+  }
+  return addr;
+}
+
+bool SramModel::cell(int addr, int bit) const {
+  return (cells_[static_cast<std::size_t>(addr)] >> bit) & 1;
+}
+
+void SramModel::set_cell(int addr, int bit, bool v) {
+  const bool old = cell(addr, bit);
+
+  // Transition faults block the write of the new value.
+  for (const auto& t : transitions_) {
+    if (t.addr == addr && t.bit == bit) {
+      if (t.rising_blocked && !old && v) return;   // 0 -> 1 blocked
+      if (!t.rising_blocked && old && !v) return;  // 1 -> 0 blocked
+    }
+  }
+  bool effective = v;
+  // Cell stuck-at wins over everything.
+  for (const auto& s : stucks_) {
+    if (s.addr == addr && s.bit == bit) effective = s.sa1;
+  }
+  if (effective) {
+    cells_[static_cast<std::size_t>(addr)] |= 1ull << bit;
+  } else {
+    cells_[static_cast<std::size_t>(addr)] &= ~(1ull << bit);
+  }
+
+  // Couplings fire on actual transitions of the aggressor.
+  if (effective != old) {
+    const bool rising = effective;
+    for (const auto& cp : couplings_) {
+      if (cp.aggr_addr != addr || cp.aggr_bit != bit ||
+          cp.on_rising != rising) {
+        continue;
+      }
+      const bool vict = cell(cp.vict_addr, cp.vict_bit);
+      const bool nv = cp.inversion ? !vict : cp.forced_value;
+      // Victim cell stuck-at still dominates.
+      bool nv2 = nv;
+      for (const auto& s : stucks_) {
+        if (s.addr == cp.vict_addr && s.bit == cp.vict_bit) nv2 = s.sa1;
+      }
+      if (nv2) {
+        cells_[static_cast<std::size_t>(cp.vict_addr)] |= 1ull << cp.vict_bit;
+      } else {
+        cells_[static_cast<std::size_t>(cp.vict_addr)] &=
+            ~(1ull << cp.vict_bit);
+      }
+    }
+  }
+}
+
+void SramModel::write(int addr, std::uint64_t data) {
+  if (addr < 0 || addr >= words()) throw std::out_of_range("SRAM address");
+  addr = map_addr(addr);
+  for (int b = 0; b < word_bits_; ++b) set_cell(addr, b, (data >> b) & 1);
+}
+
+std::uint64_t SramModel::read(int addr) {
+  if (addr < 0 || addr >= words()) throw std::out_of_range("SRAM address");
+  addr = map_addr(addr);
+  std::uint64_t out = 0;
+  for (int b = 0; b < word_bits_; ++b) {
+    bool v = cell(addr, b);
+    for (const auto& s : stucks_) {
+      if (s.addr == addr && s.bit == b) v = s.sa1;
+    }
+    if (v) out |= 1ull << b;
+  }
+  return out;
+}
+
+void SramModel::inject_cell_stuck(int addr, int bit, bool sa1) {
+  stucks_.push_back({addr, bit, sa1});
+}
+
+void SramModel::inject_transition_fault(int addr, int bit,
+                                        bool rising_blocked) {
+  transitions_.push_back({addr, bit, rising_blocked});
+}
+
+void SramModel::inject_inversion_coupling(int aggr_addr, int aggr_bit,
+                                          bool on_rising, int vict_addr,
+                                          int vict_bit) {
+  couplings_.push_back({aggr_addr, aggr_bit, on_rising, vict_addr, vict_bit,
+                        true, false});
+}
+
+void SramModel::inject_idempotent_coupling(int aggr_addr, int aggr_bit,
+                                           bool on_rising, int vict_addr,
+                                           int vict_bit, bool forced_value) {
+  couplings_.push_back({aggr_addr, aggr_bit, on_rising, vict_addr, vict_bit,
+                        false, forced_value});
+}
+
+void SramModel::inject_address_fault(int addr, int actual) {
+  addr_faults_.emplace_back(addr, actual);
+}
+
+void SramModel::clear_faults() {
+  stucks_.clear();
+  transitions_.clear();
+  couplings_.clear();
+  addr_faults_.clear();
+}
+
+MarchTest mats_plus() {
+  return {
+      {MarchOrder::Either, {MarchOp::W0}},
+      {MarchOrder::Up, {MarchOp::R0, MarchOp::W1}},
+      {MarchOrder::Down, {MarchOp::R1, MarchOp::W0}},
+  };
+}
+
+MarchTest march_c_minus() {
+  return {
+      {MarchOrder::Either, {MarchOp::W0}},
+      {MarchOrder::Up, {MarchOp::R0, MarchOp::W1}},
+      {MarchOrder::Up, {MarchOp::R1, MarchOp::W0}},
+      {MarchOrder::Down, {MarchOp::R0, MarchOp::W1}},
+      {MarchOrder::Down, {MarchOp::R1, MarchOp::W0}},
+      {MarchOrder::Either, {MarchOp::R0}},
+  };
+}
+
+MarchResult run_march(SramModel& mem, const MarchTest& test) {
+  MarchResult res;
+  const int n = mem.words();
+  const std::uint64_t ones = (1ull << mem.word_bits()) - 1;
+  for (std::size_t e = 0; e < test.size(); ++e) {
+    const MarchElement& el = test[e];
+    const bool down = el.order == MarchOrder::Down;
+    for (int k = 0; k < n; ++k) {
+      const int addr = down ? n - 1 - k : k;
+      for (std::size_t o = 0; o < el.ops.size(); ++o) {
+        ++res.operations;
+        switch (el.ops[o]) {
+          case MarchOp::W0: mem.write(addr, 0); break;
+          case MarchOp::W1: mem.write(addr, ones); break;
+          case MarchOp::R0:
+          case MarchOp::R1: {
+            const std::uint64_t want = el.ops[o] == MarchOp::R1 ? ones : 0;
+            if (mem.read(addr) != want && res.pass) {
+              res.pass = false;
+              res.fail_element = static_cast<int>(e);
+              res.fail_op = static_cast<int>(o);
+              res.fail_addr = addr;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  return res;
+}
+
+std::string march_name(const MarchTest& test) {
+  std::string s;
+  for (const auto& el : test) {
+    s += el.order == MarchOrder::Up ? "U(" : (el.order == MarchOrder::Down
+                                                  ? "D("
+                                                  : "E(");
+    for (std::size_t i = 0; i < el.ops.size(); ++i) {
+      if (i) s += ",";
+      switch (el.ops[i]) {
+        case MarchOp::R0: s += "r0"; break;
+        case MarchOp::R1: s += "r1"; break;
+        case MarchOp::W0: s += "w0"; break;
+        case MarchOp::W1: s += "w1"; break;
+      }
+    }
+    s += ") ";
+  }
+  return s;
+}
+
+}  // namespace dft

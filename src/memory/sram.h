@@ -1,0 +1,109 @@
+// Behavioral SRAM with the classical memory fault models, plus march
+// tests.
+//
+// Sec. IV-A notes that "it is not practical to implement RAM with SRL
+// memory, so additional procedures are required to handle embedded RAM
+// circuitry" [20]; refs [59], [67] cover pattern-sensitive faults and RAM
+// fault location. This module supplies that procedure: a word-organized
+// SRAM model with injectable cell stuck-at, transition, coupling, and
+// address-decoder faults, and the march algorithms (MATS+, March C-) that
+// detect them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dft {
+
+class SramModel {
+ public:
+  SramModel(int addr_bits, int word_bits);
+
+  int words() const { return 1 << addr_bits_; }
+  int word_bits() const { return word_bits_; }
+
+  void write(int addr, std::uint64_t data);
+  std::uint64_t read(int addr);
+
+  // --- fault injection (one model instance may carry several faults) -----
+  void inject_cell_stuck(int addr, int bit, bool sa1);
+  // Transition fault: the cell cannot make the given transition.
+  void inject_transition_fault(int addr, int bit, bool rising_blocked);
+  // Inversion coupling: when the aggressor cell makes the given transition,
+  // the victim cell inverts.
+  void inject_inversion_coupling(int aggr_addr, int aggr_bit, bool on_rising,
+                                 int vict_addr, int vict_bit);
+  // Idempotent coupling: the aggressor transition forces the victim to a
+  // fixed value.
+  void inject_idempotent_coupling(int aggr_addr, int aggr_bit, bool on_rising,
+                                  int vict_addr, int vict_bit,
+                                  bool forced_value);
+  // Address-decoder fault: accesses to `addr` land on `actual` instead.
+  void inject_address_fault(int addr, int actual);
+  void clear_faults();
+
+ private:
+  void set_cell(int addr, int bit, bool v);
+  bool cell(int addr, int bit) const;
+  int map_addr(int addr) const;
+
+  int addr_bits_;
+  int word_bits_;
+  std::vector<std::uint64_t> cells_;
+
+  struct CellStuck {
+    int addr, bit;
+    bool sa1;
+  };
+  struct Transition {
+    int addr, bit;
+    bool rising_blocked;
+  };
+  struct Coupling {
+    int aggr_addr, aggr_bit;
+    bool on_rising;
+    int vict_addr, vict_bit;
+    bool inversion;     // else idempotent
+    bool forced_value;  // idempotent only
+  };
+  std::vector<CellStuck> stucks_;
+  std::vector<Transition> transitions_;
+  std::vector<Coupling> couplings_;
+  std::vector<std::pair<int, int>> addr_faults_;
+};
+
+// --- March tests -----------------------------------------------------------
+
+enum class MarchOrder { Up, Down, Either };
+enum class MarchOp { R0, R1, W0, W1 };
+
+struct MarchElement {
+  MarchOrder order = MarchOrder::Either;
+  std::vector<MarchOp> ops;
+};
+using MarchTest = std::vector<MarchElement>;
+
+// MATS+:    {E(w0); U(r0,w1); D(r1,w0)} -- detects SAF and AF.
+MarchTest mats_plus();
+// March C-: {E(w0); U(r0,w1); U(r1,w0); D(r0,w1); D(r1,w0); E(r0)}
+// -- additionally detects TF and unlinked CFs.
+MarchTest march_c_minus();
+
+struct MarchResult {
+  bool pass = true;
+  int operations = 0;
+  // First failing (element, op, address) for diagnosis.
+  int fail_element = -1;
+  int fail_op = -1;
+  int fail_addr = -1;
+};
+
+// Applies the march test to every bit column simultaneously (solid data
+// backgrounds).
+MarchResult run_march(SramModel& mem, const MarchTest& test);
+
+std::string march_name(const MarchTest& test);
+
+}  // namespace dft

@@ -1,0 +1,252 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dft {
+
+namespace {
+
+struct PendingGate {
+  GateType type;
+  std::vector<std::string> fanin_names;
+  int line = 0;
+};
+
+std::string trim(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+GateType parse_type(const std::string& t, int line) {
+  static const std::map<std::string, GateType> kTypes = {
+      {"BUF", GateType::Buf},         {"BUFF", GateType::Buf},
+      {"NOT", GateType::Not},         {"INV", GateType::Not},
+      {"AND", GateType::And},         {"NAND", GateType::Nand},
+      {"OR", GateType::Or},           {"NOR", GateType::Nor},
+      {"XOR", GateType::Xor},         {"XNOR", GateType::Xnor},
+      {"MUX", GateType::Mux},         {"TRISTATE", GateType::Tristate},
+      {"BUS", GateType::Bus},         {"DFF", GateType::Dff},
+      {"SCANDFF", GateType::ScanDff}, {"SRL", GateType::Srl},
+      {"ALATCH", GateType::AddressableLatch},
+      {"CONST0", GateType::Const0},   {"CONST1", GateType::Const1},
+  };
+  auto it = kTypes.find(upper(t));
+  if (it == kTypes.end()) {
+    throw std::runtime_error("bench line " + std::to_string(line) +
+                             ": unknown gate type '" + t + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> split_args(const std::string& args, int line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : args) {
+    if (c == ',') {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  for (const auto& a : out) {
+    if (a.empty()) {
+      throw std::runtime_error("bench line " + std::to_string(line) +
+                               ": empty operand");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string netlist_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::pair<std::string, int>> output_names;
+  // Definition order is preserved so storage chains read back identically.
+  std::vector<std::pair<std::string, PendingGate>> defs;
+  std::map<std::string, std::size_t> def_index;
+
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    std::string s = trim(raw.substr(0, raw.find('#')));
+    if (s.empty()) continue;
+
+    const auto open = s.find('(');
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) / OUTPUT(y)
+      const auto close = s.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        throw std::runtime_error("bench line " + std::to_string(line) +
+                                 ": malformed declaration '" + s + "'");
+      }
+      const std::string kw = upper(trim(s.substr(0, open)));
+      const std::string arg = trim(s.substr(open + 1, close - open - 1));
+      if (kw == "INPUT") {
+        input_names.push_back(arg);
+      } else if (kw == "OUTPUT") {
+        output_names.emplace_back(arg, line);
+      } else {
+        throw std::runtime_error("bench line " + std::to_string(line) +
+                                 ": unknown keyword '" + kw + "'");
+      }
+      continue;
+    }
+
+    const std::string lhs = trim(s.substr(0, eq));
+    const std::string rhs = trim(s.substr(eq + 1));
+    const auto ropen = rhs.find('(');
+    const auto rclose = rhs.rfind(')');
+    if (lhs.empty() || ropen == std::string::npos ||
+        rclose == std::string::npos || rclose < ropen) {
+      throw std::runtime_error("bench line " + std::to_string(line) +
+                               ": malformed assignment '" + s + "'");
+    }
+    PendingGate pg;
+    pg.type = parse_type(trim(rhs.substr(0, ropen)), line);
+    pg.fanin_names = split_args(rhs.substr(ropen + 1, rclose - ropen - 1), line);
+    pg.line = line;
+    if (def_index.count(lhs) != 0) {
+      throw std::runtime_error("bench line " + std::to_string(line) +
+                               ": net '" + lhs + "' redefined");
+    }
+    def_index[lhs] = defs.size();
+    defs.emplace_back(lhs, std::move(pg));
+  }
+
+  Netlist nl(std::move(netlist_name));
+  std::map<std::string, GateId> ids;
+  for (const auto& n : input_names) ids[n] = nl.add_input(n);
+
+  // Storage elements break cycles, so create them first as placeholders
+  // driven by a temporary const; then add combinational gates in dependency
+  // order; finally rewire storage fanins.
+  GateId placeholder = kNoGate;
+  for (const auto& [name, pg] : defs) {
+    if (!is_storage(pg.type)) continue;
+    if (placeholder == kNoGate) placeholder = nl.add_gate(GateType::Const0, {});
+    std::vector<GateId> f(pg.fanin_names.size(), placeholder);
+    ids[name] = nl.add_gate(pg.type, std::move(f), name);
+  }
+
+  // Combinational gates: resolve recursively (input is a DAG once storage is
+  // pre-created).
+  std::vector<char> visiting(defs.size(), 0);
+  auto resolve = [&](auto&& self, const std::string& name, int line0) -> GateId {
+    auto hit = ids.find(name);
+    if (hit != ids.end()) return hit->second;
+    auto di = def_index.find(name);
+    if (di == def_index.end()) {
+      throw std::runtime_error("bench line " + std::to_string(line0) +
+                               ": undefined net '" + name + "'");
+    }
+    if (visiting[di->second]) {
+      throw std::runtime_error("bench: combinational cycle through net '" +
+                               name + "'");
+    }
+    visiting[di->second] = 1;
+    const PendingGate& pg = defs[di->second].second;
+    std::vector<GateId> f;
+    f.reserve(pg.fanin_names.size());
+    for (const auto& fn : pg.fanin_names) f.push_back(self(self, fn, pg.line));
+    visiting[di->second] = 0;
+    const GateId id = nl.add_gate(pg.type, std::move(f), name);
+    ids[name] = id;
+    return id;
+  };
+  for (const auto& [name, pg] : defs) {
+    if (!is_storage(pg.type)) resolve(resolve, name, pg.line);
+  }
+
+  // Rewire storage fanins from placeholders to their real drivers.
+  for (const auto& [name, pg] : defs) {
+    if (!is_storage(pg.type)) continue;
+    const GateId g = ids.at(name);
+    for (std::size_t pin = 0; pin < pg.fanin_names.size(); ++pin) {
+      auto it = ids.find(pg.fanin_names[pin]);
+      if (it == ids.end()) {
+        throw std::runtime_error("bench line " + std::to_string(pg.line) +
+                                 ": undefined net '" + pg.fanin_names[pin] +
+                                 "'");
+      }
+      nl.set_fanin(g, static_cast<int>(pin), it->second);
+    }
+  }
+
+  for (const auto& [name, oline] : output_names) {
+    auto it = ids.find(name);
+    if (it == ids.end()) {
+      throw std::runtime_error("bench line " + std::to_string(oline) +
+                               ": undefined output net '" + name + "'");
+    }
+    std::string oname = "out_" + name;
+    for (int k = 2; nl.find(oname).has_value(); ++k) {
+      oname = "out_" + name + "_" + std::to_string(k);
+    }
+    nl.add_output(it->second, oname);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist read_bench_string(std::string_view text, std::string netlist_name) {
+  std::istringstream in{std::string(text)};
+  return read_bench(in, std::move(netlist_name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  return read_bench(in, path);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# netlist: " << (nl.name().empty() ? "(unnamed)" : nl.name())
+      << "\n";
+  for (GateId g : nl.inputs()) out << "INPUT(" << nl.label(g) << ")\n";
+  for (GateId g : nl.outputs()) {
+    out << "OUTPUT(" << nl.label(nl.fanin(g).front()) << ")\n";
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const GateType t = nl.type(g);
+    if (t == GateType::Input || t == GateType::Output) continue;
+    // Skip dead unnamed constants (e.g. the reader's storage placeholder).
+    if ((t == GateType::Const0 || t == GateType::Const1) &&
+        nl.gate_name(g).empty() && nl.fanout(g).empty()) {
+      continue;
+    }
+    out << nl.label(g) << " = " << gate_type_name(t) << "(";
+    const auto& f = nl.fanin(g);
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << nl.label(f[i]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream os;
+  write_bench(os, nl);
+  return os.str();
+}
+
+}  // namespace dft

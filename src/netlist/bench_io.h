@@ -1,0 +1,29 @@
+// Reader/writer for the ISCAS-85/89 ".bench" netlist format, extended with
+// the scannable storage primitives of Sec. IV (SCANDFF, SRL, ALATCH).
+//
+//   INPUT(a)
+//   OUTPUT(y)
+//   n1 = NAND(a, b)
+//   q  = DFF(n1)
+//   y  = AND(n1, q)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// Parses a netlist; throws std::runtime_error with line information on
+// malformed input.
+Netlist read_bench(std::istream& in, std::string netlist_name = {});
+Netlist read_bench_string(std::string_view text, std::string netlist_name = {});
+Netlist read_bench_file(const std::string& path);
+
+// Serializes a netlist. Unnamed gates get synthetic "g<id>" names.
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace dft

@@ -1,0 +1,58 @@
+#include "netlist/gate.h"
+
+#include <algorithm>
+
+namespace dft {
+
+int gate_cost(GateType t, int fanin_count) {
+  const int wide = std::max(1, fanin_count - 1);  // tree of 2-input gates
+  switch (t) {
+    case GateType::Input:
+    case GateType::Output:
+    case GateType::Const0:
+    case GateType::Const1: return 0;
+    case GateType::Buf:
+    case GateType::Not: return 1;
+    case GateType::And:
+    case GateType::Or: return wide;
+    case GateType::Nand:
+    case GateType::Nor: return wide;
+    case GateType::Xor:
+    case GateType::Xnor: return 3 * wide;  // XOR ~ 3 simple gate equivalents
+    case GateType::Mux: return 3;
+    case GateType::Tristate: return 2;
+    case GateType::Bus: return 0;  // wired connection
+    case GateType::Dff: return 6;  // two simple latches (master/slave)
+    case GateType::ScanDff: return 10;  // raceless scan DFF of Fig. 13
+    case GateType::Srl: return 9;       // L1+L2 SRL of Fig. 10
+    case GateType::AddressableLatch: return 7;  // latch + 3-4 gates (Sec. IV-D)
+  }
+  return 0;
+}
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Output: return "OUTPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux: return "MUX";
+    case GateType::Tristate: return "TRISTATE";
+    case GateType::Bus: return "BUS";
+    case GateType::Dff: return "DFF";
+    case GateType::ScanDff: return "SCANDFF";
+    case GateType::Srl: return "SRL";
+    case GateType::AddressableLatch: return "ALATCH";
+  }
+  return "?";
+}
+
+}  // namespace dft

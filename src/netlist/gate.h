@@ -1,0 +1,114 @@
+// Gate primitives for the structural netlist.
+//
+// The netlist models circuits at the level the survey discusses them:
+// simple gates (Fig. 1), tri-state bus drivers (Fig. 6), and clocked storage
+// elements -- a plain D flip-flop plus the scannable storage devices of
+// Sec. IV (LSSD shift-register latch, raceless scan D flip-flop, addressable
+// latch). Scannable elements are modeled behaviorally with explicit scan
+// data ports; their gate-level cost is accounted by `gate_cost()` per the
+// paper's overhead discussion.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dft {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+enum class GateType : std::uint8_t {
+  // Sources / sinks.
+  Input,   // primary input; no fanin
+  Output,  // primary output; fanin: {data}
+  Const0,  // constant 0
+  Const1,  // constant 1
+
+  // Combinational gates. And/Nand/Or/Nor/Xor/Xnor accept fanin >= 1.
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Mux,       // fanin: {a, b, sel}; output = sel ? b : a
+  Tristate,  // fanin: {data, enable}; output = enable ? data : Z
+  Bus,       // resolves any number of (tri-state) drivers; conflict -> X
+
+  // Storage elements (one implicit system clock; evaluated once per cycle).
+  Dff,      // fanin: {D}
+  ScanDff,  // fanin: {D, ScanIn}; muxed/raceless scan element (Scan Path, Fig. 13)
+  Srl,      // fanin: {D, ScanIn}; LSSD shift-register latch (Fig. 10); L2 == output
+  AddressableLatch,  // fanin: {D}; Random-Access Scan latch (Figs. 16-17)
+};
+
+inline constexpr int kMuxPinA = 0;
+inline constexpr int kMuxPinB = 1;
+inline constexpr int kMuxPinSel = 2;
+inline constexpr int kTristatePinData = 0;
+inline constexpr int kTristatePinEnable = 1;
+inline constexpr int kStoragePinD = 0;
+inline constexpr int kStoragePinScanIn = 1;
+
+constexpr bool is_storage(GateType t) {
+  return t == GateType::Dff || t == GateType::ScanDff || t == GateType::Srl ||
+         t == GateType::AddressableLatch;
+}
+
+constexpr bool is_scannable_storage(GateType t) {
+  return t == GateType::ScanDff || t == GateType::Srl ||
+         t == GateType::AddressableLatch;
+}
+
+constexpr bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::Const0 || t == GateType::Const1;
+}
+
+// True for gates evaluated by the combinational simulators.
+constexpr bool is_combinational(GateType t) {
+  return !is_storage(t) && !is_source(t);
+}
+
+// Minimum and maximum legal fanin counts (max < 0 means unbounded).
+struct FaninArity {
+  int min = 0;
+  int max = 0;
+};
+
+constexpr FaninArity fanin_arity(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return {0, 0};
+    case GateType::Output:
+    case GateType::Buf:
+    case GateType::Not: return {1, 1};
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor: return {1, -1};
+    case GateType::Mux: return {3, 3};
+    case GateType::Tristate: return {2, 2};
+    case GateType::Bus: return {1, -1};
+    case GateType::Dff:
+    case GateType::AddressableLatch: return {1, 1};
+    case GateType::ScanDff:
+    case GateType::Srl: return {2, 2};
+  }
+  return {0, 0};
+}
+
+// Equivalent two-input-gate cost of each primitive, used for the overhead
+// accounting of Secs. IV-V.  Storage-element costs follow the paper's gate
+// counts: an SRL is "two or three times as complex as a simple latch"
+// (Fig. 10 shows 9 NAND/NOT blocks), the raceless scan flip-flop of Fig. 13
+// has 10, and an addressable latch adds 3-4 gates over a plain latch.
+int gate_cost(GateType t, int fanin_count);
+
+std::string_view gate_type_name(GateType t);
+
+}  // namespace dft

@@ -1,0 +1,9 @@
+#include "netlist/logic.h"
+
+#include <ostream>
+
+namespace dft {
+
+std::ostream& operator<<(std::ostream& os, Logic v) { return os << to_char(v); }
+
+}  // namespace dft

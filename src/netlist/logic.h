@@ -1,0 +1,73 @@
+// Four-valued logic used by the simulators and ATPG front ends.
+//
+// The survey's fault arguments (Fig. 1) are stated in two-valued terms, but
+// practical test generation and scan simulation require the unknown value X
+// (uninitialized latches, unassigned primary inputs) and the high-impedance
+// value Z (tri-state buses of Sec. III-C).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace dft {
+
+enum class Logic : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,  // unknown
+  Z = 3,  // high impedance (undriven bus)
+};
+
+// Converts a bool to the corresponding binary logic value.
+constexpr Logic to_logic(bool b) { return b ? Logic::One : Logic::Zero; }
+
+constexpr bool is_binary(Logic v) { return v == Logic::Zero || v == Logic::One; }
+
+// For gate *inputs*, a floating (Z) net reads as unknown.
+constexpr Logic as_input(Logic v) { return v == Logic::Z ? Logic::X : v; }
+
+// Kleene three-valued operators (Z is coerced to X on input).
+constexpr Logic logic_not(Logic a) {
+  a = as_input(a);
+  if (a == Logic::Zero) return Logic::One;
+  if (a == Logic::One) return Logic::Zero;
+  return Logic::X;
+}
+
+constexpr Logic logic_and(Logic a, Logic b) {
+  a = as_input(a);
+  b = as_input(b);
+  if (a == Logic::Zero || b == Logic::Zero) return Logic::Zero;
+  if (a == Logic::One && b == Logic::One) return Logic::One;
+  return Logic::X;
+}
+
+constexpr Logic logic_or(Logic a, Logic b) {
+  a = as_input(a);
+  b = as_input(b);
+  if (a == Logic::One || b == Logic::One) return Logic::One;
+  if (a == Logic::Zero && b == Logic::Zero) return Logic::Zero;
+  return Logic::X;
+}
+
+constexpr Logic logic_xor(Logic a, Logic b) {
+  a = as_input(a);
+  b = as_input(b);
+  if (!is_binary(a) || !is_binary(b)) return Logic::X;
+  return to_logic(a != b);
+}
+
+constexpr char to_char(Logic v) {
+  switch (v) {
+    case Logic::Zero: return '0';
+    case Logic::One: return '1';
+    case Logic::X: return 'X';
+    case Logic::Z: return 'Z';
+  }
+  return '?';
+}
+
+std::ostream& operator<<(std::ostream& os, Logic v);
+
+}  // namespace dft

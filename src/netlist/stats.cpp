@@ -1,0 +1,35 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dft {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.primary_inputs = static_cast<int>(nl.inputs().size());
+  s.primary_outputs = static_cast<int>(nl.outputs().size());
+  s.storage_elements = static_cast<int>(nl.storage().size());
+  for (GateId g : nl.storage()) {
+    if (is_scannable_storage(nl.type(g))) ++s.scannable_storage;
+  }
+  for (GateId g = 0; g < nl.size(); ++g) {
+    const GateType t = nl.type(g);
+    if (is_combinational(t) && t != GateType::Output) ++s.combinational_gates;
+    s.max_fanin = std::max(s.max_fanin, static_cast<int>(nl.fanin(g).size()));
+    s.max_fanout = std::max(s.max_fanout, static_cast<int>(nl.fanout(g).size()));
+  }
+  s.gate_equivalents = nl.gate_equivalents();
+  s.depth = nl.depth();
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s) {
+  return os << "PI=" << s.primary_inputs << " PO=" << s.primary_outputs
+            << " FF=" << s.storage_elements << " (scan "
+            << s.scannable_storage << ") gates=" << s.combinational_gates
+            << " GE=" << s.gate_equivalents << " depth=" << s.depth
+            << " maxfi=" << s.max_fanin << " maxfo=" << s.max_fanout;
+}
+
+}  // namespace dft

@@ -1,0 +1,27 @@
+// Structural statistics used by reports and the overhead benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct NetlistStats {
+  int primary_inputs = 0;
+  int primary_outputs = 0;
+  int storage_elements = 0;
+  int scannable_storage = 0;
+  int combinational_gates = 0;
+  int gate_equivalents = 0;  // 2-input-gate equivalents incl. storage
+  int depth = 0;             // combinational logic depth
+  int max_fanin = 0;
+  int max_fanout = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s);
+
+}  // namespace dft

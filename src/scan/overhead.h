@@ -1,0 +1,39 @@
+// Cross-technique overhead accounting (the qualitative cost discussion of
+// Secs. IV-V, quantified on a concrete netlist).
+//
+// For each structured technique this computes extra gate equivalents,
+// overhead percentage, extra pins, and the relative serial test-data-volume
+// factor -- the numbers behind the survey's claims ("4 to 20 percent" for
+// LSSD, "three to four gates per storage element" for RAS, BILBO's 100x
+// test-data reduction, etc.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+struct TechniqueOverhead {
+  std::string technique;
+  int extra_gate_equivalents = 0;
+  double overhead_pct = 0.0;  // vs the unmodified netlist
+  int extra_pins = 0;
+  // Serial bits shifted per applied test, relative to one test's worth of
+  // state (full scan = chain length; BILBO ~ chain length / patterns
+  // between scan-outs).
+  double data_volume_per_test = 0.0;
+  std::string notes;
+};
+
+// Rows: LSSD, Scan Path, Scan/Set(64), Random-Access Scan, BILBO.
+// `l2_reuse_fraction` models the IBM System/38 point that L2 latches reused
+// for system function slash LSSD overhead (85% reuse reported).
+std::vector<TechniqueOverhead> compare_overheads(
+    const Netlist& nl, double l2_reuse_fraction = 0.0,
+    int bilbo_patterns_per_signature = 100);
+
+std::string overhead_table(const std::vector<TechniqueOverhead>& rows);
+
+}  // namespace dft

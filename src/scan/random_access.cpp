@@ -1,0 +1,192 @@
+#include "scan/random_access.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dft {
+
+RasInsertionResult insert_random_access_scan(Netlist& nl) {
+  RasInsertionResult res;
+  for (GateId g : nl.storage()) {
+    if (nl.type(g) == GateType::Dff) {
+      nl.convert_storage(g, GateType::AddressableLatch);
+      res.latches.push_back(g);
+    }
+  }
+  const int n = static_cast<int>(res.latches.size());
+  if (n == 0) return res;
+  // Square-ish X/Y split.
+  int x = 0;
+  while ((1 << x) * (1 << x) < n) ++x;
+  int y = x;
+  while ((1 << x) * (1 << (y - 1)) >= n && y > 0) --y;
+  res.x_bits = x;
+  res.y_bits = y;
+  // Per-latch delta (AddressableLatch vs Dff) + one AND per decoder output
+  // + an OR tree collecting SDO.
+  const int latch_delta =
+      (gate_cost(GateType::AddressableLatch, 1) - gate_cost(GateType::Dff, 1)) *
+      n;
+  const int decoders = (1 << x) + (1 << y);
+  const int sdo_tree = n > 1 ? n - 1 : 0;
+  res.extra_gate_equivalents = latch_delta + decoders + sdo_tree;
+  res.pins_parallel_address = x + y + 4;  // SDI, SDO, SCK, CL
+  res.pins_serial_address = 6;            // Sec. IV-D's serial counter figure
+  nl.validate();
+  return res;
+}
+
+RasStructural insert_random_access_scan_structural(Netlist& nl) {
+  RasStructural res;
+  res.gate_equivalents_before = nl.gate_equivalents();
+  for (GateId g : nl.storage()) {
+    if (nl.type(g) == GateType::Dff) res.latches.push_back(g);
+  }
+  const int n = static_cast<int>(res.latches.size());
+  if (n == 0) return res;
+  int xb = 0;
+  while ((1 << xb) * (1 << xb) < n) ++xb;
+  int yb = xb;
+  while (yb > 0 && (1 << xb) * (1 << (yb - 1)) >= n) --yb;
+
+  for (int i = 0; i < xb; ++i) {
+    res.x_addr.push_back(nl.add_input("ras_x" + std::to_string(i)));
+  }
+  for (int i = 0; i < yb; ++i) {
+    res.y_addr.push_back(nl.add_input("ras_y" + std::to_string(i)));
+  }
+  res.sdi = nl.add_input("ras_sdi");
+  res.scan_mode = nl.add_input("ras_mode");
+
+  // One-hot decoders (inverters shared).
+  std::vector<GateId> nx, ny;
+  for (GateId a : res.x_addr) {
+    nx.push_back(nl.add_gate(GateType::Not, {a}, "ras_nx" + nl.label(a)));
+  }
+  for (GateId a : res.y_addr) {
+    ny.push_back(nl.add_gate(GateType::Not, {a}, "ras_ny" + nl.label(a)));
+  }
+  auto decode = [&](const std::vector<GateId>& addr,
+                    const std::vector<GateId>& naddr, int value,
+                    const std::string& tag) -> GateId {
+    if (addr.empty()) return kNoGate;  // single row/column
+    std::vector<GateId> lits;
+    for (std::size_t i = 0; i < addr.size(); ++i) {
+      lits.push_back((value >> i) & 1 ? addr[i] : naddr[i]);
+    }
+    if (lits.size() == 1) return lits[0];
+    return nl.add_gate(GateType::And, lits, tag);
+  };
+
+  std::vector<GateId> sdo_terms;
+  for (int i = 0; i < n; ++i) {
+    const int xv = i % (1 << xb);
+    const int yv = i / (1 << xb);
+    const std::string t = std::to_string(i);
+    const GateId xd = decode(res.x_addr, nx, xv, "ras_xd" + t);
+    const GateId yd = decode(res.y_addr, ny, yv, "ras_yd" + t);
+    GateId sel;
+    if (xd == kNoGate && yd == kNoGate) {
+      sel = nl.add_gate(GateType::Const1, {}, "ras_sel" + t);
+    } else if (yd == kNoGate) {
+      sel = xd;
+    } else if (xd == kNoGate) {
+      sel = yd;
+    } else {
+      sel = nl.add_gate(GateType::And, {xd, yd}, "ras_sel" + t);
+    }
+
+    const GateId ff = res.latches[static_cast<std::size_t>(i)];
+    const GateId d = nl.fanin(ff)[kStoragePinD];
+    // scan_mode = 0 -> D; scan_mode = 1 -> addressed ? SDI : hold.
+    const GateId write_here =
+        nl.add_gate(GateType::And, {sel, res.scan_mode}, "ras_wr" + t);
+    const GateId hold_or_sdi =
+        nl.add_gate(GateType::Mux, {ff, res.sdi, write_here}, "ras_hs" + t);
+    const GateId next =
+        nl.add_gate(GateType::Mux, {d, hold_or_sdi, res.scan_mode},
+                    "ras_nx" + t);
+    nl.set_fanin(ff, kStoragePinD, next);
+
+    sdo_terms.push_back(
+        nl.add_gate(GateType::And, {sel, ff}, "ras_rd" + t));
+  }
+  const GateId sdo_net =
+      sdo_terms.size() == 1
+          ? sdo_terms[0]
+          : nl.add_gate(GateType::Or, sdo_terms, "ras_sdo_or");
+  res.sdo = nl.add_output(sdo_net, "ras_sdo");
+  res.gate_equivalents_after = nl.gate_equivalents();
+  nl.validate();
+  return res;
+}
+
+RasStructuralController::RasStructuralController(const Netlist& nl,
+                                                 RasStructural layout)
+    : nl_(&nl), layout_(std::move(layout)) {}
+
+void RasStructuralController::set_address(SeqSim& sim, int address) const {
+  if (address < 0 || address >= num_latches()) {
+    throw std::out_of_range("RAS address");
+  }
+  const int xbits = static_cast<int>(layout_.x_addr.size());
+  const int xv = address % (1 << xbits);
+  const int yv = address / (1 << xbits);
+  for (int i = 0; i < xbits; ++i) {
+    sim.set_input(layout_.x_addr[static_cast<std::size_t>(i)],
+                  to_logic((xv >> i) & 1));
+  }
+  for (std::size_t i = 0; i < layout_.y_addr.size(); ++i) {
+    sim.set_input(layout_.y_addr[i], to_logic((yv >> i) & 1));
+  }
+}
+
+void RasStructuralController::write(SeqSim& sim, int address, Logic v) const {
+  set_address(sim, address);
+  sim.set_input(layout_.scan_mode, Logic::One);
+  sim.set_input(layout_.sdi, v);
+  sim.clock(ClockMode::Normal);
+  sim.set_input(layout_.scan_mode, Logic::Zero);
+}
+
+Logic RasStructuralController::read(SeqSim& sim, int address) const {
+  set_address(sim, address);
+  sim.evaluate();
+  return sim.value(layout_.sdo);
+}
+
+RasController::RasController(const Netlist& nl, RasInsertionResult layout)
+    : nl_(&nl), layout_(std::move(layout)) {}
+
+void RasController::write(SeqSim& sim, int address, Logic v) const {
+  if (address < 0 || address >= num_latches()) {
+    throw std::out_of_range("RAS address");
+  }
+  sim.set_state(layout_.latches[static_cast<std::size_t>(address)], v);
+}
+
+Logic RasController::read(const SeqSim& sim, int address) const {
+  if (address < 0 || address >= num_latches()) {
+    throw std::out_of_range("RAS address");
+  }
+  return sim.state(layout_.latches[static_cast<std::size_t>(address)]);
+}
+
+void RasController::load_all(SeqSim& sim,
+                             const std::vector<Logic>& states) const {
+  if (states.size() != layout_.latches.size()) {
+    throw std::invalid_argument("state vector size mismatch");
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    sim.set_state(layout_.latches[i], states[i]);
+  }
+}
+
+std::vector<Logic> RasController::dump_all(const SeqSim& sim) const {
+  std::vector<Logic> out;
+  out.reserve(layout_.latches.size());
+  for (GateId g : layout_.latches) out.push_back(sim.state(g));
+  return out;
+}
+
+}  // namespace dft

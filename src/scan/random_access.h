@@ -1,0 +1,86 @@
+// Random-Access Scan (Fujitsu, Sec. IV-D, Figs. 16-18).
+//
+// Every latch becomes an addressable latch selected by an X/Y decoder, like
+// a RAM cell: any single latch can be read (SDO) or written (SDI + SCK)
+// without shift registers. Overhead per the survey: 3-4 gates per storage
+// element and 10-20 pins, reducible to ~6 with a serial address counter.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/seq_sim.h"
+
+namespace dft {
+
+struct RasInsertionResult {
+  std::vector<GateId> latches;  // addressable latches, address order
+  int x_bits = 0;
+  int y_bits = 0;
+  int extra_gate_equivalents = 0;  // latch deltas + X/Y decoders + SDO tree
+  int pins_parallel_address = 0;   // X + Y + SDI + SDO + SCK + CL
+  int pins_serial_address = 0;     // serial address counter variant
+};
+
+// Converts every plain Dff to an AddressableLatch and sizes the address
+// decoders.
+RasInsertionResult insert_random_access_scan(Netlist& nl);
+
+// --- Structural variant -----------------------------------------------------
+//
+// Builds the Fig. 18 access hardware in actual gates: X/Y address inputs,
+// one-hot decoders, per-latch write gating (Mux(D, hold, SDI)) and an SDO
+// collection tree. With scan_mode = 0 the machine behaves exactly as
+// before; with scan_mode = 1 every latch holds except the addressed one,
+// which captures SDI on the next clock, and SDO continuously shows the
+// addressed latch.
+struct RasStructural {
+  std::vector<GateId> latches;   // address order
+  std::vector<GateId> x_addr;    // PIs
+  std::vector<GateId> y_addr;    // PIs
+  GateId sdi = kNoGate;          // PI
+  GateId scan_mode = kNoGate;    // PI
+  GateId sdo = kNoGate;          // PO
+  int gate_equivalents_before = 0;
+  int gate_equivalents_after = 0;
+};
+
+RasStructural insert_random_access_scan_structural(Netlist& nl);
+
+// Drives the structural hardware through a SeqSim: addressed write costs
+// one clock; read is combinational on SDO.
+class RasStructuralController {
+ public:
+  RasStructuralController(const Netlist& nl, RasStructural layout);
+  int num_latches() const { return static_cast<int>(layout_.latches.size()); }
+  void write(SeqSim& sim, int address, Logic v) const;
+  Logic read(SeqSim& sim, int address) const;
+
+ private:
+  void set_address(SeqSim& sim, int address) const;
+  const Netlist* nl_;
+  RasStructural layout_;
+};
+
+// Behavioral access controller: the X/Y-addressed read/write the decoder
+// hardware grants the tester.
+class RasController {
+ public:
+  RasController(const Netlist& nl, RasInsertionResult layout);
+
+  int num_latches() const { return static_cast<int>(layout_.latches.size()); }
+  // Writes one addressed latch (SDI + SCK with X/Y selected).
+  void write(SeqSim& sim, int address, Logic v) const;
+  // Reads one addressed latch via SDO.
+  Logic read(const SeqSim& sim, int address) const;
+  // Full-state load/dump, counting one access per latch (the serialization
+  // cost of RAS is per-latch addressing rather than per-chain shifting).
+  void load_all(SeqSim& sim, const std::vector<Logic>& states) const;
+  std::vector<Logic> dump_all(const SeqSim& sim) const;
+
+ private:
+  const Netlist* nl_;
+  RasInsertionResult layout_;
+};
+
+}  // namespace dft

@@ -1,0 +1,120 @@
+#include "scan/scan_insert.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dft {
+
+namespace {
+
+ScanInsertionResult insert_impl(Netlist& nl, ScanStyle style,
+                                std::vector<GateId> flops, int num_chains,
+                                const std::string& prefix) {
+  ScanInsertionResult res;
+  res.gate_equivalents_before = nl.gate_equivalents();
+  if (flops.empty()) {
+    res.gate_equivalents_after = res.gate_equivalents_before;
+    return res;
+  }
+  if (num_chains < 1) throw std::invalid_argument("num_chains must be >= 1");
+  num_chains = std::min<int>(num_chains, static_cast<int>(flops.size()));
+
+  const GateType elem = style == ScanStyle::Lssd ? GateType::Srl
+                                                 : GateType::ScanDff;
+  const std::size_t per =
+      (flops.size() + static_cast<std::size_t>(num_chains) - 1) /
+      static_cast<std::size_t>(num_chains);
+
+  std::size_t next = 0;
+  for (int c = 0; c < num_chains; ++c) {
+    if (next >= flops.size()) break;
+    ScanChain chain;
+    const std::string tag =
+        num_chains == 1 ? prefix : prefix + std::to_string(c);
+    chain.scan_in = nl.add_input(tag + "_si");
+    GateId prev = chain.scan_in;
+    for (std::size_t k = 0; k < per && next < flops.size(); ++k, ++next) {
+      const GateId ff = flops[next];
+      nl.convert_storage(ff, elem, prev);
+      chain.elements.push_back(ff);
+      prev = ff;
+      ++res.converted_flops;
+    }
+    chain.scan_out = nl.add_output(prev, tag + "_so");
+    res.extra_pins += 2;
+    res.chains.push_back(std::move(chain));
+  }
+  // LSSD adds the A/B shift clocks; Scan Path adds Clock-2 and the X/Y card
+  // select (Fig. 14). Counted once per netlist ("up to four additional
+  // primary inputs ... at each package level").
+  res.extra_pins += 2;
+  res.gate_equivalents_after = nl.gate_equivalents();
+  nl.validate();
+  return res;
+}
+
+}  // namespace
+
+ScanInsertionResult insert_scan(Netlist& nl, ScanStyle style, int num_chains,
+                                const std::string& prefix) {
+  std::vector<GateId> flops;
+  for (GateId g : nl.storage()) {
+    if (nl.type(g) == GateType::Dff) flops.push_back(g);
+  }
+  return insert_impl(nl, style, std::move(flops), num_chains, prefix);
+}
+
+ScanInsertionResult insert_scan_partial(Netlist& nl, ScanStyle style,
+                                        const std::vector<GateId>& subset,
+                                        const std::string& prefix) {
+  for (GateId g : subset) {
+    if (nl.type(g) != GateType::Dff) {
+      throw std::invalid_argument("partial scan subset must be plain DFFs");
+    }
+  }
+  return insert_impl(nl, style, subset, 1, prefix);
+}
+
+std::vector<ScanChain> discover_chains(const Netlist& nl) {
+  std::vector<ScanChain> chains;
+  // A chain head is a scannable element whose ScanIn driver is not itself a
+  // scannable element's output.
+  std::vector<char> is_elem(nl.size(), 0);
+  for (GateId g : nl.storage()) {
+    if (nl.type(g) == GateType::ScanDff || nl.type(g) == GateType::Srl) {
+      is_elem[g] = 1;
+    }
+  }
+  // successor in chain: the scannable element whose SI pin this element
+  // feeds.
+  std::vector<GateId> successor(nl.size(), kNoGate);
+  std::vector<char> has_pred(nl.size(), 0);
+  for (GateId g : nl.storage()) {
+    if (!is_elem[g]) continue;
+    const GateId si = nl.fanin(g)[kStoragePinScanIn];
+    if (is_elem[si]) {
+      successor[si] = g;
+      has_pred[g] = 1;
+    }
+  }
+  for (GateId g : nl.storage()) {
+    if (!is_elem[g] || has_pred[g]) continue;
+    ScanChain chain;
+    const GateId si = nl.fanin(g)[kStoragePinScanIn];
+    if (nl.type(si) == GateType::Input) chain.scan_in = si;
+    for (GateId cur = g; cur != kNoGate; cur = successor[cur]) {
+      chain.elements.push_back(cur);
+    }
+    // scan-out: an Output gate driven by the last element, if any.
+    for (GateId s : nl.fanout(chain.elements.back())) {
+      if (nl.type(s) == GateType::Output) {
+        chain.scan_out = s;
+        break;
+      }
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+}  // namespace dft

@@ -1,0 +1,63 @@
+// Scan insertion: LSSD (Sec. IV-A) and Scan Path (Sec. IV-B).
+//
+// Converts D flip-flops into scannable storage (SRLs for LSSD, raceless scan
+// D flip-flops for Scan Path), threads them into shift-register chains
+// (Fig. 11), and adds the scan-in/scan-out pins each package level needs.
+// The result is a netlist whose every state variable is controllable and
+// observable, reducing test generation to the combinational problem
+// (Sec. IV-A "the network can now be thought of as purely combinational").
+//
+// Partial scan (the Scan/Set compromise of Sec. IV-C) converts only a chosen
+// subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+enum class ScanStyle {
+  Lssd,      // shift-register latches, two-phase A/B clocks (Fig. 10)
+  ScanPath,  // raceless scan D flip-flops, clock-2 selected (Fig. 13)
+};
+
+struct ScanChain {
+  GateId scan_in = kNoGate;   // primary input feeding the first element
+  GateId scan_out = kNoGate;  // primary output driven by the last element
+  // Chain order from scan-in to scan-out.
+  std::vector<GateId> elements;
+};
+
+struct ScanInsertionResult {
+  std::vector<ScanChain> chains;
+  int converted_flops = 0;
+  int extra_pins = 0;  // added PIs + POs (scan-in/out; clocks counted once)
+  int gate_equivalents_before = 0;
+  int gate_equivalents_after = 0;
+  double overhead_fraction() const {
+    return gate_equivalents_before == 0
+               ? 0.0
+               : static_cast<double>(gate_equivalents_after -
+                                     gate_equivalents_before) /
+                     gate_equivalents_before;
+  }
+};
+
+// Converts every plain Dff and threads `num_chains` balanced chains.
+ScanInsertionResult insert_scan(Netlist& nl, ScanStyle style,
+                                int num_chains = 1,
+                                const std::string& prefix = "scan");
+
+// Converts only `subset` (partial scan). Elements keep netlist order within
+// the single chain.
+ScanInsertionResult insert_scan_partial(Netlist& nl, ScanStyle style,
+                                        const std::vector<GateId>& subset,
+                                        const std::string& prefix = "scan");
+
+// Returns the scan chains already present in a netlist (follows ScanIn pins
+// from scan-in PIs).
+std::vector<ScanChain> discover_chains(const Netlist& nl);
+
+}  // namespace dft

@@ -1,0 +1,46 @@
+#include "scan/scan_set.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dft {
+
+ScanSetResult add_scan_set(Netlist& nl, const std::vector<GateId>& samples,
+                           const std::vector<GateId>& sets) {
+  if (samples.size() > 64) {
+    throw std::invalid_argument("Scan/Set samples at most 64 points");
+  }
+  ScanSetResult res;
+  int tap_no = 0;
+  for (GateId g : samples) {
+    if (nl.type(g) == GateType::Output) {
+      throw std::invalid_argument("cannot sample an output marker gate");
+    }
+    res.sample_taps.push_back(
+        nl.add_output(g, "sset_tap" + std::to_string(tap_no++)));
+  }
+  if (!sets.empty()) {
+    const ScanInsertionResult ins =
+        insert_scan_partial(nl, ScanStyle::ScanPath, sets, "sset");
+    res.set_chain = ins.chains.front();
+  }
+  res.shadow_register_bits = static_cast<int>(samples.size());
+  // Shadow register: one simple latch pair per sampled bit (off data path),
+  // plus a 2-gate sampling mux per tap.
+  res.extra_gate_equivalents =
+      res.shadow_register_bits * 6 + static_cast<int>(samples.size()) * 2 +
+      static_cast<int>(sets.size()) * 4;
+  res.extra_pins = 3;  // scan-out, sample clock, shift clock (Fig. 15)
+  nl.validate();
+  return res;
+}
+
+std::vector<Logic> scan_set_snapshot(const SeqSim& sim,
+                                     const std::vector<GateId>& points) {
+  std::vector<Logic> out;
+  out.reserve(points.size());
+  for (GateId g : points) out.push_back(sim.value(g));
+  return out;
+}
+
+}  // namespace dft

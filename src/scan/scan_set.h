@@ -1,0 +1,43 @@
+// Scan/Set logic (Sperry-Univac, Sec. IV-C, Fig. 15).
+//
+// A bit-serial shadow register -- NOT in the system data path -- samples up
+// to 64 internal points in one clock and shifts them out, and can "set"
+// (funnel values into) a chosen subset of system latches. Because not all
+// latches are covered, test generation is only partially combinational, but
+// the snapshot can be taken during system operation with no performance
+// penalty.
+//
+// Structural modeling here: sampled nets gain observation taps (extra POs,
+// exactly what sampling provides); set-capable latches become scannable
+// elements on a dedicated set-chain. The shadow register's own cost is
+// tracked in the overhead result.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "scan/scan_insert.h"
+#include "sim/seq_sim.h"
+
+namespace dft {
+
+struct ScanSetResult {
+  std::vector<GateId> sample_taps;  // added Output gates
+  ScanChain set_chain;              // chain over the set-capable latches
+  int shadow_register_bits = 0;
+  int extra_gate_equivalents = 0;  // shadow register + taps
+  int extra_pins = 0;
+};
+
+// Adds sampling taps on `samples` (any nets) and set capability on `sets`
+// (plain Dffs). Either list may be empty. At most 64 samples, per Fig. 15.
+ScanSetResult add_scan_set(Netlist& nl, const std::vector<GateId>& samples,
+                           const std::vector<GateId>& sets);
+
+// Behavioral shadow register: snapshot `points` from a running simulation
+// without disturbing machine state -- the "snapshot of the sequential
+// machine ... without any degradation in system performance".
+std::vector<Logic> scan_set_snapshot(const SeqSim& sim,
+                                     const std::vector<GateId>& points);
+
+}  // namespace dft

@@ -1,0 +1,88 @@
+#include "sim/comb_sim.h"
+
+#include <stdexcept>
+
+#include "sim/eval.h"
+
+namespace dft {
+
+CombSim::CombSim(const Netlist& nl) : nl_(&nl), values_(nl.size(), Logic::X) {
+  nl.topo_order();  // force cache build (and cycle check) up front
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::Const0) {
+      values_[g] = Logic::Zero;
+      consts_.push_back(g);
+    }
+    if (nl.type(g) == GateType::Const1) {
+      values_[g] = Logic::One;
+      consts_.push_back(g);
+    }
+  }
+}
+
+void CombSim::set_value(GateId source, Logic v) {
+  const GateType t = nl_->type(source);
+  if (t != GateType::Input && !is_storage(t)) {
+    throw std::invalid_argument(
+        "set_value target must be a primary input or storage output");
+  }
+  values_.at(source) = v;
+}
+
+void CombSim::set_inputs(const std::vector<Logic>& values) {
+  const auto& pis = nl_->inputs();
+  if (values.size() != pis.size()) {
+    throw std::invalid_argument("input vector size mismatch");
+  }
+  for (std::size_t i = 0; i < pis.size(); ++i) values_[pis[i]] = values[i];
+}
+
+void CombSim::set_all_sources(Logic v) {
+  for (GateId g : nl_->inputs()) values_[g] = v;
+  for (GateId g : nl_->storage()) values_[g] = v;
+}
+
+void CombSim::evaluate() {
+  // Constants are re-established every pass so a previously injected stuck
+  // fault on a constant net cannot leak into later evaluations.
+  for (GateId g : consts_) {
+    values_[g] = nl_->type(g) == GateType::Const1 ? Logic::One : Logic::Zero;
+  }
+  // A stuck output on a source (PI / storage output / constant) is applied
+  // by forcing the source value itself; a forced PI or storage value
+  // persists until the caller re-sets that source, which per-pattern
+  // drivers always do.
+  if (stuck_ && stuck_->pin < 0 && !is_combinational(nl_->type(stuck_->gate))) {
+    values_[stuck_->gate] = stuck_->value;
+  }
+  for (GateId g : nl_->topo_order()) {
+    const auto& fin = nl_->fanin(g);
+    scratch_.clear();
+    for (std::size_t p = 0; p < fin.size(); ++p) {
+      Logic v = values_[fin[p]];
+      if (stuck_ && stuck_->gate == g && stuck_->pin == static_cast<int>(p)) {
+        v = stuck_->value;
+      }
+      scratch_.push_back(v);
+    }
+    Logic out = eval_gate(nl_->type(g), scratch_);
+    if (stuck_ && stuck_->gate == g && stuck_->pin < 0) out = stuck_->value;
+    values_[g] = out;
+  }
+}
+
+std::vector<Logic> CombSim::output_values() const {
+  std::vector<Logic> out;
+  out.reserve(nl_->outputs().size());
+  for (GateId g : nl_->outputs()) out.push_back(values_[g]);
+  return out;
+}
+
+Logic CombSim::next_state(GateId storage_gate) const {
+  if (!is_storage(nl_->type(storage_gate))) {
+    throw std::invalid_argument("next_state requires a storage element");
+  }
+  return values_.at(nl_->fanin(storage_gate).at(kStoragePinD));
+}
+
+}  // namespace dft

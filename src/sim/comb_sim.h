@@ -1,0 +1,63 @@
+// Four-valued combinational simulator.
+//
+// Evaluates the combinational portion of a netlist in topological order.
+// Primary inputs and storage-element outputs are free variables ("pseudo
+// primary inputs" in the scan literature); storage D pins are readable as
+// pseudo primary outputs. A single stuck-at fault may be injected, which is
+// the reference ("serial") fault simulation mechanism of Sec. I-B.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// A stuck-at fault site: `pin < 0` places the fault on the gate output net;
+// otherwise on the given input pin (affecting only this gate's perception,
+// exactly as Fig. 1(b) describes).
+struct StuckSite {
+  GateId gate = kNoGate;
+  int pin = -1;
+  Logic value = Logic::Zero;
+};
+
+class CombSim {
+ public:
+  explicit CombSim(const Netlist& nl);
+  // The simulator keeps a reference: a temporary netlist would dangle.
+  explicit CombSim(Netlist&&) = delete;
+
+  const Netlist& netlist() const { return *nl_; }
+
+  // Sets a primary input or a storage-element output value.
+  void set_value(GateId source, Logic v);
+  // Sets all primary inputs in netlist().inputs() order.
+  void set_inputs(const std::vector<Logic>& values);
+  // Sets every primary input and storage output to `v`.
+  void set_all_sources(Logic v);
+
+  void set_stuck(const StuckSite& site) { stuck_ = site; }
+  void clear_stuck() { stuck_.reset(); }
+  const std::optional<StuckSite>& stuck() const { return stuck_; }
+
+  // Full-pass evaluation of all combinational gates.
+  void evaluate();
+
+  Logic value(GateId g) const { return values_.at(g); }
+  // Values of the primary outputs, in netlist().outputs() order.
+  std::vector<Logic> output_values() const;
+  // Value presented at a storage element's D pin (its next state).
+  Logic next_state(GateId storage_gate) const;
+
+ private:
+  const Netlist* nl_;
+  std::vector<Logic> values_;
+  std::vector<GateId> consts_;
+  std::optional<StuckSite> stuck_;
+  std::vector<Logic> scratch_;
+};
+
+}  // namespace dft

@@ -1,0 +1,135 @@
+#include "sim/eval.h"
+
+#include <stdexcept>
+
+namespace dft {
+
+Logic eval_gate(GateType t, std::span<const Logic> in) {
+  switch (t) {
+    case GateType::Const0: return Logic::Zero;
+    case GateType::Const1: return Logic::One;
+    case GateType::Buf:
+    case GateType::Output: return as_input(in[0]);
+    case GateType::Not: return logic_not(in[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      Logic v = Logic::One;
+      for (Logic a : in) v = logic_and(v, a);
+      return t == GateType::And ? v : logic_not(v);
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Logic v = Logic::Zero;
+      for (Logic a : in) v = logic_or(v, a);
+      return t == GateType::Or ? v : logic_not(v);
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Logic v = Logic::Zero;
+      for (Logic a : in) v = logic_xor(v, a);
+      return t == GateType::Xor ? v : logic_not(v);
+    }
+    case GateType::Mux: {
+      const Logic sel = as_input(in[kMuxPinSel]);
+      const Logic a = as_input(in[kMuxPinA]);
+      const Logic b = as_input(in[kMuxPinB]);
+      if (sel == Logic::Zero) return a;
+      if (sel == Logic::One) return b;
+      return (a == b && is_binary(a)) ? a : Logic::X;
+    }
+    case GateType::Tristate: {
+      const Logic en = as_input(in[kTristatePinEnable]);
+      if (en == Logic::Zero) return Logic::Z;
+      if (en == Logic::One) return as_input(in[kTristatePinData]);
+      return Logic::X;
+    }
+    case GateType::Bus: {
+      Logic v = Logic::Z;
+      for (Logic d : in) {
+        if (d == Logic::Z) continue;
+        if (v == Logic::Z) {
+          v = d;
+        } else if (v != d || !is_binary(v)) {
+          return Logic::X;  // driver conflict
+        }
+      }
+      return v;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::ScanDff:
+    case GateType::Srl:
+    case GateType::AddressableLatch:
+      throw std::logic_error("eval_gate called on a non-combinational gate");
+  }
+  return Logic::X;
+}
+
+std::uint64_t eval_gate_word(GateType t, std::span<const std::uint64_t> in) {
+  switch (t) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~0ull;
+    case GateType::Buf:
+    case GateType::Output: return in[0];
+    case GateType::Not: return ~in[0];
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint64_t v = ~0ull;
+      for (std::uint64_t a : in) v &= a;
+      return t == GateType::And ? v : ~v;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t a : in) v |= a;
+      return t == GateType::Or ? v : ~v;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint64_t v = 0;
+      for (std::uint64_t a : in) v ^= a;
+      return t == GateType::Xor ? v : ~v;
+    }
+    case GateType::Mux:
+      return (in[kMuxPinA] & ~in[kMuxPinSel]) | (in[kMuxPinB] & in[kMuxPinSel]);
+    case GateType::Tristate:
+      return in[kTristatePinData] & in[kTristatePinEnable];
+    case GateType::Bus: {
+      std::uint64_t v = 0;
+      for (std::uint64_t a : in) v |= a;
+      return v;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::ScanDff:
+    case GateType::Srl:
+    case GateType::AddressableLatch:
+      throw std::logic_error(
+          "eval_gate_word called on a non-combinational gate");
+  }
+  return 0;
+}
+
+bool controlling_value(GateType t, Logic& value) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Tristate:
+      value = Logic::Zero;
+      return true;
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Bus:
+      value = Logic::One;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool inverts(GateType t) {
+  return t == GateType::Not || t == GateType::Nand || t == GateType::Nor ||
+         t == GateType::Xnor;
+}
+
+}  // namespace dft

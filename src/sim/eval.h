@@ -1,0 +1,28 @@
+// Single-gate evaluation helpers shared by the simulators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/gate.h"
+#include "netlist/logic.h"
+
+namespace dft {
+
+// Four-valued evaluation of one combinational gate. `in` holds the values of
+// the gate's fanin nets in pin order. Buses resolve multiple tri-state
+// drivers: all-Z yields Z, agreeing drivers win, conflicts yield X.
+Logic eval_gate(GateType t, std::span<const Logic> in);
+
+// Two-valued, 64-pattern bit-parallel evaluation. Tri-state drivers
+// contribute (data AND enable) and buses OR their drivers (a pull-down bus
+// model), which keeps bus logic meaningful without a third value.
+std::uint64_t eval_gate_word(GateType t, std::span<const std::uint64_t> in);
+
+// Controlling input value for simple gates (AND/NAND/tri-state: 0;
+// OR/NOR/bus: 1). Returns false if the gate has none (parity gates, MUX).
+bool controlling_value(GateType t, Logic& value);
+// True when the gate's output is inverted relative to its inputs' sense.
+bool inverts(GateType t);
+
+}  // namespace dft

@@ -1,0 +1,46 @@
+#include "sim/parallel_sim.h"
+
+#include <stdexcept>
+
+#include "sim/eval.h"
+
+namespace dft {
+
+ParallelSim::ParallelSim(const Netlist& nl) : nl_(&nl), words_(nl.size(), 0) {
+  nl.topo_order();
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::Const1) words_[g] = ~0ull;
+  }
+}
+
+void ParallelSim::set_word(GateId source, std::uint64_t w) {
+  const GateType t = nl_->type(source);
+  if (t != GateType::Input && !is_storage(t)) {
+    throw std::invalid_argument(
+        "set_word target must be a primary input or storage output");
+  }
+  words_.at(source) = w;
+}
+
+void ParallelSim::evaluate() { evaluate_gates(nl_->topo_order()); }
+
+void ParallelSim::evaluate_gates(std::span<const GateId> gates) {
+  for (GateId g : gates) {
+    const auto& fin = nl_->fanin(g);
+    scratch_.clear();
+    for (GateId f : fin) scratch_.push_back(words_[f]);
+    words_[g] = eval_gate_word(nl_->type(g), scratch_);
+  }
+}
+
+std::uint64_t ParallelSim::eval_with_forced_pin(GateId g, int pin,
+                                                std::uint64_t forced) const {
+  const auto& fin = nl_->fanin(g);
+  scratch_.clear();
+  for (std::size_t p = 0; p < fin.size(); ++p) {
+    scratch_.push_back(static_cast<int>(p) == pin ? forced : words_[fin[p]]);
+  }
+  return eval_gate_word(nl_->type(g), scratch_);
+}
+
+}  // namespace dft

@@ -1,0 +1,61 @@
+// 64-way bit-parallel two-valued combinational simulator.
+//
+// Bit i of every word is pattern i of a block of 64 patterns. This is the
+// classical "parallel simulation" the survey's fault-simulation discussion
+// assumes (Sec. I-B; see also references [102], [110]): fault simulation of
+// 3000 faults is ~3001 good-machine simulations, so good-machine simulation
+// must be as cheap as possible.
+//
+// Storage-element outputs are free variables, like primary inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+class ParallelSim {
+ public:
+  explicit ParallelSim(const Netlist& nl);
+  // The simulator keeps a reference: a temporary netlist would dangle.
+  explicit ParallelSim(Netlist&&) = delete;
+
+  const Netlist& netlist() const { return *nl_; }
+
+  // Sets 64 pattern bits on a primary input or storage output.
+  void set_word(GateId source, std::uint64_t w);
+  std::uint64_t word(GateId g) const { return words_.at(g); }
+
+  // Evaluates every combinational gate (full pass).
+  void evaluate();
+
+  // Evaluates only the given gates, which must be in topological order
+  // (e.g. a fault's fanout cone) -- the core of parallel-pattern
+  // single-fault propagation in the fault module.
+  void evaluate_gates(std::span<const GateId> gates_in_topo_order);
+
+  // Evaluates one gate with input pin `pin` forced to `forced` (a stuck
+  // input fault as seen by this gate only, Fig. 1(b)) and returns the output
+  // word without storing it.
+  std::uint64_t eval_with_forced_pin(GateId g, int pin,
+                                     std::uint64_t forced) const;
+
+  // Direct store, used by the fault simulator to force a faulty site.
+  void force_word(GateId g, std::uint64_t w) { words_.at(g) = w; }
+
+  // Copies the complete value state (for save/restore around fault cones).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  void restore_words(const std::vector<std::uint64_t>& saved) {
+    words_ = saved;
+  }
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::uint64_t> words_;
+  mutable std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace dft

@@ -1,0 +1,72 @@
+#include "sim/seq_sim.h"
+
+#include <stdexcept>
+
+namespace dft {
+
+SeqSim::SeqSim(const Netlist& nl) : comb_(nl) {}
+
+void SeqSim::reset(Logic v) {
+  for (GateId g : netlist().storage()) comb_.set_value(g, v);
+}
+
+void SeqSim::set_inputs(const std::vector<Logic>& values) {
+  comb_.set_inputs(values);
+}
+
+void SeqSim::clock(ClockMode mode) {
+  comb_.evaluate();
+  const auto& storage = netlist().storage();
+  next_.clear();
+  next_.reserve(storage.size());
+  const auto& stuck = comb_.stuck();
+  for (GateId g : storage) {
+    const GateType t = netlist().type(g);
+    Logic next;
+    if (mode == ClockMode::Normal) {
+      next = comb_.value(netlist().fanin(g).at(kStoragePinD));
+      // A stuck storage D pin corrupts what the element captures.
+      if (stuck && stuck->gate == g && stuck->pin == kStoragePinD) {
+        next = stuck->value;
+      }
+    } else {
+      // Shift mode: scan-path elements take their scan-data pin; everything
+      // else holds (its clock is gated off during scan).
+      if (t == GateType::ScanDff || t == GateType::Srl) {
+        next = comb_.value(netlist().fanin(g).at(kStoragePinScanIn));
+        if (stuck && stuck->gate == g && stuck->pin == kStoragePinScanIn) {
+          next = stuck->value;
+        }
+      } else {
+        next = comb_.value(g);
+      }
+    }
+    next_.push_back(next);
+  }
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    comb_.set_value(storage[i], next_[i]);
+  }
+}
+
+Logic SeqSim::state(GateId storage_gate) const {
+  if (!is_storage(netlist().type(storage_gate))) {
+    throw std::invalid_argument("state() requires a storage element");
+  }
+  return comb_.value(storage_gate);
+}
+
+void SeqSim::set_state(GateId storage_gate, Logic v) {
+  if (!is_storage(netlist().type(storage_gate))) {
+    throw std::invalid_argument("set_state() requires a storage element");
+  }
+  comb_.set_value(storage_gate, v);
+}
+
+std::vector<Logic> SeqSim::states() const {
+  std::vector<Logic> out;
+  out.reserve(netlist().storage().size());
+  for (GateId g : netlist().storage()) out.push_back(comb_.value(g));
+  return out;
+}
+
+}  // namespace dft

@@ -1,0 +1,63 @@
+// Clocked sequential simulator with scan support.
+//
+// Models the classical sequential machine of Fig. 9: one implicit system
+// clock, storage elements latching their D (or scan) pins once per clock()
+// call. Scannable elements implement the two operating modes of the
+// structured techniques in Sec. IV:
+//   * Normal  -- ScanDff/Srl/Dff capture their D pin (system operation);
+//   * Shift   -- ScanDff/Srl capture their ScanIn pin (scan chain shifting;
+//                the Scan Path "Clock 2" / LSSD A-B clock operation);
+//                plain Dffs and AddressableLatches hold their state.
+// Random-Access Scan's addressed read/write (Figs. 16-18) is provided by
+// state()/set_state(), which is exactly the access the X/Y decoder grants.
+#pragma once
+
+#include <vector>
+
+#include "sim/comb_sim.h"
+
+namespace dft {
+
+enum class ClockMode {
+  Normal,  // capture system data
+  Shift,   // shift the scan chain(s)
+};
+
+class SeqSim {
+ public:
+  explicit SeqSim(const Netlist& nl);
+  // The simulator keeps a reference: a temporary netlist would dangle.
+  explicit SeqSim(Netlist&&) = delete;
+
+  const Netlist& netlist() const { return comb_.netlist(); }
+
+  // Resets every storage element to `v` (a CLEAR test point, Sec. III-B).
+  void reset(Logic v = Logic::X);
+
+  void set_input(GateId pi, Logic v) { comb_.set_value(pi, v); }
+  void set_inputs(const std::vector<Logic>& values);
+
+  // Evaluates combinational logic without advancing state.
+  void evaluate() { comb_.evaluate(); }
+
+  // Evaluates, then latches every storage element per `mode`.
+  void clock(ClockMode mode = ClockMode::Normal);
+
+  Logic value(GateId g) const { return comb_.value(g); }
+  std::vector<Logic> output_values() const { return comb_.output_values(); }
+
+  Logic state(GateId storage_gate) const;
+  void set_state(GateId storage_gate, Logic v);
+  // All storage states in netlist().storage() order.
+  std::vector<Logic> states() const;
+
+  // Injects/clears a stuck-at fault (applies to combinational evaluation).
+  void set_stuck(const StuckSite& site) { comb_.set_stuck(site); }
+  void clear_stuck() { comb_.clear_stuck(); }
+
+ private:
+  CombSim comb_;
+  std::vector<Logic> next_;
+};
+
+}  // namespace dft

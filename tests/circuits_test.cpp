@@ -1,0 +1,357 @@
+// Tests for the circuit zoo, including exhaustive verification of the
+// gate-level SN74181 against its data-sheet functional model.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/basic.h"
+#include "circuits/pla.h"
+#include "circuits/random_circuit.h"
+#include "circuits/sequential.h"
+#include "circuits/sn74181.h"
+#include "sim/comb_sim.h"
+#include "sim/parallel_sim.h"
+#include "sim/seq_sim.h"
+
+namespace dft {
+namespace {
+
+std::vector<Logic> bits(int value, int width) {
+  std::vector<Logic> out(width);
+  for (int i = 0; i < width; ++i) out[i] = to_logic((value >> i) & 1);
+  return out;
+}
+
+int as_int(const std::vector<Logic>& v, int lo, int width) {
+  int out = 0;
+  for (int i = 0; i < width; ++i) {
+    if (v[lo + i] == Logic::One) out |= 1 << i;
+  }
+  return out;
+}
+
+TEST(Circuits, C17HasExpectedShape) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(nl.inputs().size(), 5u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.count(GateType::Nand), 6);
+}
+
+TEST(Circuits, RippleAdderAddsExhaustively4Bit) {
+  const int n = 4;
+  const Netlist nl = make_ripple_adder(n);
+  CombSim sim(nl);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        std::vector<Logic> in = bits(a, n);
+        const auto bb = bits(b, n);
+        in.insert(in.end(), bb.begin(), bb.end());
+        in.push_back(to_logic(c));
+        sim.set_inputs(in);
+        sim.evaluate();
+        const auto out = sim.output_values();
+        const int sum = as_int(out, 0, n) + (out[n] == Logic::One ? 16 : 0);
+        EXPECT_EQ(sum, a + b + c);
+      }
+    }
+  }
+}
+
+TEST(Circuits, MultiplierMatchesProducts) {
+  const int n = 3;
+  const Netlist nl = make_array_multiplier(n);
+  CombSim sim(nl);
+  for (int a = 0; a < (1 << n); ++a) {
+    for (int b = 0; b < (1 << n); ++b) {
+      std::vector<Logic> in = bits(a, n);
+      const auto bb = bits(b, n);
+      in.insert(in.end(), bb.begin(), bb.end());
+      sim.set_inputs(in);
+      sim.evaluate();
+      EXPECT_EQ(as_int(sim.output_values(), 0, 2 * n), a * b);
+    }
+  }
+}
+
+TEST(Circuits, DecoderOneHotWithEnable) {
+  const int n = 3;
+  const Netlist nl = make_decoder(n);
+  CombSim sim(nl);
+  for (int v = 0; v < (1 << n); ++v) {
+    std::vector<Logic> in = bits(v, n);
+    in.push_back(Logic::One);
+    sim.set_inputs(in);
+    sim.evaluate();
+    const auto out = sim.output_values();
+    for (int o = 0; o < (1 << n); ++o) {
+      EXPECT_EQ(out[o] == Logic::One, o == v);
+    }
+    in.back() = Logic::Zero;  // disabled: all outputs low
+    sim.set_inputs(in);
+    sim.evaluate();
+    for (const Logic l : sim.output_values()) EXPECT_EQ(l, Logic::Zero);
+  }
+}
+
+TEST(Circuits, ParityTreeComputesXor) {
+  const int n = 9;
+  const Netlist nl = make_parity_tree(n);
+  CombSim sim(nl);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 64; ++trial) {
+    const int v = static_cast<int>(rng() % (1 << n));
+    sim.set_inputs(bits(v, n));
+    sim.evaluate();
+    EXPECT_EQ(sim.output_values()[0] == Logic::One,
+              __builtin_parity(static_cast<unsigned>(v)) != 0);
+  }
+}
+
+TEST(Circuits, MuxTreeSelects) {
+  const int k = 3;
+  const Netlist nl = make_mux_tree(k);
+  CombSim sim(nl);
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 32; ++trial) {
+    const int data = static_cast<int>(rng() % 256);
+    const int sel = static_cast<int>(rng() % 8);
+    std::vector<Logic> in = bits(data, 8);
+    const auto sb = bits(sel, k);
+    in.insert(in.end(), sb.begin(), sb.end());
+    sim.set_inputs(in);
+    sim.evaluate();
+    EXPECT_EQ(sim.output_values()[0], to_logic((data >> sel) & 1));
+  }
+}
+
+TEST(Circuits, ComparatorOrdersPairs) {
+  const int n = 4;
+  const Netlist nl = make_comparator(n);
+  CombSim sim(nl);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      std::vector<Logic> in = bits(a, n);
+      const auto bb = bits(b, n);
+      in.insert(in.end(), bb.begin(), bb.end());
+      sim.set_inputs(in);
+      sim.evaluate();
+      const auto out = sim.output_values();  // lt, eq, gt
+      EXPECT_EQ(out[0] == Logic::One, a < b);
+      EXPECT_EQ(out[1] == Logic::One, a == b);
+      EXPECT_EQ(out[2] == Logic::One, a > b);
+    }
+  }
+}
+
+TEST(Circuits, MajorityVoterMasksSingleError) {
+  const int n = 4;
+  const Netlist nl = make_majority_voter(n);
+  CombSim sim(nl);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 32; ++trial) {
+    const int word = static_cast<int>(rng() % 16);
+    const int bad = static_cast<int>(rng() % 16);
+    // a and b carry the word, c carries a corrupted copy: majority wins.
+    std::vector<Logic> in = bits(word, n);
+    auto t = bits(word, n);
+    in.insert(in.end(), t.begin(), t.end());
+    t = bits(bad, n);
+    in.insert(in.end(), t.begin(), t.end());
+    sim.set_inputs(in);
+    sim.evaluate();
+    EXPECT_EQ(as_int(sim.output_values(), 0, n), word);
+  }
+}
+
+TEST(Sn74181, MatchesReferenceExhaustively) {
+  // All 2^14 input combinations: the full functional verification the
+  // autonomous-testing section applies to this part.
+  const Netlist nl = make_sn74181();
+  ParallelSim sim(nl);
+  const GateId f[4] = {*nl.find("f0"), *nl.find("f1"), *nl.find("f2"),
+                       *nl.find("f3")};
+  const GateId aeqb = *nl.find("aeqb");
+  const GateId cn4 = *nl.find("nc4");
+
+  // Sweep a,b in the 64-bit pattern dimension: 16*16 = 256 = 4 blocks of 64.
+  for (int s = 0; s < 16; ++s) {
+    for (int m = 0; m < 2; ++m) {
+      for (int cn = 0; cn < 2; ++cn) {
+        for (int block = 0; block < 4; ++block) {
+          for (int i = 0; i < 4; ++i) {
+            std::uint64_t wa = 0, wb = 0;
+            for (int bit = 0; bit < 64; ++bit) {
+              const int pat = block * 64 + bit;
+              const int a = pat & 0xF, b = (pat >> 4) & 0xF;
+              if ((a >> i) & 1) wa |= 1ull << bit;
+              if ((b >> i) & 1) wb |= 1ull << bit;
+            }
+            sim.set_word(*nl.find("a" + std::to_string(i)), wa);
+            sim.set_word(*nl.find("b" + std::to_string(i)), wb);
+            sim.set_word(*nl.find("s" + std::to_string(i)),
+                         (s >> i) & 1 ? ~0ull : 0ull);
+          }
+          sim.set_word(*nl.find("m"), m ? ~0ull : 0ull);
+          sim.set_word(*nl.find("cn"), cn ? ~0ull : 0ull);
+          sim.evaluate();
+          for (int bit = 0; bit < 64; ++bit) {
+            const int pat = block * 64 + bit;
+            const int a = pat & 0xF, b = (pat >> 4) & 0xF;
+            const Alu181Result want =
+                alu181_reference(s, m != 0, cn != 0, a, b);
+            int got_f = 0;
+            for (int i = 0; i < 4; ++i) {
+              if ((sim.word(f[i]) >> bit) & 1) got_f |= 1 << i;
+            }
+            ASSERT_EQ(got_f, want.f) << "s=" << s << " m=" << m
+                                     << " cn=" << cn << " a=" << a
+                                     << " b=" << b;
+            ASSERT_EQ(((sim.word(aeqb) >> bit) & 1) != 0, want.aeqb);
+            if (!m) {
+              ASSERT_EQ(((sim.word(cn4) >> bit) & 1) != 0, want.cn4)
+                  << "s=" << s << " cn=" << cn << " a=" << a << " b=" << b;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Pla, TermAndOrPlanesEvaluate) {
+  PlaSpec spec;
+  spec.num_inputs = 3;
+  spec.num_outputs = 2;
+  // t0 = in0 & ~in2, t1 = in1 & in2; out0 = t0 | t1, out1 = t1.
+  spec.product_terms = {
+      {PlaLit::True, PlaLit::Absent, PlaLit::False},
+      {PlaLit::Absent, PlaLit::True, PlaLit::True},
+  };
+  spec.or_plane = {{0, 1}, {1}};
+  const Netlist nl = make_pla(spec);
+  CombSim sim(nl);
+  for (int v = 0; v < 8; ++v) {
+    sim.set_inputs(bits(v, 3));
+    sim.evaluate();
+    const bool t0 = ((v >> 0) & 1) && !((v >> 2) & 1);
+    const bool t1 = ((v >> 1) & 1) && ((v >> 2) & 1);
+    const auto out = sim.output_values();
+    EXPECT_EQ(out[0] == Logic::One, t0 || t1);
+    EXPECT_EQ(out[1] == Logic::One, t1);
+  }
+}
+
+TEST(Pla, RandomSpecRespectsFanin) {
+  const PlaSpec spec = make_random_pla_spec(20, 4, 12, 7, 99);
+  EXPECT_EQ(spec.product_terms.size(), 12u);
+  for (const auto& row : spec.product_terms) {
+    int lits = 0;
+    for (PlaLit l : row) lits += l != PlaLit::Absent;
+    EXPECT_EQ(lits, 7);
+  }
+  for (const auto& terms : spec.or_plane) EXPECT_FALSE(terms.empty());
+  EXPECT_NO_THROW(make_pla(spec).validate());
+}
+
+TEST(RandomCircuit, GeneratesValidAndDeterministic) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 300;
+  spec.seed = 42;
+  const Netlist a = make_random_combinational(spec);
+  const Netlist b = make_random_combinational(spec);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.outputs().size(), static_cast<std::size_t>(spec.num_outputs));
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(RandomCircuit, SequentialGeneratorValid) {
+  RandomSeqSpec spec;
+  spec.num_flops = 12;
+  const Netlist nl = make_random_sequential(spec);
+  EXPECT_EQ(nl.storage().size(), 12u);
+  EXPECT_NO_THROW(nl.validate());
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  sim.set_inputs(std::vector<Logic>(nl.inputs().size(), Logic::One));
+  for (int t = 0; t < 4; ++t) sim.clock();
+  for (const Logic l : sim.output_values()) EXPECT_TRUE(is_binary(l));
+}
+
+TEST(Sequential, CounterWrapsAround) {
+  const Netlist nl = make_counter(3);
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  sim.set_inputs({Logic::One});
+  for (int t = 1; t <= 9; ++t) {
+    sim.clock();
+    int v = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (sim.state(*nl.find("cnt" + std::to_string(i))) == Logic::One) {
+        v |= 1 << i;
+      }
+    }
+    EXPECT_EQ(v, t % 8);
+  }
+}
+
+TEST(Sequential, ShiftRegisterDelaysInput) {
+  const Netlist nl = make_shift_register(4);
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  const std::vector<int> stream = {1, 0, 1, 1, 0, 0, 1, 0};
+  std::vector<int> seen;
+  for (std::size_t t = 0; t < stream.size(); ++t) {
+    sim.set_inputs({to_logic(stream[t] != 0)});
+    sim.clock();
+    seen.push_back(sim.state(*nl.find("sr3")) == Logic::One ? 1 : 0);
+  }
+  for (std::size_t t = 3; t < stream.size(); ++t) {
+    EXPECT_EQ(seen[t], stream[t - 3]);
+  }
+}
+
+TEST(Sequential, SequenceDetectorFires011Only) {
+  const Netlist nl = make_sequence_detector();
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  const std::vector<int> stream = {0, 1, 1, 1, 0, 1, 0, 0, 1, 1};
+  std::vector<int> fired;
+  for (int v : stream) {
+    sim.set_inputs({to_logic(v != 0)});
+    sim.evaluate();
+    fired.push_back(sim.output_values()[0] == Logic::One ? 1 : 0);
+    sim.clock();
+  }
+  // Detections at indices where the previous three bits are 0,1,1.
+  const std::vector<int> want = {0, 0, 1, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_EQ(fired, want);
+}
+
+TEST(Sequential, AccumulatorAddsWhenLoaded) {
+  const int n = 4;
+  const Netlist nl = make_accumulator(n);
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  int acc = 0;
+  std::mt19937_64 rng(11);
+  for (int t = 0; t < 16; ++t) {
+    const int a = static_cast<int>(rng() % 16);
+    const bool load = (rng() & 1) != 0;
+    std::vector<Logic> in = bits(a, n);
+    in.push_back(to_logic(load));
+    sim.set_inputs(in);
+    sim.clock();
+    if (load) acc = (acc + a) & 0xF;
+    int got = 0;
+    for (int i = 0; i < n; ++i) {
+      if (sim.state(*nl.find("acc" + std::to_string(i))) == Logic::One) {
+        got |= 1 << i;
+      }
+    }
+    EXPECT_EQ(got, acc);
+  }
+}
+
+}  // namespace
+}  // namespace dft

@@ -1,0 +1,134 @@
+// Tests for miter-based combinational equivalence checking.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "atpg/equivalence.h"
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "circuits/sequential.h"
+#include "netlist/bench_io.h"
+#include "sim/comb_sim.h"
+
+namespace dft {
+namespace {
+
+TEST(Equivalence, IdenticalCircuitsAreEquivalent) {
+  const EquivalenceResult r = check_equivalence(make_c17(), make_c17());
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Equivalence, DifferentImplementationsOfMuxAgree) {
+  // Mux-gate tree vs AND-OR sum-of-products for a 4:1 mux.
+  const Netlist tree = make_mux_tree(2);
+  Netlist sop("mux_sop");
+  std::vector<GateId> d(4), s(2);
+  for (int i = 0; i < 4; ++i) d[i] = sop.add_input("d" + std::to_string(i));
+  for (int i = 0; i < 2; ++i) s[i] = sop.add_input("s" + std::to_string(i));
+  const GateId n0 = sop.add_gate(GateType::Not, {s[0]}, "n0");
+  const GateId n1 = sop.add_gate(GateType::Not, {s[1]}, "n1");
+  const GateId t0 = sop.add_gate(GateType::And, {d[0], n0, n1}, "t0");
+  const GateId t1 = sop.add_gate(GateType::And, {d[1], s[0], n1}, "t1");
+  const GateId t2 = sop.add_gate(GateType::And, {d[2], n0, s[1]}, "t2");
+  const GateId t3 = sop.add_gate(GateType::And, {d[3], s[0], s[1]}, "t3");
+  sop.add_output(sop.add_gate(GateType::Or, {t0, t1, t2, t3}, "y"), "yo");
+  const EquivalenceResult r = check_equivalence(tree, sop);
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Equivalence, MutationIsCaughtWithCounterexample) {
+  const Netlist good = make_ripple_adder(3);
+  // Mutate one gate type.
+  Netlist bad("bad");
+  for (GateId g = 0; g < good.size(); ++g) {
+    GateType t = good.type(g);
+    if (good.label(g) == "gab1") t = GateType::Or;  // AND -> OR
+    bad.add_gate(t, std::vector<GateId>(good.fanin(g)),
+                 std::string(good.gate_name(g)));
+  }
+  const EquivalenceResult r = check_equivalence(good, bad);
+  ASSERT_TRUE(r.decided);
+  ASSERT_FALSE(r.equivalent);
+  // The counterexample really distinguishes the machines.
+  CombSim a(good), b(bad);
+  const auto apply = [&](CombSim& sim, const Netlist& n) {
+    for (std::size_t i = 0; i < n.inputs().size(); ++i) {
+      sim.set_value(n.inputs()[i], r.counterexample[i]);
+    }
+    sim.evaluate();
+  };
+  apply(a, good);
+  apply(b, bad);
+  EXPECT_NE(a.output_values(), b.output_values());
+}
+
+TEST(Equivalence, ComparesSequentialNextStateFunctions) {
+  // Same counter vs a counter with a sabotaged next-state function
+  // (mutated through the .bench round trip, which handles the feedback).
+  const Netlist good = make_counter(3);
+  std::string text = write_bench_string(good);
+  const auto pos = text.find("cc0 = AND");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "cc0 = OR ");
+  const Netlist bad = read_bench_string(text, "badcnt");
+  EXPECT_TRUE(check_equivalence(good, good).equivalent);
+  EXPECT_FALSE(check_equivalence(good, bad).equivalent);
+}
+
+TEST(Equivalence, AgreesWithExhaustiveComparisonOnRandomMutants) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.num_gates = 50;
+  std::mt19937_64 rng(5);
+  for (std::uint64_t seed : {301u, 302u, 303u}) {
+    spec.seed = seed;
+    const Netlist a = make_random_combinational(spec);
+    // Mutant: flip one random gate's type within its arity class.
+    Netlist b("mut");
+    const GateId victim =
+        static_cast<GateId>(spec.num_inputs + rng() % spec.num_gates);
+    for (GateId g = 0; g < a.size(); ++g) {
+      GateType t = a.type(g);
+      if (g == victim) {
+        switch (t) {
+          case GateType::And: t = GateType::Nand; break;
+          case GateType::Nand: t = GateType::And; break;
+          case GateType::Or: t = GateType::Nor; break;
+          case GateType::Nor: t = GateType::Or; break;
+          case GateType::Xor: t = GateType::Xnor; break;
+          case GateType::Xnor: t = GateType::Xor; break;
+          case GateType::Not: t = GateType::Buf; break;
+          case GateType::Buf: t = GateType::Not; break;
+          default: break;
+        }
+      }
+      b.add_gate(t, std::vector<GateId>(a.fanin(g)));
+    }
+    // Exhaustive ground truth.
+    CombSim sa(a), sb(b);
+    bool same = true;
+    for (std::uint64_t v = 0; v < (1ull << spec.num_inputs) && same; ++v) {
+      for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        sa.set_value(a.inputs()[i], to_logic((v >> i) & 1));
+        sb.set_value(b.inputs()[i], to_logic((v >> i) & 1));
+      }
+      sa.evaluate();
+      sb.evaluate();
+      same = sa.output_values() == sb.output_values();
+    }
+    const EquivalenceResult r = check_equivalence(a, b);
+    ASSERT_TRUE(r.decided) << seed;
+    EXPECT_EQ(r.equivalent, same) << seed;
+  }
+}
+
+TEST(Equivalence, RejectsInterfaceMismatch) {
+  EXPECT_THROW(check_equivalence(make_c17(), make_fig1_and()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dft

@@ -1,0 +1,235 @@
+// Tests for the extended fault models: bridging faults, CMOS stuck-open
+// faults with two-pattern tests, and the deductive fault simulator.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "atpg/stuck_open_atpg.h"
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "fault/bridging.h"
+#include "fault/deductive.h"
+#include "fault/stuck_open.h"
+#include "netlist/bench_io.h"
+
+namespace dft {
+namespace {
+
+// --- Bridging ----------------------------------------------------------------
+
+TEST(Bridging, FeedbackBridgesAreRejected) {
+  const Netlist nl = make_c17();
+  const GateId g10 = *nl.find("10");
+  const GateId g22 = *nl.find("22");  // 22 is in 10's fanout cone
+  EXPECT_TRUE(bridge_creates_feedback(nl, g10, g22));
+  EXPECT_THROW(make_bridged_netlist(nl, {g10, g22, BridgeType::WiredAnd}),
+               std::invalid_argument);
+}
+
+TEST(Bridging, WiredAndChangesFunction) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(x)
+OUTPUT(y)
+x = BUF(a)
+y = BUF(b)
+)";
+  const Netlist nl = read_bench_string(text);
+  const BridgingFault br{*nl.find("a"), *nl.find("b"), BridgeType::WiredAnd};
+  // Pattern a=1 b=0: bridged x reads a&b = 0, good x = 1 -> detected.
+  EXPECT_TRUE(bridge_detected(nl, br, {Logic::One, Logic::Zero}));
+  // a=b: no difference.
+  EXPECT_FALSE(bridge_detected(nl, br, {Logic::One, Logic::One}));
+  EXPECT_FALSE(bridge_detected(nl, br, {Logic::Zero, Logic::Zero}));
+}
+
+
+Netlist make_adder_for_bridges() { return make_ripple_adder(4); }
+
+TEST(Bridging, HighStuckAtCoverageCoversMostBridges) {
+  // The Sec. I-A claim: a test set with high stuck-at coverage detects
+  // bridging faults too.
+  const Netlist nl = make_adder_for_bridges();
+  const auto bridges = sample_bridges(nl, 60, 17);
+  ASSERT_GE(bridges.size(), 40u);
+  std::mt19937_64 rng(5);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 128; ++i) pats.push_back(random_source_vector(nl, rng));
+  // First confirm the stuck-at coverage of this set is high.
+  ParallelFaultSimulator fsim(nl);
+  const double ssa = fsim.run(pats, collapse_faults(nl).representatives)
+                         .coverage();
+  ASSERT_GT(ssa, 0.93);
+  const double bc = bridge_coverage(nl, bridges, pats);
+  EXPECT_GT(bc, 0.85);
+}
+
+TEST(Bridging, EmptyPatternSetCoversNothing) {
+  const Netlist nl = make_adder_for_bridges();
+  const auto bridges = sample_bridges(nl, 10, 3);
+  EXPECT_EQ(bridge_coverage(nl, bridges, {}), 0.0);
+}
+
+// --- Stuck-open ---------------------------------------------------------------
+
+TEST(StuckOpen, FloatConditionsMatchCmosTopology) {
+  const std::vector<Logic> v01 = {Logic::Zero, Logic::One};
+  const std::vector<Logic> v11 = {Logic::One, Logic::One};
+  const std::vector<Logic> v00 = {Logic::Zero, Logic::Zero};
+  const std::vector<Logic> v10 = {Logic::One, Logic::Zero};
+  // NAND pFET of pin 0: floats only when in0=0, in1=1.
+  const StuckOpenFault p0{0, 0, true, false};
+  EXPECT_TRUE(stuck_open_floats(GateType::Nand, v01, p0));
+  EXPECT_FALSE(stuck_open_floats(GateType::Nand, v00, p0));
+  EXPECT_FALSE(stuck_open_floats(GateType::Nand, v11, p0));
+  // NAND series nFET: floats when all 1.
+  const StuckOpenFault nser{0, 0, false, true};
+  EXPECT_TRUE(stuck_open_floats(GateType::Nand, v11, nser));
+  EXPECT_FALSE(stuck_open_floats(GateType::Nand, v01, nser));
+  // NOR nFET of pin 1: floats when in1=1, in0=0.
+  const StuckOpenFault n1{0, 1, false, false};
+  EXPECT_TRUE(stuck_open_floats(GateType::Nor, v01, n1));
+  EXPECT_FALSE(stuck_open_floats(GateType::Nor, v10, n1));
+}
+
+TEST(StuckOpen, NeedsTwoPatternsOnNandGate) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+)";
+  const Netlist nl = read_bench_string(text);
+  const StuckOpenFault f{*nl.find("y"), 0, true, false};  // pFET of a open
+  // Correct two-pattern test: init (1,1) drives y to 0; test (0,1) floats
+  // and retains 0 while the good machine says 1.
+  EXPECT_TRUE(stuck_open_detected(nl, f, {Logic::One, Logic::One},
+                                  {Logic::Zero, Logic::One}));
+  // Wrong init: (0,0) drives y to 1 == good value, nothing to see.
+  EXPECT_FALSE(stuck_open_detected(nl, f, {Logic::Zero, Logic::Zero},
+                                   {Logic::Zero, Logic::One}));
+  // Single-pattern thinking: test without the right predecessor fails.
+  EXPECT_FALSE(stuck_open_detected(nl, f, {Logic::Zero, Logic::One},
+                                   {Logic::Zero, Logic::One}));
+}
+
+TEST(StuckOpen, EnumerationCountsDevices) {
+  const Netlist nl = make_c17();  // six 2-input NANDs
+  const auto faults = enumerate_stuck_open(nl);
+  // Per NAND: 2 pFETs + 1 series stack = 3.
+  EXPECT_EQ(faults.size(), 6u * 3u);
+}
+
+TEST(StuckOpen, GeneratedTestsDetect) {
+  const Netlist nl = make_c17();
+  int generated = 0;
+  for (const StuckOpenFault& f : enumerate_stuck_open(nl)) {
+    const auto t = generate_stuck_open_test(nl, f, 3);
+    if (t.has_value()) {
+      ++generated;
+      EXPECT_TRUE(stuck_open_detected(nl, f, t->first, t->second));
+    }
+  }
+  EXPECT_EQ(generated, 18);  // every stuck-open fault of c17 is testable
+}
+
+TEST(StuckOpen, OrderedPairsCoverMoreThanShuffled) {
+  // Sequence coverage on c17: a deterministic SO test set (pairs appended
+  // in order) catches faults that the same patterns shuffled might not --
+  // the "combinational patterns are no longer effective" caveat.
+  const Netlist nl = make_c17();
+  const auto faults = enumerate_stuck_open(nl);
+  std::vector<SourceVector> seq;
+  std::mt19937_64 rng(9);
+  for (const StuckOpenFault& f : faults) {
+    const auto t = generate_stuck_open_test(nl, f, 7);
+    ASSERT_TRUE(t.has_value());
+    seq.push_back(t->first);
+    seq.push_back(t->second);
+  }
+  EXPECT_DOUBLE_EQ(stuck_open_coverage(nl, faults, seq), 1.0);
+}
+
+// --- Deductive fault simulation ----------------------------------------------
+
+TEST(Deductive, AgreesWithSerialAndParallelOnC17) {
+  const Netlist nl = make_c17();
+  const auto faults = enumerate_faults(nl);
+  std::mt19937_64 rng(23);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 48; ++i) pats.push_back(random_source_vector(nl, rng));
+  SerialFaultSimulator serial(nl);
+  ParallelFaultSimulator parallel(nl);
+  DeductiveFaultSimulator deductive(nl);
+  const auto rs = serial.run(pats, faults);
+  const auto rp = parallel.run(pats, faults);
+  const auto rd = deductive.run(pats, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(rs.first_detected_by[i], rd.first_detected_by[i])
+        << fault_name(nl, faults[i]);
+    EXPECT_EQ(rp.first_detected_by[i], rd.first_detected_by[i])
+        << fault_name(nl, faults[i]);
+  }
+}
+
+TEST(Deductive, AgreesOnXorAndMuxCircuits) {
+  for (const Netlist& nl : {make_parity_tree(7), make_mux_tree(3)}) {
+    const auto faults = collapse_faults(nl).representatives;
+    std::mt19937_64 rng(29);
+    std::vector<SourceVector> pats;
+    for (int i = 0; i < 64; ++i) pats.push_back(random_source_vector(nl, rng));
+    SerialFaultSimulator serial(nl);
+    DeductiveFaultSimulator deductive(nl);
+    const auto rs = serial.run(pats, faults);
+    const auto rd = deductive.run(pats, faults);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      EXPECT_EQ(rs.first_detected_by[i], rd.first_detected_by[i])
+          << nl.name() << " " << fault_name(nl, faults[i]);
+    }
+  }
+}
+
+TEST(Deductive, AgreesOnSequentialCaptureModel) {
+  RandomSeqSpec spec;
+  spec.num_flops = 6;
+  spec.seed = 77;
+  const Netlist nl = make_random_sequential(spec);
+  const auto faults = collapse_faults(nl).representatives;
+  std::mt19937_64 rng(31);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 32; ++i) pats.push_back(random_source_vector(nl, rng));
+  SerialFaultSimulator serial(nl);
+  DeductiveFaultSimulator deductive(nl);
+  const auto rs = serial.run(pats, faults);
+  const auto rd = deductive.run(pats, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(rs.first_detected_by[i], rd.first_detected_by[i])
+        << fault_name(nl, faults[i]);
+  }
+}
+
+TEST(Deductive, RejectsXPatterns) {
+  const Netlist nl = make_fig1_and();
+  DeductiveFaultSimulator fsim(nl);
+  EXPECT_THROW(fsim.detected({Logic::X, Logic::One}, enumerate_faults(nl)),
+               std::invalid_argument);
+}
+
+TEST(Deductive, SinglePassComputesAllFaults) {
+  // One detected() call classifies the whole universe -- the method's
+  // selling point.
+  const Netlist nl = make_ripple_adder(3);
+  const auto faults = enumerate_faults(nl);
+  DeductiveFaultSimulator fsim(nl);
+  SerialFaultSimulator serial(nl);
+  const SourceVector pat(source_count(nl), Logic::One);
+  const auto det = fsim.detected(pat, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(det[i] != 0, serial.detects(pat, faults[i]))
+        << fault_name(nl, faults[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dft

@@ -1,0 +1,161 @@
+// Tests for LFSRs, signature analysis, and MISRs, including the properties
+// the paper leans on: maximal length (2^n - 1 states, Fig. 7), single-error
+// detection certainty, and ~2^-n aliasing for random error multisets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+
+#include "lfsr/lfsr.h"
+
+namespace dft {
+namespace {
+
+TEST(Lfsr, Fig7ThreeBitRegisterHasPeriodSeven) {
+  Lfsr lfsr({3, 2}, 0b111);
+  EXPECT_EQ(lfsr.period(), 7u);
+  // All seven nonzero states appear.
+  std::set<std::uint64_t> states;
+  for (int i = 0; i < 7; ++i) {
+    states.insert(lfsr.state());
+    lfsr.step();
+  }
+  EXPECT_EQ(states.size(), 7u);
+  EXPECT_EQ(states.count(0), 0u);
+}
+
+TEST(Lfsr, ZeroStateIsAbsorbing) {
+  Lfsr lfsr({3, 2}, 0);
+  lfsr.step();
+  EXPECT_EQ(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, TabledPolynomialsAreMaximalUpToDegree18) {
+  for (int degree = 2; degree <= 18; ++degree) {
+    Lfsr lfsr = Lfsr::maximal(degree);
+    EXPECT_EQ(lfsr.period(), (1ull << degree) - 1) << "degree " << degree;
+  }
+}
+
+TEST(Lfsr, TableCoversDegrees2To32) {
+  for (int degree = 2; degree <= 32; ++degree) {
+    EXPECT_EQ(primitive_taps(degree).front(), degree);
+  }
+  EXPECT_THROW(primitive_taps(33), std::out_of_range);
+  EXPECT_THROW(primitive_taps(1), std::out_of_range);
+}
+
+TEST(Signature, DependsOnEveryBitOfTheStream) {
+  std::mt19937_64 rng(3);
+  std::vector<bool> stream(50);
+  for (auto&& b : stream) b = (rng() & 1) != 0;
+  const std::uint64_t good = SignatureAnalyzer::of_stream(stream, 16);
+  // Flipping any single bit changes the signature -- single-error detection
+  // is certain (the error polynomial x^k is never divisible by a primitive
+  // polynomial).
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    std::vector<bool> bad = stream;
+    bad[i] = !bad[i];
+    EXPECT_NE(SignatureAnalyzer::of_stream(bad, 16), good) << "bit " << i;
+  }
+}
+
+TEST(Signature, BurstErrorsShorterThanDegreeAlwaysDetected) {
+  std::mt19937_64 rng(5);
+  std::vector<bool> stream(200);
+  for (auto&& b : stream) b = (rng() & 1) != 0;
+  const int degree = 8;
+  const std::uint64_t good = SignatureAnalyzer::of_stream(stream, degree);
+  for (int start = 0; start < 190; start += 7) {
+    for (int len = 1; len <= degree; ++len) {
+      std::vector<bool> bad = stream;
+      bad[start] = !bad[start];  // burst must start with an error
+      for (int k = 1; k < len; ++k) {
+        if ((rng() & 1) != 0) bad[start + k] = !bad[start + k];
+      }
+      EXPECT_NE(SignatureAnalyzer::of_stream(bad, degree), good);
+    }
+  }
+}
+
+TEST(Signature, RandomErrorAliasingNearTwoToMinusN) {
+  // Empirical aliasing of random multi-bit errors ~ 2^-degree.
+  std::mt19937_64 rng(7);
+  for (int degree : {4, 6, 8}) {
+    std::vector<bool> stream(128);
+    for (auto&& b : stream) b = (rng() & 1) != 0;
+    const std::uint64_t good = SignatureAnalyzer::of_stream(stream, degree);
+    int alias = 0;
+    const int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<bool> bad = stream;
+      bool any = false;
+      for (std::size_t i = 0; i < bad.size(); ++i) {
+        if ((rng() & 3) == 0) {  // flip ~25% of bits
+          bad[i] = !bad[i];
+          any = true;
+        }
+      }
+      if (!any) continue;
+      if (SignatureAnalyzer::of_stream(bad, degree) == good) ++alias;
+    }
+    const double rate = static_cast<double>(alias) / kTrials;
+    const double expect = std::pow(2.0, -degree);
+    EXPECT_NEAR(rate, expect, expect * 0.6 + 2e-4) << "degree " << degree;
+  }
+}
+
+TEST(Signature, EquivalentToPolynomialDivisionRemainder) {
+  // Shifting in (degree) zero bits after the data equals multiplying by
+  // x^degree; starting from seed 0 the final state is a linear function of
+  // the stream -- check linearity: sig(a ^ b) == sig(a) ^ sig(b).
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> a(64), b(64), x(64);
+    for (int i = 0; i < 64; ++i) {
+      a[i] = (rng() & 1) != 0;
+      b[i] = (rng() & 1) != 0;
+      x[i] = a[i] != b[i];
+    }
+    const auto sa = SignatureAnalyzer::of_stream(a, 12);
+    const auto sb = SignatureAnalyzer::of_stream(b, 12);
+    const auto sx = SignatureAnalyzer::of_stream(x, 12);
+    EXPECT_EQ(sx, sa ^ sb);
+  }
+}
+
+TEST(Misr, CompressesAndDetectsSingleWordError) {
+  std::mt19937_64 rng(13);
+  std::vector<std::uint64_t> words(100);
+  for (auto& w : words) w = rng() & 0xFF;
+  Misr misr(8);
+  for (auto w : words) misr.clock(w);
+  const std::uint64_t good = misr.signature();
+  for (std::size_t i = 0; i < words.size(); i += 9) {
+    Misr m2(8);
+    for (std::size_t j = 0; j < words.size(); ++j) {
+      m2.clock(j == i ? words[j] ^ 0x10 : words[j]);
+    }
+    EXPECT_NE(m2.signature(), good);
+  }
+}
+
+TEST(Misr, LinearInItsInputStream) {
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint64_t> a(32), b(32);
+    for (auto& w : a) w = rng() & 0xFFFF;
+    for (auto& w : b) w = rng() & 0xFFFF;
+    Misr ma(16), mb(16), mx(16);
+    for (int i = 0; i < 32; ++i) {
+      ma.clock(a[i]);
+      mb.clock(b[i]);
+      mx.clock(a[i] ^ b[i]);
+    }
+    EXPECT_EQ(mx.signature(), ma.signature() ^ mb.signature());
+  }
+}
+
+}  // namespace
+}  // namespace dft

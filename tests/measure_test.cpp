@@ -1,0 +1,174 @@
+// Tests for SCOAP controllability/observability and COP random testability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "circuits/basic.h"
+#include "circuits/pla.h"
+#include "circuits/sequential.h"
+#include "fault/fault_sim.h"
+#include "measure/cop.h"
+#include "measure/scoap.h"
+#include "netlist/bench_io.h"
+
+namespace dft {
+namespace {
+
+TEST(Scoap, PrimaryInputsAreUnitControllable) {
+  const Netlist nl = make_fig1_and();
+  const auto r = compute_scoap(nl);
+  for (GateId g : nl.inputs()) {
+    EXPECT_EQ(r.cc0[g], 1);
+    EXPECT_EQ(r.cc1[g], 1);
+  }
+  const GateId c = *nl.find("c");
+  EXPECT_EQ(r.cc1[c], 3);  // both inputs to 1, +1
+  EXPECT_EQ(r.cc0[c], 2);  // one input to 0, +1
+}
+
+TEST(Scoap, ObservabilityGrowsWithDepth) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+n1 = AND(a, b)
+n2 = AND(n1, c)
+y = AND(n2, d)
+)";
+  const Netlist nl = read_bench_string(text);
+  const auto r = compute_scoap(nl);
+  EXPECT_GT(r.co[*nl.find("a")], r.co[*nl.find("n1")]);
+  EXPECT_GT(r.co[*nl.find("n1")], r.co[*nl.find("n2")]);
+  EXPECT_EQ(r.co[*nl.find("y")], 0);  // drives the PO directly
+}
+
+TEST(Scoap, AndGateControllabilityScalesWithFanin) {
+  // A 10-input AND needs all ten inputs at 1: CC1 = 11.
+  Netlist nl;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 10; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const GateId g = nl.add_gate(GateType::And, ins, "g");
+  nl.add_output(g);
+  const auto r = compute_scoap(nl);
+  EXPECT_EQ(r.cc1[g], 11);
+  EXPECT_EQ(r.cc0[g], 2);
+}
+
+TEST(Scoap, SequentialStateIsHarderThanFullScan) {
+  const Netlist nl = make_counter(8);
+  const auto seq = compute_scoap(nl, ScoapMode::Sequential);
+  const auto scan = compute_scoap(nl, ScoapMode::FullScan);
+  const GateId msb = *nl.find("cnt7");
+  // Controlling the counter MSB sequentially requires walking the carry
+  // chain; with scan it is free.
+  EXPECT_GT(seq.cc1[msb], scan.cc1[msb]);
+  EXPECT_EQ(scan.cc1[msb], 1);
+  EXPECT_GT(seq.cc1[msb], 8);
+}
+
+TEST(Scoap, DeadEndNetIsUnobservable) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.add_gate(GateType::Not, {a}, "dead");
+  const GateId y = nl.add_gate(GateType::Buf, {a}, "y");
+  nl.add_output(y);
+  const auto r = compute_scoap(nl);
+  EXPECT_GE(r.co[*nl.find("dead")], kScoapInf);
+}
+
+TEST(Scoap, RankHardestFindsDeepNet) {
+  const Netlist nl = make_counter(6);
+  const auto r = compute_scoap(nl, ScoapMode::Sequential);
+  const auto hard = rank_hardest_nets(nl, r, 3);
+  ASSERT_EQ(hard.size(), 3u);
+  EXPECT_GE(r.difficulty(hard[0]), r.difficulty(hard[1]));
+  EXPECT_GE(r.difficulty(hard[1]), r.difficulty(hard[2]));
+  EXPECT_FALSE(scoap_report(nl, r).empty());
+}
+
+TEST(Cop, SignalProbabilitiesMatchSimpleGates) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n_and = AND(a, b)
+n_or = OR(a, b)
+y = XOR(n_and, n_or)
+)";
+  const Netlist nl = read_bench_string(text);
+  const auto cop = compute_cop(nl);
+  EXPECT_NEAR(cop.p1[*nl.find("n_and")], 0.25, 1e-12);
+  EXPECT_NEAR(cop.p1[*nl.find("n_or")], 0.75, 1e-12);
+}
+
+TEST(Cop, ProbabilitiesMatchMonteCarloOnC17) {
+  const Netlist nl = make_c17();
+  const auto cop = compute_cop(nl);
+  // c17 has reconvergence but shallow: COP should be close to Monte Carlo.
+  std::mt19937_64 rng(51);
+  std::vector<int> ones(nl.size(), 0);
+  const int kTrials = 20000;
+  CombSim sim(nl);
+  for (int t = 0; t < kTrials; ++t) {
+    SourceVector v = random_source_vector(nl, rng);
+    sim.set_inputs(v);
+    sim.evaluate();
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (sim.value(g) == Logic::One) ++ones[g];
+    }
+  }
+  for (GateId g : nl.topo_order()) {
+    const double mc = static_cast<double>(ones[g]) / kTrials;
+    EXPECT_NEAR(cop.p1[g], mc, 0.08) << nl.label(g);
+  }
+}
+
+TEST(Cop, PlaTermProbabilityIsTwoToMinusFanin) {
+  // A single product term with fan-in f has P(term=1) = 2^-f -- the Fig. 22
+  // argument.
+  for (int f : {4, 8, 12}) {
+    const PlaSpec spec = make_random_pla_spec(16, 1, 1, f, 7);
+    const Netlist nl = make_pla(spec);
+    const auto cop = compute_cop(nl);
+    EXPECT_NEAR(cop.p1[*nl.find("pt0")], std::pow(2.0, -f), 1e-9);
+  }
+}
+
+TEST(Cop, DetectabilityPredictsRandomDetectionOnC17) {
+  const Netlist nl = make_c17();
+  const auto cop = compute_cop(nl);
+  const auto faults = enumerate_faults(nl);
+  std::mt19937_64 rng(53);
+  SerialFaultSimulator fsim(nl);
+  const int kTrials = 4000;
+  for (const Fault& f : faults) {
+    int hits = 0;
+    std::mt19937_64 rng2(97 + FaultHash()(f));
+    for (int t = 0; t < kTrials; ++t) {
+      if (fsim.detects(random_source_vector(nl, rng2), f)) ++hits;
+    }
+    const double mc = static_cast<double>(hits) / kTrials;
+    EXPECT_NEAR(cop_detectability(nl, cop, f), mc, 0.15)
+        << fault_name(nl, f);
+  }
+}
+
+TEST(Cop, PatternsForConfidenceInvertsGeometric) {
+  EXPECT_NEAR(patterns_for_confidence(0.5, 0.5), 1.0, 1e-9);
+  EXPECT_GT(patterns_for_confidence(1.0 / (1 << 20), 0.95), 1e6);
+  EXPECT_TRUE(std::isinf(patterns_for_confidence(0.0, 0.9)));
+}
+
+TEST(Cop, FullScanMakesStorageDNetsObservable) {
+  const Netlist nl = make_counter(4);
+  const auto cop = compute_cop(nl);
+  for (GateId ff : nl.storage()) {
+    EXPECT_EQ(cop.obs[nl.fanin(ff)[kStoragePinD]], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dft

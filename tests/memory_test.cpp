@@ -1,0 +1,177 @@
+// Tests for the embedded-RAM substrate: the SRAM fault models and the
+// march algorithms' detection guarantees.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "memory/sram.h"
+
+namespace dft {
+namespace {
+
+TEST(Sram, ReadsBackWrites) {
+  SramModel mem(4, 8);
+  std::mt19937_64 rng(3);
+  std::vector<std::uint64_t> ref(16);
+  for (int a = 0; a < 16; ++a) {
+    ref[static_cast<std::size_t>(a)] = rng() & 0xFF;
+    mem.write(a, ref[static_cast<std::size_t>(a)]);
+  }
+  for (int a = 0; a < 16; ++a) {
+    EXPECT_EQ(mem.read(a), ref[static_cast<std::size_t>(a)]);
+  }
+  EXPECT_THROW(mem.read(16), std::out_of_range);
+}
+
+TEST(Sram, CellStuckOverridesWrites) {
+  SramModel mem(3, 4);
+  mem.inject_cell_stuck(5, 2, true);
+  mem.write(5, 0x0);
+  EXPECT_EQ(mem.read(5), 0x4u);
+}
+
+TEST(Sram, TransitionFaultBlocksOneDirection) {
+  SramModel mem(3, 4);
+  mem.inject_transition_fault(2, 1, /*rising_blocked=*/true);
+  mem.write(2, 0x0);
+  mem.write(2, 0xF);            // bit 1 cannot rise
+  EXPECT_EQ(mem.read(2), 0xDu);
+  mem.clear_faults();
+  mem.write(2, 0xF);
+  EXPECT_EQ(mem.read(2), 0xFu);
+}
+
+TEST(Sram, InversionCouplingFlipsVictim) {
+  SramModel mem(3, 2);
+  mem.inject_inversion_coupling(1, 0, /*on_rising=*/true, 6, 1);
+  mem.write(6, 0x2);  // victim bit set
+  mem.write(1, 0x0);
+  mem.write(1, 0x1);  // aggressor rises -> victim flips
+  EXPECT_EQ(mem.read(6), 0x0u);
+}
+
+TEST(Sram, AddressFaultAliasesCells) {
+  SramModel mem(3, 4);
+  mem.inject_address_fault(3, 5);
+  mem.write(3, 0xA);
+  EXPECT_EQ(mem.read(5), 0xAu);
+  EXPECT_EQ(mem.read(3), 0xAu);  // 3 reads cell 5
+}
+
+TEST(March, GoodMemoryPassesBothTests) {
+  SramModel mem(5, 8);
+  EXPECT_TRUE(run_march(mem, mats_plus()).pass);
+  EXPECT_TRUE(run_march(mem, march_c_minus()).pass);
+}
+
+TEST(March, OperationCountsMatchComplexity) {
+  SramModel mem(5, 8);
+  // MATS+: 5N ops; March C-: 10N ops.
+  EXPECT_EQ(run_march(mem, mats_plus()).operations, 5 * 32);
+  EXPECT_EQ(run_march(mem, march_c_minus()).operations, 10 * 32);
+}
+
+TEST(March, BothDetectEveryCellStuckAt) {
+  for (int addr = 0; addr < 8; ++addr) {
+    for (int bit = 0; bit < 4; ++bit) {
+      for (bool v : {false, true}) {
+        SramModel mem(3, 4);
+        mem.inject_cell_stuck(addr, bit, v);
+        EXPECT_FALSE(run_march(mem, mats_plus()).pass)
+            << addr << "." << bit << "/" << v;
+        EXPECT_FALSE(run_march(mem, march_c_minus()).pass);
+      }
+    }
+  }
+}
+
+TEST(March, CMinusDetectsEveryTransitionFault) {
+  for (int addr = 0; addr < 8; ++addr) {
+    for (bool rising : {false, true}) {
+      SramModel mem(3, 2);
+      mem.inject_transition_fault(addr, 1, rising);
+      EXPECT_FALSE(run_march(mem, march_c_minus()).pass)
+          << addr << " rising=" << rising;
+    }
+  }
+}
+
+TEST(March, CMinusDetectsEveryInversionCoupling) {
+  for (int aggr = 0; aggr < 8; ++aggr) {
+    for (int vict = 0; vict < 8; ++vict) {
+      if (aggr == vict) continue;
+      for (bool rising : {false, true}) {
+        SramModel mem(3, 1);
+        mem.inject_inversion_coupling(aggr, 0, rising, vict, 0);
+        EXPECT_FALSE(run_march(mem, march_c_minus()).pass)
+            << aggr << "->" << vict << " rising=" << rising;
+      }
+    }
+  }
+}
+
+TEST(March, CMinusDetectsEveryIdempotentCoupling) {
+  for (int aggr = 0; aggr < 8; ++aggr) {
+    for (int vict = 0; vict < 8; ++vict) {
+      if (aggr == vict) continue;
+      for (bool forced : {false, true}) {
+        SramModel mem(3, 1);
+        mem.inject_idempotent_coupling(aggr, 0, /*on_rising=*/true, vict, 0,
+                                       forced);
+        EXPECT_FALSE(run_march(mem, march_c_minus()).pass)
+            << aggr << "->" << vict << " forced=" << forced;
+      }
+    }
+  }
+}
+
+TEST(March, BothDetectAddressDecoderFaults) {
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      SramModel mem(3, 2);
+      mem.inject_address_fault(a, b);
+      EXPECT_FALSE(run_march(mem, mats_plus()).pass) << a << "->" << b;
+      EXPECT_FALSE(run_march(mem, march_c_minus()).pass) << a << "->" << b;
+    }
+  }
+}
+
+TEST(March, MatsPlusMissesSomeCouplings) {
+  // The reason March C- exists: MATS+ is blind to some coupling faults
+  // (e.g. a falling-aggressor inversion whose victim sits at a higher
+  // address is flipped after its last read).
+  int missed = 0, total = 0;
+  for (int aggr = 0; aggr < 8; ++aggr) {
+    for (int vict = 0; vict < 8; ++vict) {
+      if (aggr == vict) continue;
+      for (bool rising : {false, true}) {
+        SramModel mem(3, 1);
+        mem.inject_inversion_coupling(aggr, 0, rising, vict, 0);
+        ++total;
+        const bool mats_pass = run_march(mem, mats_plus()).pass;
+        missed += mats_pass;
+        // March C- must still catch it.
+        SramModel mem2(3, 1);
+        mem2.inject_inversion_coupling(aggr, 0, rising, vict, 0);
+        EXPECT_FALSE(run_march(mem2, march_c_minus()).pass);
+      }
+    }
+  }
+  EXPECT_GT(missed, 0) << "of " << total;
+}
+
+TEST(March, DiagnosisReportsFailingAddress) {
+  SramModel mem(3, 2);
+  mem.inject_cell_stuck(5, 0, true);
+  const MarchResult r = run_march(mem, march_c_minus());
+  ASSERT_FALSE(r.pass);
+  EXPECT_EQ(r.fail_addr, 5);
+}
+
+TEST(March, NamesPrintable) {
+  EXPECT_EQ(march_name(mats_plus()), "E(w0) U(r0,w1) D(r1,w0) ");
+}
+
+}  // namespace
+}  // namespace dft

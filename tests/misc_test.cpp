@@ -1,0 +1,226 @@
+// Cross-cutting tests: the Walsh PI-fault theorem as a universal property,
+// oscillator degating (Fig. 3), Scan/Set structure, overhead table sanity,
+// and small API corners.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bist/walsh.h"
+#include "board/microcomputer.h"
+#include "board/test_points.h"
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "circuits/sequential.h"
+#include "measure/scoap.h"
+#include "netlist/bench_io.h"
+#include "scan/overhead.h"
+#include "scan/scan_set.h"
+#include "sim/comb_sim.h"
+#include "sim/seq_sim.h"
+
+namespace dft {
+namespace {
+
+// --- Walsh theorem across random circuits ------------------------------------
+
+class WalshTheorem : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WalshTheorem, PiStuckFaultForcesCallToZero) {
+  // [117]: if input i is stuck, the output no longer depends on it, and
+  // C_all (which includes W_i in its product) sums to exactly zero --
+  // regardless of the circuit and regardless of the fault-free C_all.
+  RandomCircuitSpec spec;
+  spec.num_inputs = 7;
+  spec.num_outputs = 3;
+  spec.num_gates = 40;
+  spec.seed = GetParam();
+  const Netlist nl = make_random_combinational(spec);
+  const std::uint32_t all = all_inputs_mask(nl);
+  for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+    for (GateId pi : nl.inputs()) {
+      for (bool v : {false, true}) {
+        ASSERT_EQ(walsh_coefficient_faulty(nl, o, all, {pi, -1, v}), 0)
+            << "seed " << GetParam() << " output " << o << " "
+            << nl.label(pi) << "/" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalshTheorem,
+                         ::testing::Values(401u, 402u, 403u, 404u));
+
+// --- Oscillator degating (Fig. 3) --------------------------------------------
+
+TEST(Degating, OscillatorSynchronization) {
+  // A free-running oscillator drives a toggle chain; the tester cannot
+  // predict outputs because it cannot know the oscillator phase. Degating
+  // substitutes a tester-controlled pseudo-clock, making the observed
+  // stream deterministic.
+  const char* text = R"(
+INPUT(osc)
+INPUT(degate)
+INPUT(pseudo)
+OUTPUT(q1)
+clk = MUX(osc, pseudo, degate)
+t0 = DFF(nt0)
+nt0 = XOR(t0, clk)
+q1 = BUF(t0)
+)";
+  const Netlist nl = read_bench_string(text);
+
+  auto run = [&](bool degated, int osc_phase) {
+    SeqSim sim(nl);
+    sim.reset(Logic::Zero);
+    std::vector<Logic> stream;
+    for (int t = 0; t < 8; ++t) {
+      // The oscillator toggles on its own schedule, offset by its phase.
+      sim.set_input(*nl.find("osc"),
+                    to_logic(((t + osc_phase) & 1) != 0));
+      sim.set_input(*nl.find("degate"), to_logic(degated));
+      sim.set_input(*nl.find("pseudo"), to_logic(t % 2 != 0));
+      sim.evaluate();
+      stream.push_back(sim.output_values()[0]);
+      sim.clock();
+    }
+    return stream;
+  };
+
+  // Free-running: the response depends on the (unknowable) phase.
+  EXPECT_NE(run(false, 0), run(false, 1));
+  // Degated: identical regardless of oscillator phase.
+  EXPECT_EQ(run(true, 0), run(true, 1));
+}
+
+// --- Scan/Set structure --------------------------------------------------------
+
+TEST(ScanSetStructure, AddsTapsAndSetChain) {
+  Netlist nl = make_counter(6);
+  std::vector<GateId> samples;
+  for (int i = 0; i < 3; ++i) samples.push_back(*nl.find("nq" + std::to_string(i)));
+  std::vector<GateId> sets = {*nl.find("cnt0"), *nl.find("cnt1")};
+  const ScanSetResult res = add_scan_set(nl, samples, sets);
+  EXPECT_EQ(res.sample_taps.size(), 3u);
+  EXPECT_EQ(res.set_chain.elements.size(), 2u);
+  EXPECT_EQ(res.shadow_register_bits, 3);
+  EXPECT_GT(res.extra_gate_equivalents, 0);
+  EXPECT_NO_THROW(nl.validate());
+  // The set chain converts exactly the requested flops.
+  EXPECT_EQ(nl.type(*nl.find("cnt0")), GateType::ScanDff);
+  EXPECT_EQ(nl.type(*nl.find("cnt2")), GateType::Dff);
+}
+
+TEST(ScanSetStructure, RejectsOversizedSampleList) {
+  Netlist nl = make_counter(4);
+  std::vector<GateId> too_many(65, *nl.find("cnt0"));
+  EXPECT_THROW(add_scan_set(nl, too_many, {}), std::invalid_argument);
+}
+
+// --- Overhead table sanity ------------------------------------------------------
+
+TEST(OverheadTable, RowsArePositiveAndOrdered) {
+  RandomSeqSpec spec;
+  spec.num_flops = 20;
+  spec.seed = 7;
+  const Netlist nl = make_random_sequential(spec);
+  const auto rows = compare_overheads(nl);
+  for (const auto& r : rows) {
+    EXPECT_GE(r.extra_gate_equivalents, 0) << r.technique;
+    EXPECT_GT(r.extra_pins, 0) << r.technique;
+    EXPECT_GT(r.data_volume_per_test, 0.0) << r.technique;
+  }
+  // Scan Path per-latch cost exceeds LSSD's in this model (10 vs 9 GE).
+  EXPECT_GT(rows[1].extra_gate_equivalents, rows[0].extra_gate_equivalents);
+}
+
+// --- Microcomputer fault partitioning -------------------------------------------
+
+TEST(MicrocomputerFaults, ModuleFaultsArePrefixScoped) {
+  const Microcomputer mc = make_microcomputer_board();
+  const auto rom = module_faults(mc.flat, "rom");
+  ASSERT_FALSE(rom.empty());
+  for (const Fault& f : rom) {
+    EXPECT_EQ(mc.flat.label(f.gate).rfind("rom.", 0), 0u)
+        << mc.flat.label(f.gate);
+  }
+  // Bus gates belong to no module.
+  const auto all = collapse_faults(mc.flat).representatives;
+  std::size_t sum = 0;
+  for (const char* m : {"cpu", "rom", "ram", "io", "ext"}) {
+    sum += module_faults(mc.flat, m).size();
+  }
+  EXPECT_LT(sum, all.size());
+}
+
+// --- CLEAR test point (Sec. III-B predictability) -------------------------------
+
+TEST(ClearFunction, MakesUninitializableMachineInitializable) {
+  // The accumulator has no reset: SCOAP says its state is sequentially
+  // uncontrollable. One CLEAR test point fixes that in one clock.
+  Netlist nl = make_accumulator(4);
+  {
+    const auto seq = compute_scoap(nl, ScoapMode::Sequential);
+    EXPECT_GE(seq.cc1[*nl.find("acc3")], kScoapInf);
+  }
+  const GateId clear = add_clear_function(nl);
+  {
+    const auto seq = compute_scoap(nl, ScoapMode::Sequential);
+    EXPECT_LT(seq.cc0[*nl.find("acc3")], kScoapInf);
+  }
+  SeqSim sim(nl);
+  sim.reset(Logic::X);
+  sim.set_input(clear, Logic::One);
+  for (GateId pi : nl.inputs()) {
+    if (pi != clear) sim.set_input(pi, Logic::X);
+  }
+  sim.clock();
+  for (GateId ff : nl.storage()) EXPECT_EQ(sim.state(ff), Logic::Zero);
+  // And with clear low, the machine still accumulates.
+  sim.set_input(clear, Logic::Zero);
+  for (int i = 0; i < 4; ++i) {
+    sim.set_input(*nl.find("a" + std::to_string(i)), to_logic(i == 0));
+  }
+  sim.set_input(*nl.find("load"), Logic::One);
+  sim.clock();
+  EXPECT_EQ(sim.state(*nl.find("acc0")), Logic::One);
+}
+
+// --- Small API corners -----------------------------------------------------------
+
+TEST(NetlistCorners, LabelFallsBackToId) {
+  Netlist nl;
+  const GateId a = nl.add_input();
+  EXPECT_EQ(nl.label(a), "g0");
+  nl.set_name(a, "renamed");
+  EXPECT_EQ(nl.label(a), "renamed");
+  EXPECT_EQ(nl.find("renamed"), a);
+  EXPECT_FALSE(nl.find("gone").has_value());
+}
+
+TEST(NetlistCorners, SetNameReleasesOldName) {
+  Netlist nl;
+  const GateId a = nl.add_input("first");
+  nl.set_name(a, "second");
+  EXPECT_FALSE(nl.find("first").has_value());
+  const GateId b = nl.add_input("first");  // old name reusable
+  EXPECT_EQ(nl.find("first"), b);
+}
+
+TEST(BenchIoCorners, ConstGatesRoundTrip) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+one = CONST1()
+y = AND(a, one)
+)";
+  const Netlist nl = read_bench_string(text);
+  const Netlist nl2 = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(nl2.count(GateType::Const1), 1);
+  CombSim sim(nl2);
+  sim.set_inputs({Logic::One});
+  sim.evaluate();
+  EXPECT_EQ(sim.output_values()[0], Logic::One);
+}
+
+}  // namespace
+}  // namespace dft

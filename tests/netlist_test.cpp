@@ -1,0 +1,253 @@
+// Unit tests for the structural netlist, .bench I/O, and stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+
+namespace dft {
+namespace {
+
+using G = GateType;
+
+TEST(Logic, OperatorsFollowKleeneTables) {
+  EXPECT_EQ(logic_and(Logic::Zero, Logic::X), Logic::Zero);
+  EXPECT_EQ(logic_and(Logic::One, Logic::X), Logic::X);
+  EXPECT_EQ(logic_or(Logic::One, Logic::X), Logic::One);
+  EXPECT_EQ(logic_or(Logic::Zero, Logic::X), Logic::X);
+  EXPECT_EQ(logic_xor(Logic::One, Logic::One), Logic::Zero);
+  EXPECT_EQ(logic_xor(Logic::One, Logic::X), Logic::X);
+  EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+  EXPECT_EQ(as_input(Logic::Z), Logic::X);
+}
+
+TEST(Netlist, BuildsAndQueriesSimpleGate) {
+  Netlist nl("t");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_gate(G::And, {a, b}, "c");
+  const GateId o = nl.add_output(c, "o");
+  EXPECT_EQ(nl.size(), 4u);
+  EXPECT_EQ(nl.type(c), G::And);
+  EXPECT_EQ(nl.fanin(c).size(), 2u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.find("c"), c);
+  EXPECT_EQ(nl.fanout(a).size(), 1u);
+  EXPECT_EQ(nl.fanout(c).front(), o);
+}
+
+TEST(Netlist, RejectsBadArity) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(G::Not, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(G::Mux, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(G::And, {}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDanglingFanin) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_gate(G::Not, {5}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::invalid_argument);
+}
+
+TEST(Netlist, LevelizesAndDetectsDepth) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId n1 = nl.add_gate(G::Not, {a});
+  const GateId n2 = nl.add_gate(G::Not, {n1});
+  const GateId n3 = nl.add_gate(G::And, {a, n2});
+  nl.add_output(n3);
+  EXPECT_EQ(nl.depth(), 4);  // a -> n1 -> n2 -> n3 -> PO
+  EXPECT_EQ(nl.levels()[a], 0);
+  EXPECT_EQ(nl.levels()[n3], 3);
+}
+
+TEST(Netlist, DetectsCombinationalCycle) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(G::And, {a, a});
+  const GateId g2 = nl.add_gate(G::And, {g1, a});
+  nl.set_fanin(g1, 1, g2);  // g1 <-> g2 cycle
+  EXPECT_THROW(nl.topo_order(), std::runtime_error);
+}
+
+TEST(Netlist, StorageBreaksCycles) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId ff = nl.add_gate(G::Dff, {a});
+  const GateId g = nl.add_gate(G::Xor, {a, ff});
+  nl.set_fanin(ff, kStoragePinD, g);  // feedback through the flop: legal
+  nl.add_output(g);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, FanoutConeStopsAtStorage) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(G::Not, {a});
+  const GateId ff = nl.add_gate(G::Dff, {g1});
+  const GateId g2 = nl.add_gate(G::Not, {ff});
+  nl.add_output(g2);
+  const auto cone = nl.fanout_cone(g1);
+  EXPECT_NE(std::find(cone.begin(), cone.end(), ff), cone.end());
+  EXPECT_EQ(std::find(cone.begin(), cone.end(), g2), cone.end());
+}
+
+TEST(Netlist, FaninConeStopsAtStorage) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(G::Not, {a});
+  const GateId ff = nl.add_gate(G::Dff, {g1});
+  const GateId g2 = nl.add_gate(G::Not, {ff});
+  nl.add_output(g2);
+  const auto cone = nl.fanin_cone(g2);
+  EXPECT_NE(std::find(cone.begin(), cone.end(), ff), cone.end());
+  EXPECT_EQ(std::find(cone.begin(), cone.end(), g1), cone.end());
+}
+
+TEST(Netlist, ConvertStorageAddsScanPin) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId si = nl.add_input("si");
+  const GateId ff = nl.add_gate(G::Dff, {a});
+  nl.convert_storage(ff, G::ScanDff, si);
+  EXPECT_EQ(nl.type(ff), G::ScanDff);
+  EXPECT_EQ(nl.fanin(ff).size(), 2u);
+  EXPECT_EQ(nl.fanin(ff)[kStoragePinScanIn], si);
+  nl.convert_storage(ff, G::Dff);
+  EXPECT_EQ(nl.fanin(ff).size(), 1u);
+}
+
+TEST(Netlist, ConvertStorageRejectsCombinational) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId g = nl.add_gate(G::Not, {a});
+  EXPECT_THROW(nl.convert_storage(g, G::ScanDff, a), std::invalid_argument);
+}
+
+TEST(Netlist, GateEquivalentsCountsWideGatesAsTrees) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c = nl.add_input("c");
+  nl.add_gate(G::And, {a, b, c});
+  EXPECT_EQ(nl.gate_equivalents(), 2);  // 3-input AND = two 2-input ANDs
+}
+
+TEST(Netlist, ValidateRejectsBusWithNonTristateDriver) {
+  Netlist nl;
+  const GateId a = nl.add_input("a");
+  nl.add_gate(G::Bus, {a});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(BenchIo, ParsesSimpleNetlist) {
+  const char* text = R"(
+# comment
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+y = NOT(n1)
+)";
+  Netlist nl = read_bench_string(text, "t");
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  ASSERT_TRUE(nl.find("n1").has_value());
+  EXPECT_EQ(nl.type(*nl.find("n1")), G::Nand);
+}
+
+TEST(BenchIo, ParsesOutOfOrderDefinitions) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(n1)
+n1 = BUF(a)
+)";
+  Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.type(*nl.find("y")), G::Not);
+}
+
+TEST(BenchIo, ParsesSequentialWithFeedback) {
+  const char* text = R"(
+INPUT(d)
+OUTPUT(q)
+q = DFF(nq)
+nq = XOR(d, q)
+)";
+  Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.storage().size(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchIo, RejectsUndefinedNet) {
+  EXPECT_THROW(read_bench_string("OUTPUT(y)\ny = NOT(missing)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsRedefinition) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nn = NOT(a)\nn = BUF(a)\nOUTPUT(n)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, RejectsCombinationalCycleInText) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = NOT(x)
+)";
+  EXPECT_THROW(read_bench_string(text), std::runtime_error);
+}
+
+TEST(BenchIo, RoundTripsPreservesStructure) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(q)
+n1 = AND(a, b)
+q = SCANDFF(n1, a)
+y = XOR(n1, q)
+)";
+  Netlist nl = read_bench_string(text);
+  Netlist nl2 = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(nl.size(), nl2.size() + 0);  // same gates modulo none
+  EXPECT_EQ(nl2.inputs().size(), 2u);
+  EXPECT_EQ(nl2.outputs().size(), 2u);
+  EXPECT_EQ(nl2.storage().size(), 1u);
+  EXPECT_EQ(nl2.type(*nl2.find("q")), G::ScanDff);
+}
+
+TEST(Stats, CountsC17LikeNetlist) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n1 = NAND(a, b)
+n2 = NAND(n1, b)
+y = NAND(n1, n2)
+)";
+  const Netlist nl = read_bench_string(text);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.primary_inputs, 2);
+  EXPECT_EQ(s.primary_outputs, 1);
+  EXPECT_EQ(s.combinational_gates, 3);
+  EXPECT_EQ(s.storage_elements, 0);
+  EXPECT_EQ(s.depth, 4);
+  EXPECT_EQ(s.max_fanout, 2);
+}
+
+}  // namespace
+}  // namespace dft

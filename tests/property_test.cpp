@@ -1,0 +1,291 @@
+// Parameterized property sweeps (TEST_P): cross-engine equivalences and
+// algebraic invariants checked across seeds, widths, degrees, and scan
+// configurations.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "atpg/podem.h"
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "fault/deductive.h"
+#include "fault/fault_sim.h"
+#include "lfsr/lfsr.h"
+#include "netlist/bench_io.h"
+#include "circuits/sequential.h"
+#include "scan/scan_insert.h"
+#include "scan/scan_ops.h"
+#include "sim/comb_sim.h"
+#include "sim/parallel_sim.h"
+
+namespace dft {
+namespace {
+
+// --- Parallel simulator == 4-valued simulator on random circuits ----------
+
+class SimEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimEquivalence, ParallelMatchesCombSim) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.num_gates = 120;
+  spec.seed = GetParam();
+  const Netlist nl = make_random_combinational(spec);
+  CombSim ref(nl);
+  ParallelSim par(nl);
+  std::mt19937_64 rng(GetParam() * 7 + 1);
+  std::vector<std::uint64_t> words(nl.inputs().size());
+  for (auto& w : words) w = rng();
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    par.set_word(nl.inputs()[i], words[i]);
+  }
+  par.evaluate();
+  for (int bit = 0; bit < 64; bit += 7) {
+    std::vector<Logic> in;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      in.push_back(to_logic((words[i] >> bit) & 1));
+    }
+    ref.set_inputs(in);
+    ref.evaluate();
+    for (GateId g : nl.topo_order()) {
+      ASSERT_EQ(to_logic((par.word(g) >> bit) & 1), ref.value(g))
+          << nl.label(g) << " bit " << bit;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --- The three fault-simulation engines agree ------------------------------
+
+class EngineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineAgreement, SerialParallelDeductiveIdentical) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.num_gates = 90;
+  spec.max_fanin = 4;
+  spec.seed = GetParam();
+  const Netlist nl = make_random_combinational(spec);
+  const auto faults = enumerate_faults(nl);
+  std::mt19937_64 rng(GetParam() + 1000);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 40; ++i) pats.push_back(random_source_vector(nl, rng));
+  SerialFaultSimulator serial(nl);
+  ParallelFaultSimulator parallel(nl);
+  DeductiveFaultSimulator deductive(nl);
+  const auto rs = serial.run(pats, faults);
+  const auto rp = parallel.run(pats, faults);
+  const auto rd = deductive.run(pats, faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    ASSERT_EQ(rs.first_detected_by[i], rp.first_detected_by[i])
+        << fault_name(nl, faults[i]);
+    ASSERT_EQ(rs.first_detected_by[i], rd.first_detected_by[i])
+        << fault_name(nl, faults[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u,
+                                           106u));
+
+// --- Fault-collapsing classes are behaviorally equivalent ------------------
+
+class CollapseSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseSoundness, ClassMembersDetectTogether) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 8;
+  spec.num_outputs = 5;
+  spec.num_gates = 70;
+  spec.seed = GetParam();
+  const Netlist nl = make_random_combinational(spec);
+  const CollapseResult col = collapse_faults(nl);
+  SerialFaultSimulator fsim(nl);
+  std::mt19937_64 rng(GetParam() * 3 + 7);
+  for (int t = 0; t < 12; ++t) {
+    const SourceVector pat = random_source_vector(nl, rng);
+    for (std::size_t i = 0; i < col.universe.size(); ++i) {
+      const Fault& member = col.universe[i];
+      const Fault& rep =
+          col.representatives[static_cast<std::size_t>(
+              col.rep_index_of_universe[i])];
+      ASSERT_EQ(fsim.detects(pat, member), fsim.detects(pat, rep))
+          << fault_name(nl, member) << " vs rep " << fault_name(nl, rep);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseSoundness,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// --- PODEM soundness and completeness across seeds --------------------------
+
+class PodemSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PodemSweep, VerdictsMatchBruteForce) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.num_gates = 55;
+  spec.seed = GetParam();
+  const Netlist nl = make_random_combinational(spec);
+  Podem podem(nl);
+  SerialFaultSimulator fsim(nl);
+  std::mt19937_64 rng(GetParam());
+  for (const Fault& f : collapse_faults(nl).representatives) {
+    const AtpgOutcome out = podem.generate(f);
+    ASSERT_NE(out.status, AtpgStatus::Aborted) << fault_name(nl, f);
+    bool testable = false;
+    for (std::uint64_t v = 0; v < (1ull << nl.inputs().size()); ++v) {
+      SourceVector pat(nl.inputs().size());
+      for (std::size_t i = 0; i < pat.size(); ++i) {
+        pat[i] = to_logic((v >> i) & 1);
+      }
+      if (fsim.detects(pat, f)) {
+        testable = true;
+        break;
+      }
+    }
+    ASSERT_EQ(out.status == AtpgStatus::TestFound, testable)
+        << fault_name(nl, f);
+    if (out.status == AtpgStatus::TestFound) {
+      SourceVector pat = out.pattern;
+      random_fill(pat, rng);
+      ASSERT_TRUE(fsim.detects(pat, f)) << fault_name(nl, f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PodemSweep,
+                         ::testing::Values(201u, 202u, 203u, 204u, 205u,
+                                           206u, 207u, 208u));
+
+// --- Scan insertion across styles and chain counts --------------------------
+
+struct ScanParam {
+  ScanStyle style;
+  int chains;
+  int flops;
+};
+
+class ScanSweep : public ::testing::TestWithParam<ScanParam> {};
+
+TEST_P(ScanSweep, PreservesFunctionAndShiftsClean) {
+  const ScanParam p = GetParam();
+  Netlist plain = make_counter(p.flops);
+  Netlist scanned = make_counter(p.flops);
+  const ScanInsertionResult ins = insert_scan(scanned, p.style, p.chains);
+  ASSERT_EQ(ins.converted_flops, p.flops);
+  EXPECT_EQ(discover_chains(scanned).size(), ins.chains.size());
+
+  // Normal mode equivalence over a burst of cycles.
+  SeqSim a(plain), b(scanned);
+  a.reset(Logic::Zero);
+  b.reset(Logic::Zero);
+  for (const auto& c : ins.chains) b.set_input(c.scan_in, Logic::Zero);
+  for (int t = 0; t < 2 * p.flops + 3; ++t) {
+    a.set_input(*plain.find("en"), Logic::One);
+    b.set_input(*scanned.find("en"), Logic::One);
+    a.clock();
+    b.clock();
+    for (int i = 0; i < p.flops; ++i) {
+      const std::string n = "cnt" + std::to_string(i);
+      ASSERT_EQ(a.state(*plain.find(n)), b.state(*scanned.find(n)))
+          << "cycle " << t << " bit " << i;
+    }
+  }
+
+  // The chains flush.
+  ScanTester tester(scanned, ins.chains);
+  SeqSim sim(scanned);
+  sim.reset(Logic::X);
+  sim.set_input(*scanned.find("en"), Logic::Zero);
+  EXPECT_TRUE(tester.flush_test(sim));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StylesAndChains, ScanSweep,
+    ::testing::Values(ScanParam{ScanStyle::Lssd, 1, 6},
+                      ScanParam{ScanStyle::Lssd, 2, 7},
+                      ScanParam{ScanStyle::Lssd, 3, 12},
+                      ScanParam{ScanStyle::ScanPath, 1, 6},
+                      ScanParam{ScanStyle::ScanPath, 2, 9},
+                      ScanParam{ScanStyle::ScanPath, 4, 13}));
+
+// --- LFSR maximality across degrees ------------------------------------------
+
+class LfsrDegrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfsrDegrees, TabledPolynomialIsMaximal) {
+  const int degree = GetParam();
+  EXPECT_EQ(Lfsr::maximal(degree).period(), (1ull << degree) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LfsrDegrees, ::testing::Range(2, 19));
+
+// --- Adder correctness across widths ----------------------------------------
+
+class AdderWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidths, AddsRandomOperands) {
+  const int n = GetParam();
+  const Netlist nl = make_ripple_adder(n);
+  CombSim sim(nl);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 131);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng() & ((1ull << n) - 1);
+    const std::uint64_t b = rng() & ((1ull << n) - 1);
+    const int c = static_cast<int>(rng() & 1);
+    std::vector<Logic> in;
+    for (int i = 0; i < n; ++i) in.push_back(to_logic((a >> i) & 1));
+    for (int i = 0; i < n; ++i) in.push_back(to_logic((b >> i) & 1));
+    in.push_back(to_logic(c != 0));
+    sim.set_inputs(in);
+    sim.evaluate();
+    const auto out = sim.output_values();
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      if (out[static_cast<std::size_t>(i)] == Logic::One) sum |= 1ull << i;
+    }
+    if (out[static_cast<std::size_t>(n)] == Logic::One) sum |= 1ull << n;
+    ASSERT_EQ(sum, a + b + static_cast<std::uint64_t>(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidths,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16, 24, 32));
+
+// --- Signature linearity across degrees -------------------------------------
+
+class SignatureDegrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignatureDegrees, LinearAndSingleErrorCertain) {
+  const int degree = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(degree) * 977);
+  std::vector<bool> a(80), b(80), x(80);
+  for (int i = 0; i < 80; ++i) {
+    a[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+    b[static_cast<std::size_t>(i)] = (rng() & 1) != 0;
+    x[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(SignatureAnalyzer::of_stream(x, degree),
+            SignatureAnalyzer::of_stream(a, degree) ^
+                SignatureAnalyzer::of_stream(b, degree));
+  const auto good = SignatureAnalyzer::of_stream(a, degree);
+  for (std::size_t i = 0; i < a.size(); i += 11) {
+    auto bad = a;
+    bad[i] = !bad[i];
+    EXPECT_NE(SignatureAnalyzer::of_stream(bad, degree), good);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SignatureDegrees,
+                         ::testing::Values(4, 7, 12, 16, 24, 32));
+
+}  // namespace
+}  // namespace dft

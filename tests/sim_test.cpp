@@ -1,0 +1,243 @@
+// Unit tests for the combinational, sequential, and bit-parallel simulators.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/basic.h"
+#include "netlist/bench_io.h"
+#include "sim/comb_sim.h"
+#include "sim/eval.h"
+#include "sim/parallel_sim.h"
+#include "sim/seq_sim.h"
+
+namespace dft {
+namespace {
+
+using G = GateType;
+
+TEST(EvalGate, CoversGateTable) {
+  const Logic v0 = Logic::Zero, v1 = Logic::One, vx = Logic::X, vz = Logic::Z;
+  {
+    const Logic in[] = {v1, v1, v0};
+    EXPECT_EQ(eval_gate(G::And, {in, 3}), v0);
+    EXPECT_EQ(eval_gate(G::Nand, {in, 3}), v1);
+    EXPECT_EQ(eval_gate(G::Or, {in, 3}), v1);
+    EXPECT_EQ(eval_gate(G::Nor, {in, 3}), v0);
+    EXPECT_EQ(eval_gate(G::Xor, {in, 3}), v0);
+    EXPECT_EQ(eval_gate(G::Xnor, {in, 3}), v1);
+  }
+  {
+    const Logic in[] = {vx, v0};
+    EXPECT_EQ(eval_gate(G::And, {in, 2}), v0);   // controlling 0 dominates X
+    EXPECT_EQ(eval_gate(G::Or, {in, 2}), vx);
+    EXPECT_EQ(eval_gate(G::Xor, {in, 2}), vx);
+  }
+  {
+    const Logic in[] = {vz};
+    EXPECT_EQ(eval_gate(G::Buf, {in, 1}), vx);  // floating input reads X
+  }
+}
+
+TEST(EvalGate, MuxSelectsAndHandlesUnknownSelect) {
+  const Logic a0b1x[] = {Logic::Zero, Logic::One, Logic::X};
+  EXPECT_EQ(eval_gate(G::Mux, {a0b1x, 3}), Logic::X);
+  const Logic both1[] = {Logic::One, Logic::One, Logic::X};
+  EXPECT_EQ(eval_gate(G::Mux, {both1, 3}), Logic::One);  // X-select, a==b
+  const Logic sel1[] = {Logic::Zero, Logic::One, Logic::One};
+  EXPECT_EQ(eval_gate(G::Mux, {sel1, 3}), Logic::One);
+}
+
+TEST(EvalGate, TristateAndBusResolve) {
+  const Logic drive1[] = {Logic::One, Logic::One};
+  EXPECT_EQ(eval_gate(G::Tristate, {drive1, 2}), Logic::One);
+  const Logic off[] = {Logic::One, Logic::Zero};
+  EXPECT_EQ(eval_gate(G::Tristate, {off, 2}), Logic::Z);
+
+  const Logic zz1[] = {Logic::Z, Logic::Z, Logic::One};
+  EXPECT_EQ(eval_gate(G::Bus, {zz1, 3}), Logic::One);
+  const Logic zz[] = {Logic::Z, Logic::Z};
+  EXPECT_EQ(eval_gate(G::Bus, {zz, 2}), Logic::Z);
+  const Logic conflict[] = {Logic::One, Logic::Zero};
+  EXPECT_EQ(eval_gate(G::Bus, {conflict, 2}), Logic::X);
+}
+
+TEST(CombSim, EvaluatesFig1AndGate) {
+  // Fig. 1(a): the good machine. Pattern A=0 B=1 gives C=0.
+  const Netlist nl = make_fig1_and();
+  CombSim sim(nl);
+  sim.set_inputs({Logic::Zero, Logic::One});
+  sim.evaluate();
+  EXPECT_EQ(sim.output_values()[0], Logic::Zero);
+}
+
+TEST(CombSim, Fig1StuckAt1FaultFlipsOutput) {
+  // Fig. 1(b): input A s-a-1 makes the same pattern read C=1.
+  const Netlist nl = make_fig1_and();
+  CombSim sim(nl);
+  const GateId c = *nl.find("c");
+  sim.set_stuck({c, 0, Logic::One});  // pin A of the AND gate
+  sim.set_inputs({Logic::Zero, Logic::One});
+  sim.evaluate();
+  EXPECT_EQ(sim.output_values()[0], Logic::One);
+}
+
+TEST(CombSim, InputPinFaultDoesNotAffectOtherFanouts) {
+  // A stuck input pin is local to the gate that perceives it (Fig. 1 text).
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y1)
+OUTPUT(y2)
+y1 = BUF(a)
+y2 = BUF(a)
+)";
+  const Netlist nl = read_bench_string(text);
+  CombSim sim(nl);
+  sim.set_stuck({*nl.find("y1"), 0, Logic::One});
+  sim.set_inputs({Logic::Zero});
+  sim.evaluate();
+  EXPECT_EQ(sim.value(*nl.find("y1")), Logic::One);
+  EXPECT_EQ(sim.value(*nl.find("y2")), Logic::Zero);
+}
+
+TEST(CombSim, OutputStuckAffectsAllFanouts) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y1)
+OUTPUT(y2)
+n = BUF(a)
+y1 = BUF(n)
+y2 = NOT(n)
+)";
+  const Netlist nl = read_bench_string(text);
+  CombSim sim(nl);
+  sim.set_stuck({*nl.find("n"), -1, Logic::One});
+  sim.set_inputs({Logic::Zero});
+  sim.evaluate();
+  EXPECT_EQ(sim.value(*nl.find("y1")), Logic::One);
+  EXPECT_EQ(sim.value(*nl.find("y2")), Logic::Zero);
+}
+
+TEST(CombSim, StuckOnPrimaryInputForcesSource) {
+  const Netlist nl = make_fig1_and();
+  CombSim sim(nl);
+  const GateId a = *nl.find("a");
+  sim.set_stuck({a, -1, Logic::One});
+  sim.set_inputs({Logic::Zero, Logic::One});
+  sim.evaluate();
+  EXPECT_EQ(sim.output_values()[0], Logic::One);
+}
+
+TEST(CombSim, UnsetInputsReadX) {
+  const Netlist nl = make_fig1_and();
+  CombSim sim(nl);
+  sim.evaluate();
+  EXPECT_EQ(sim.output_values()[0], Logic::X);
+}
+
+TEST(SeqSim, CounterCountsFromReset) {
+  const char* text = R"(
+INPUT(en)
+OUTPUT(q0)
+OUTPUT(q1)
+q0 = DFF(n0)
+q1 = DFF(n1)
+n0 = XOR(q0, en)
+c0 = AND(q0, en)
+n1 = XOR(q1, c0)
+)";
+  const Netlist nl = read_bench_string(text);
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  sim.set_inputs({Logic::One});
+  int observed = 0;
+  for (int t = 0; t < 4; ++t) {
+    sim.clock();
+    const Logic q0 = sim.state(*nl.find("q0"));
+    const Logic q1 = sim.state(*nl.find("q1"));
+    observed = (q1 == Logic::One ? 2 : 0) + (q0 == Logic::One ? 1 : 0);
+    EXPECT_EQ(observed, (t + 1) % 4);
+  }
+}
+
+TEST(SeqSim, ScanShiftMovesChainAndNormalCaptures) {
+  // Two ScanDffs chained: si -> f0 -> f1; D inputs tied to PI d.
+  const char* text = R"(
+INPUT(d)
+INPUT(si)
+OUTPUT(so)
+f0 = SCANDFF(d, si)
+f1 = SCANDFF(d, f0)
+so = BUF(f1)
+)";
+  const Netlist nl = read_bench_string(text);
+  SeqSim sim(nl);
+  sim.reset(Logic::Zero);
+  sim.set_input(*nl.find("si"), Logic::One);
+  sim.set_input(*nl.find("d"), Logic::Zero);
+  sim.clock(ClockMode::Shift);
+  EXPECT_EQ(sim.state(*nl.find("f0")), Logic::One);
+  EXPECT_EQ(sim.state(*nl.find("f1")), Logic::Zero);
+  sim.clock(ClockMode::Shift);
+  EXPECT_EQ(sim.state(*nl.find("f1")), Logic::One);
+  // Normal clock captures D for every element.
+  sim.clock(ClockMode::Normal);
+  EXPECT_EQ(sim.state(*nl.find("f0")), Logic::Zero);
+  EXPECT_EQ(sim.state(*nl.find("f1")), Logic::Zero);
+}
+
+TEST(SeqSim, PlainDffHoldsDuringShift) {
+  const char* text = R"(
+INPUT(d)
+OUTPUT(q)
+q = DFF(d)
+)";
+  const Netlist nl = read_bench_string(text);
+  SeqSim sim(nl);
+  sim.set_state(*nl.find("q"), Logic::One);
+  sim.set_input(*nl.find("d"), Logic::Zero);
+  sim.clock(ClockMode::Shift);
+  EXPECT_EQ(sim.state(*nl.find("q")), Logic::One);
+}
+
+TEST(ParallelSim, MatchesCombSimOnRandomPatterns) {
+  const Netlist nl = make_c17();
+  CombSim ref(nl);
+  ParallelSim par(nl);
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> words(nl.inputs().size());
+  for (auto& w : words) w = rng();
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    par.set_word(nl.inputs()[i], words[i]);
+  }
+  par.evaluate();
+  for (int bit = 0; bit < 64; ++bit) {
+    std::vector<Logic> in;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      in.push_back(to_logic((words[i] >> bit) & 1));
+    }
+    ref.set_inputs(in);
+    ref.evaluate();
+    for (GateId po : nl.outputs()) {
+      const Logic expect = ref.value(po);
+      const Logic got = to_logic((par.word(po) >> bit) & 1);
+      EXPECT_EQ(got, expect) << "bit " << bit << " po " << nl.label(po);
+    }
+  }
+}
+
+TEST(ParallelSim, ForcedPinEvaluation) {
+  const Netlist nl = make_fig1_and();
+  ParallelSim par(nl);
+  const GateId a = *nl.find("a");
+  const GateId b = *nl.find("b");
+  const GateId c = *nl.find("c");
+  par.set_word(a, 0x0ull);
+  par.set_word(b, ~0x0ull);
+  par.evaluate();
+  EXPECT_EQ(par.word(c), 0x0ull);
+  // Force pin A (pin 0) to all-ones: the AND now follows B.
+  EXPECT_EQ(par.eval_with_forced_pin(c, 0, ~0ull), ~0ull);
+}
+
+}  // namespace
+}  // namespace dft
