@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_stuckat"
+  "../bench/bench_fig01_stuckat.pdb"
+  "CMakeFiles/bench_fig01_stuckat.dir/bench_fig01_stuckat.cpp.o"
+  "CMakeFiles/bench_fig01_stuckat.dir/bench_fig01_stuckat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_stuckat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

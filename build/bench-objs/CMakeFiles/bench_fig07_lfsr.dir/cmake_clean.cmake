@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_lfsr"
+  "../bench/bench_fig07_lfsr.pdb"
+  "CMakeFiles/bench_fig07_lfsr.dir/bench_fig07_lfsr.cpp.o"
+  "CMakeFiles/bench_fig07_lfsr.dir/bench_fig07_lfsr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

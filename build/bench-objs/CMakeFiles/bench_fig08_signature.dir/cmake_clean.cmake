@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_signature"
+  "../bench/bench_fig08_signature.pdb"
+  "CMakeFiles/bench_fig08_signature.dir/bench_fig08_signature.cpp.o"
+  "CMakeFiles/bench_fig08_signature.dir/bench_fig08_signature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_lssd"
+  "../bench/bench_fig12_lssd.pdb"
+  "CMakeFiles/bench_fig12_lssd.dir/bench_fig12_lssd.cpp.o"
+  "CMakeFiles/bench_fig12_lssd.dir/bench_fig12_lssd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

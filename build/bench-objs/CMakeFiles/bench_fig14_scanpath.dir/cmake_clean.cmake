@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_scanpath"
+  "../bench/bench_fig14_scanpath.pdb"
+  "CMakeFiles/bench_fig14_scanpath.dir/bench_fig14_scanpath.cpp.o"
+  "CMakeFiles/bench_fig14_scanpath.dir/bench_fig14_scanpath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scanpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

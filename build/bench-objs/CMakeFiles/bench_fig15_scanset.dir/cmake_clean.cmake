@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_scanset"
+  "../bench/bench_fig15_scanset.pdb"
+  "CMakeFiles/bench_fig15_scanset.dir/bench_fig15_scanset.cpp.o"
+  "CMakeFiles/bench_fig15_scanset.dir/bench_fig15_scanset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_scanset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_ras"
+  "../bench/bench_fig18_ras.pdb"
+  "CMakeFiles/bench_fig18_ras.dir/bench_fig18_ras.cpp.o"
+  "CMakeFiles/bench_fig18_ras.dir/bench_fig18_ras.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

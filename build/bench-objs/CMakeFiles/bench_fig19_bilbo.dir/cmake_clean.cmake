@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_bilbo"
+  "../bench/bench_fig19_bilbo.pdb"
+  "CMakeFiles/bench_fig19_bilbo.dir/bench_fig19_bilbo.cpp.o"
+  "CMakeFiles/bench_fig19_bilbo.dir/bench_fig19_bilbo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_bilbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_pla"
+  "../bench/bench_fig22_pla.pdb"
+  "CMakeFiles/bench_fig22_pla.dir/bench_fig22_pla.cpp.o"
+  "CMakeFiles/bench_fig22_pla.dir/bench_fig22_pla.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_pla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig23_syndrome"
+  "../bench/bench_fig23_syndrome.pdb"
+  "CMakeFiles/bench_fig23_syndrome.dir/bench_fig23_syndrome.cpp.o"
+  "CMakeFiles/bench_fig23_syndrome.dir/bench_fig23_syndrome.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_syndrome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

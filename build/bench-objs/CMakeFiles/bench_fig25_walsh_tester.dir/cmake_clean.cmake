@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig25_walsh_tester"
+  "../bench/bench_fig25_walsh_tester.pdb"
+  "CMakeFiles/bench_fig25_walsh_tester.dir/bench_fig25_walsh_tester.cpp.o"
+  "CMakeFiles/bench_fig25_walsh_tester.dir/bench_fig25_walsh_tester.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_walsh_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig30_autonomous"
+  "../bench/bench_fig30_autonomous.pdb"
+  "CMakeFiles/bench_fig30_autonomous.dir/bench_fig30_autonomous.cpp.o"
+  "CMakeFiles/bench_fig30_autonomous.dir/bench_fig30_autonomous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig30_autonomous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec1a_bridging"
+  "../bench/bench_sec1a_bridging.pdb"
+  "CMakeFiles/bench_sec1a_bridging.dir/bench_sec1a_bridging.cpp.o"
+  "CMakeFiles/bench_sec1a_bridging.dir/bench_sec1a_bridging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1a_bridging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

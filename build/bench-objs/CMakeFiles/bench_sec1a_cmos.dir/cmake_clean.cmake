@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec1a_cmos"
+  "../bench/bench_sec1a_cmos.pdb"
+  "CMakeFiles/bench_sec1a_cmos.dir/bench_sec1a_cmos.cpp.o"
+  "CMakeFiles/bench_sec1a_cmos.dir/bench_sec1a_cmos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1a_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec1b_exhaustive"
+  "../bench/bench_sec1b_exhaustive.pdb"
+  "CMakeFiles/bench_sec1b_exhaustive.dir/bench_sec1b_exhaustive.cpp.o"
+  "CMakeFiles/bench_sec1b_exhaustive.dir/bench_sec1b_exhaustive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1b_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

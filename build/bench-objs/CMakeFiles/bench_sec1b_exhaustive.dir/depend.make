@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec1b_exhaustive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec1c_cost"
+  "../bench/bench_sec1c_cost.pdb"
+  "CMakeFiles/bench_sec1c_cost.dir/bench_sec1c_cost.cpp.o"
+  "CMakeFiles/bench_sec1c_cost.dir/bench_sec1c_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec1c_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4a_embedded_ram"
+  "../bench/bench_sec4a_embedded_ram.pdb"
+  "CMakeFiles/bench_sec4a_embedded_ram.dir/bench_sec4a_embedded_ram.cpp.o"
+  "CMakeFiles/bench_sec4a_embedded_ram.dir/bench_sec4a_embedded_ram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4a_embedded_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

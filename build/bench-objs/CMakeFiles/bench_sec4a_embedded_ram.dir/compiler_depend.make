@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec4a_embedded_ram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tbl1_walsh"
+  "../bench/bench_tbl1_walsh.pdb"
+  "CMakeFiles/bench_tbl1_walsh.dir/bench_tbl1_walsh.cpp.o"
+  "CMakeFiles/bench_tbl1_walsh.dir/bench_tbl1_walsh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl1_walsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_diagnosis.dir/board_diagnosis.cpp.o"
+  "CMakeFiles/board_diagnosis.dir/board_diagnosis.cpp.o.d"
+  "board_diagnosis"
+  "board_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

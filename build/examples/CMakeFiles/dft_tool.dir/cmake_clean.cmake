@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_tool.dir/dft_tool.cpp.o"
+  "CMakeFiles/dft_tool.dir/dft_tool.cpp.o.d"
+  "dft_tool"
+  "dft_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_design_flow.dir/scan_design_flow.cpp.o"
+  "CMakeFiles/scan_design_flow.dir/scan_design_flow.cpp.o.d"
+  "scan_design_flow"
+  "scan_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

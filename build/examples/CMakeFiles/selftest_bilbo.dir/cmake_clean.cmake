@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftest_bilbo.dir/selftest_bilbo.cpp.o"
+  "CMakeFiles/selftest_bilbo.dir/selftest_bilbo.cpp.o.d"
+  "selftest_bilbo"
+  "selftest_bilbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftest_bilbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testability_analysis.dir/testability_analysis.cpp.o"
+  "CMakeFiles/testability_analysis.dir/testability_analysis.cpp.o.d"
+  "testability_analysis"
+  "testability_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testability_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netlist")
+subdirs("sim")
+subdirs("circuits")
+subdirs("fault")
+subdirs("measure")
+subdirs("atpg")
+subdirs("lfsr")
+subdirs("scan")
+subdirs("bist")
+subdirs("memory")
+subdirs("board")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/compact.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/compact.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/compact.cpp.o.d"
+  "/root/repo/src/atpg/d_algorithm.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/d_algorithm.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/d_algorithm.cpp.o.d"
+  "/root/repo/src/atpg/dvalue.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/dvalue.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/dvalue.cpp.o.d"
+  "/root/repo/src/atpg/engine.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/engine.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/engine.cpp.o.d"
+  "/root/repo/src/atpg/equivalence.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/equivalence.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/equivalence.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/random_tpg.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/random_tpg.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/random_tpg.cpp.o.d"
+  "/root/repo/src/atpg/stuck_open_atpg.cpp" "src/atpg/CMakeFiles/dft_atpg.dir/stuck_open_atpg.cpp.o" "gcc" "src/atpg/CMakeFiles/dft_atpg.dir/stuck_open_atpg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/dft_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_atpg.dir/compact.cpp.o"
+  "CMakeFiles/dft_atpg.dir/compact.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/d_algorithm.cpp.o"
+  "CMakeFiles/dft_atpg.dir/d_algorithm.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/dvalue.cpp.o"
+  "CMakeFiles/dft_atpg.dir/dvalue.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/engine.cpp.o"
+  "CMakeFiles/dft_atpg.dir/engine.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/equivalence.cpp.o"
+  "CMakeFiles/dft_atpg.dir/equivalence.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/podem.cpp.o"
+  "CMakeFiles/dft_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/random_tpg.cpp.o"
+  "CMakeFiles/dft_atpg.dir/random_tpg.cpp.o.d"
+  "CMakeFiles/dft_atpg.dir/stuck_open_atpg.cpp.o"
+  "CMakeFiles/dft_atpg.dir/stuck_open_atpg.cpp.o.d"
+  "libdft_atpg.a"
+  "libdft_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

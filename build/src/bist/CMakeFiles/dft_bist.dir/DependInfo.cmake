@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/autonomous.cpp" "src/bist/CMakeFiles/dft_bist.dir/autonomous.cpp.o" "gcc" "src/bist/CMakeFiles/dft_bist.dir/autonomous.cpp.o.d"
+  "/root/repo/src/bist/bilbo.cpp" "src/bist/CMakeFiles/dft_bist.dir/bilbo.cpp.o" "gcc" "src/bist/CMakeFiles/dft_bist.dir/bilbo.cpp.o.d"
+  "/root/repo/src/bist/bilbo_structural.cpp" "src/bist/CMakeFiles/dft_bist.dir/bilbo_structural.cpp.o" "gcc" "src/bist/CMakeFiles/dft_bist.dir/bilbo_structural.cpp.o.d"
+  "/root/repo/src/bist/syndrome.cpp" "src/bist/CMakeFiles/dft_bist.dir/syndrome.cpp.o" "gcc" "src/bist/CMakeFiles/dft_bist.dir/syndrome.cpp.o.d"
+  "/root/repo/src/bist/walsh.cpp" "src/bist/CMakeFiles/dft_bist.dir/walsh.cpp.o" "gcc" "src/bist/CMakeFiles/dft_bist.dir/walsh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/dft_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/dft_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

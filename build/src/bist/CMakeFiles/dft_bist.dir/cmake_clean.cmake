@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_bist.dir/autonomous.cpp.o"
+  "CMakeFiles/dft_bist.dir/autonomous.cpp.o.d"
+  "CMakeFiles/dft_bist.dir/bilbo.cpp.o"
+  "CMakeFiles/dft_bist.dir/bilbo.cpp.o.d"
+  "CMakeFiles/dft_bist.dir/bilbo_structural.cpp.o"
+  "CMakeFiles/dft_bist.dir/bilbo_structural.cpp.o.d"
+  "CMakeFiles/dft_bist.dir/syndrome.cpp.o"
+  "CMakeFiles/dft_bist.dir/syndrome.cpp.o.d"
+  "CMakeFiles/dft_bist.dir/walsh.cpp.o"
+  "CMakeFiles/dft_bist.dir/walsh.cpp.o.d"
+  "libdft_bist.a"
+  "libdft_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

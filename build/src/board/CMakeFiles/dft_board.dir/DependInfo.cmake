@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/board/board.cpp" "src/board/CMakeFiles/dft_board.dir/board.cpp.o" "gcc" "src/board/CMakeFiles/dft_board.dir/board.cpp.o.d"
+  "/root/repo/src/board/cost.cpp" "src/board/CMakeFiles/dft_board.dir/cost.cpp.o" "gcc" "src/board/CMakeFiles/dft_board.dir/cost.cpp.o.d"
+  "/root/repo/src/board/microcomputer.cpp" "src/board/CMakeFiles/dft_board.dir/microcomputer.cpp.o" "gcc" "src/board/CMakeFiles/dft_board.dir/microcomputer.cpp.o.d"
+  "/root/repo/src/board/signature_probe.cpp" "src/board/CMakeFiles/dft_board.dir/signature_probe.cpp.o" "gcc" "src/board/CMakeFiles/dft_board.dir/signature_probe.cpp.o.d"
+  "/root/repo/src/board/test_points.cpp" "src/board/CMakeFiles/dft_board.dir/test_points.cpp.o" "gcc" "src/board/CMakeFiles/dft_board.dir/test_points.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/dft_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/dft_circuits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

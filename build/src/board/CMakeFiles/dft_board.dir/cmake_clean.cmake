@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_board.dir/board.cpp.o"
+  "CMakeFiles/dft_board.dir/board.cpp.o.d"
+  "CMakeFiles/dft_board.dir/cost.cpp.o"
+  "CMakeFiles/dft_board.dir/cost.cpp.o.d"
+  "CMakeFiles/dft_board.dir/microcomputer.cpp.o"
+  "CMakeFiles/dft_board.dir/microcomputer.cpp.o.d"
+  "CMakeFiles/dft_board.dir/signature_probe.cpp.o"
+  "CMakeFiles/dft_board.dir/signature_probe.cpp.o.d"
+  "CMakeFiles/dft_board.dir/test_points.cpp.o"
+  "CMakeFiles/dft_board.dir/test_points.cpp.o.d"
+  "libdft_board.a"
+  "libdft_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/basic.cpp" "src/circuits/CMakeFiles/dft_circuits.dir/basic.cpp.o" "gcc" "src/circuits/CMakeFiles/dft_circuits.dir/basic.cpp.o.d"
+  "/root/repo/src/circuits/pla.cpp" "src/circuits/CMakeFiles/dft_circuits.dir/pla.cpp.o" "gcc" "src/circuits/CMakeFiles/dft_circuits.dir/pla.cpp.o.d"
+  "/root/repo/src/circuits/random_circuit.cpp" "src/circuits/CMakeFiles/dft_circuits.dir/random_circuit.cpp.o" "gcc" "src/circuits/CMakeFiles/dft_circuits.dir/random_circuit.cpp.o.d"
+  "/root/repo/src/circuits/sequential.cpp" "src/circuits/CMakeFiles/dft_circuits.dir/sequential.cpp.o" "gcc" "src/circuits/CMakeFiles/dft_circuits.dir/sequential.cpp.o.d"
+  "/root/repo/src/circuits/sn74181.cpp" "src/circuits/CMakeFiles/dft_circuits.dir/sn74181.cpp.o" "gcc" "src/circuits/CMakeFiles/dft_circuits.dir/sn74181.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

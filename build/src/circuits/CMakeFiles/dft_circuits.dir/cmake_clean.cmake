@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_circuits.dir/basic.cpp.o"
+  "CMakeFiles/dft_circuits.dir/basic.cpp.o.d"
+  "CMakeFiles/dft_circuits.dir/pla.cpp.o"
+  "CMakeFiles/dft_circuits.dir/pla.cpp.o.d"
+  "CMakeFiles/dft_circuits.dir/random_circuit.cpp.o"
+  "CMakeFiles/dft_circuits.dir/random_circuit.cpp.o.d"
+  "CMakeFiles/dft_circuits.dir/sequential.cpp.o"
+  "CMakeFiles/dft_circuits.dir/sequential.cpp.o.d"
+  "CMakeFiles/dft_circuits.dir/sn74181.cpp.o"
+  "CMakeFiles/dft_circuits.dir/sn74181.cpp.o.d"
+  "libdft_circuits.a"
+  "libdft_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_fault.dir/bridging.cpp.o"
+  "CMakeFiles/dft_fault.dir/bridging.cpp.o.d"
+  "CMakeFiles/dft_fault.dir/deductive.cpp.o"
+  "CMakeFiles/dft_fault.dir/deductive.cpp.o.d"
+  "CMakeFiles/dft_fault.dir/dictionary.cpp.o"
+  "CMakeFiles/dft_fault.dir/dictionary.cpp.o.d"
+  "CMakeFiles/dft_fault.dir/fault.cpp.o"
+  "CMakeFiles/dft_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/dft_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/dft_fault.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/dft_fault.dir/stuck_open.cpp.o"
+  "CMakeFiles/dft_fault.dir/stuck_open.cpp.o.d"
+  "libdft_fault.a"
+  "libdft_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_lfsr.dir/lfsr.cpp.o"
+  "CMakeFiles/dft_lfsr.dir/lfsr.cpp.o.d"
+  "libdft_lfsr.a"
+  "libdft_lfsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

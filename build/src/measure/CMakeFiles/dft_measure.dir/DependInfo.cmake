@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/cop.cpp" "src/measure/CMakeFiles/dft_measure.dir/cop.cpp.o" "gcc" "src/measure/CMakeFiles/dft_measure.dir/cop.cpp.o.d"
+  "/root/repo/src/measure/scoap.cpp" "src/measure/CMakeFiles/dft_measure.dir/scoap.cpp.o" "gcc" "src/measure/CMakeFiles/dft_measure.dir/scoap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_measure.dir/cop.cpp.o"
+  "CMakeFiles/dft_measure.dir/cop.cpp.o.d"
+  "CMakeFiles/dft_measure.dir/scoap.cpp.o"
+  "CMakeFiles/dft_measure.dir/scoap.cpp.o.d"
+  "libdft_measure.a"
+  "libdft_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

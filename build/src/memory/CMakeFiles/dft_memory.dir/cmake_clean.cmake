@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_memory.dir/sram.cpp.o"
+  "CMakeFiles/dft_memory.dir/sram.cpp.o.d"
+  "libdft_memory.a"
+  "libdft_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

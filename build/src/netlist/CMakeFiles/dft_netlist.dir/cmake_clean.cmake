@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/dft_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/dft_netlist.dir/gate.cpp.o"
+  "CMakeFiles/dft_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/dft_netlist.dir/logic.cpp.o"
+  "CMakeFiles/dft_netlist.dir/logic.cpp.o.d"
+  "CMakeFiles/dft_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dft_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/dft_netlist.dir/stats.cpp.o"
+  "CMakeFiles/dft_netlist.dir/stats.cpp.o.d"
+  "libdft_netlist.a"
+  "libdft_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/overhead.cpp" "src/scan/CMakeFiles/dft_scan.dir/overhead.cpp.o" "gcc" "src/scan/CMakeFiles/dft_scan.dir/overhead.cpp.o.d"
+  "/root/repo/src/scan/random_access.cpp" "src/scan/CMakeFiles/dft_scan.dir/random_access.cpp.o" "gcc" "src/scan/CMakeFiles/dft_scan.dir/random_access.cpp.o.d"
+  "/root/repo/src/scan/scan_insert.cpp" "src/scan/CMakeFiles/dft_scan.dir/scan_insert.cpp.o" "gcc" "src/scan/CMakeFiles/dft_scan.dir/scan_insert.cpp.o.d"
+  "/root/repo/src/scan/scan_ops.cpp" "src/scan/CMakeFiles/dft_scan.dir/scan_ops.cpp.o" "gcc" "src/scan/CMakeFiles/dft_scan.dir/scan_ops.cpp.o.d"
+  "/root/repo/src/scan/scan_set.cpp" "src/scan/CMakeFiles/dft_scan.dir/scan_set.cpp.o" "gcc" "src/scan/CMakeFiles/dft_scan.dir/scan_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dft_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_scan.dir/overhead.cpp.o"
+  "CMakeFiles/dft_scan.dir/overhead.cpp.o.d"
+  "CMakeFiles/dft_scan.dir/random_access.cpp.o"
+  "CMakeFiles/dft_scan.dir/random_access.cpp.o.d"
+  "CMakeFiles/dft_scan.dir/scan_insert.cpp.o"
+  "CMakeFiles/dft_scan.dir/scan_insert.cpp.o.d"
+  "CMakeFiles/dft_scan.dir/scan_ops.cpp.o"
+  "CMakeFiles/dft_scan.dir/scan_ops.cpp.o.d"
+  "CMakeFiles/dft_scan.dir/scan_set.cpp.o"
+  "CMakeFiles/dft_scan.dir/scan_set.cpp.o.d"
+  "libdft_scan.a"
+  "libdft_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

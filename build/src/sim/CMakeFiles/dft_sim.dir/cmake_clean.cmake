@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_sim.dir/comb_sim.cpp.o"
+  "CMakeFiles/dft_sim.dir/comb_sim.cpp.o.d"
+  "CMakeFiles/dft_sim.dir/eval.cpp.o"
+  "CMakeFiles/dft_sim.dir/eval.cpp.o.d"
+  "CMakeFiles/dft_sim.dir/parallel_sim.cpp.o"
+  "CMakeFiles/dft_sim.dir/parallel_sim.cpp.o.d"
+  "CMakeFiles/dft_sim.dir/seq_sim.cpp.o"
+  "CMakeFiles/dft_sim.dir/seq_sim.cpp.o.d"
+  "libdft_sim.a"
+  "libdft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

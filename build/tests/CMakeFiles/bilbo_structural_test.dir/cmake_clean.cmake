@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bilbo_structural_test.dir/bilbo_structural_test.cpp.o"
+  "CMakeFiles/bilbo_structural_test.dir/bilbo_structural_test.cpp.o.d"
+  "bilbo_structural_test"
+  "bilbo_structural_test.pdb"
+  "bilbo_structural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilbo_structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/equivalence_test.cpp" "tests/CMakeFiles/equivalence_test.dir/equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/equivalence_test.dir/equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/dft_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/dft_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/dft_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/dft_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/dft_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/dft_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/dft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dft_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfsr/CMakeFiles/dft_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/dft_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

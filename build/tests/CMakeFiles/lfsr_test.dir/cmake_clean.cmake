@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsr_test.dir/lfsr_test.cpp.o"
+  "CMakeFiles/lfsr_test.dir/lfsr_test.cpp.o.d"
+  "lfsr_test"
+  "lfsr_test.pdb"
+  "lfsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_test[1]_include.cmake")
+include("/root/repo/build/tests/atpg_test[1]_include.cmake")
+include("/root/repo/build/tests/lfsr_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/bist_test[1]_include.cmake")
+include("/root/repo/build/tests/board_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_models_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/dictionary_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/bilbo_structural_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
