@@ -5,10 +5,14 @@
 //   dft_tool faults  <file.bench>          fault universe / collapsing
 //   dft_tool atpg    <file.bench>          full ATPG run + test vectors
 //   dft_tool scan    <file.bench> [chains] LSSD insertion, writes result
+//   dft_tool lint    <file.bench> [--json] [--scan-first]
+//                                          design-rule check; exits 1 on any
+//                                          error-severity violation
 //   dft_tool export  <name> <out.bench>    dump a built-in circuit
 //
-// Built-in circuit names for `export`: c17, adder4, adder8, mult3, dec3,
-// parity8, mux3, cmp4, sn74181, counter8, accum4.
+// Every command that reads a .bench file also accepts a built-in circuit
+// name: c17, adder4, adder8, mult3, dec3, parity8, mux3, cmp4, sn74181,
+// counter8, accum4.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +23,7 @@
 #include "circuits/sequential.h"
 #include "circuits/sn74181.h"
 #include "fault/fault.h"
+#include "lint/engine.h"
 #include "measure/scoap.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
@@ -31,7 +36,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dft_tool {stats|scoap|faults|atpg|scan} <file.bench> "
-               "[arg]\n       dft_tool export <name> <out.bench>\n");
+               "[arg]\n       dft_tool lint <file.bench> [--json] "
+               "[--scan-first]\n       dft_tool export <name> <out.bench>\n");
   return 2;
 }
 
@@ -69,7 +75,28 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const Netlist nl = read_bench_file(argv[2]);
+    const Netlist nl = [&] {
+      // Accept either a .bench file or a built-in circuit name.
+      if (std::ifstream probe(argv[2]); probe.good()) {
+        return read_bench_file(argv[2]);
+      }
+      return builtin(argv[2]);
+    }();
+    if (cmd == "lint") {
+      bool json = false, scan_first = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+        else if (std::strcmp(argv[i], "--scan-first") == 0) scan_first = true;
+        else return usage();
+      }
+      Netlist copy = nl;
+      if (scan_first) insert_scan(copy, ScanStyle::Lssd);
+      const LintReport report = lint_netlist(copy);
+      std::printf("%s", (json ? render_json(copy, report)
+                              : render_text(copy, report)).c_str());
+      if (json) std::printf("\n");
+      return report.passed() ? 0 : 1;
+    }
     if (cmd == "stats") {
       const NetlistStats s = compute_stats(nl);
       std::printf("%s: PI=%d PO=%d FF=%d (scan %d) gates=%d GE=%d depth=%d "

@@ -1,0 +1,123 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dft {
+
+namespace {
+
+void json_escape(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void json_string(const std::string& s, std::string& out) {
+  out += '"';
+  json_escape(s, out);
+  out += '"';
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+int LintReport::count(Severity s) const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::vector<Diagnostic> LintReport::by_rule(std::string_view rule_id) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule_id) out.push_back(d);
+  }
+  return out;
+}
+
+std::string render_text(const Netlist& nl, const LintReport& report) {
+  std::string out = report.netlist.empty() ? "<unnamed>" : report.netlist;
+  out += ": " + std::to_string(report.errors()) + " error(s), " +
+         std::to_string(report.warnings()) + " warning(s), " +
+         std::to_string(report.count(Severity::Info)) + " info(s)\n";
+  for (const Diagnostic& d : report.diagnostics) {
+    out += "  [" + d.rule + "] ";
+    out += severity_name(d.severity);
+    out += ": " + d.message;
+    if (!d.gates.empty()) {
+      out += " (";
+      for (std::size_t i = 0; i < d.gates.size(); ++i) {
+        if (i) out += ", ";
+        out += nl.label(d.gates[i]);
+      }
+      out += ")";
+    }
+    out += "\n";
+    if (!d.fix.empty()) out += "      fix: " + d.fix + "\n";
+    if (!d.paper.empty()) out += "      ref: " + d.paper + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const Netlist& nl, const LintReport& report) {
+  std::string out = "{\"version\":" + std::to_string(kLintJsonVersion) +
+                    ",\"netlist\":";
+  json_string(report.netlist, out);
+  out += ",\"gates\":" + std::to_string(report.gate_count);
+  out += ",\"summary\":{\"errors\":" + std::to_string(report.errors()) +
+         ",\"warnings\":" + std::to_string(report.warnings()) +
+         ",\"infos\":" + std::to_string(report.count(Severity::Info)) +
+         ",\"passed\":" + (report.passed() ? "true" : "false") + "}";
+  out += ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i) out += ',';
+    out += "{\"rule\":";
+    json_string(d.rule, out);
+    out += ",\"severity\":\"";
+    out += severity_name(d.severity);
+    out += "\",\"category\":";
+    json_string(d.category, out);
+    out += ",\"paper\":";
+    json_string(d.paper, out);
+    out += ",\"message\":";
+    json_string(d.message, out);
+    out += ",\"fix\":";
+    json_string(d.fix, out);
+    out += ",\"gates\":[";
+    for (std::size_t k = 0; k < d.gates.size(); ++k) {
+      if (k) out += ',';
+      out += "{\"id\":" + std::to_string(d.gates[k]) + ",\"label\":";
+      json_string(nl.label(d.gates[k]), out);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dft

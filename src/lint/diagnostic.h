@@ -1,0 +1,63 @@
+// Structured lint diagnostics (Sec. IV-A: design rules "enforced by
+// software").
+//
+// A Diagnostic pins one rule violation to the gates that cause it, carries a
+// one-line fix hint, and cites the paper section the rule enforces. Reports
+// render both human-readable (one line per finding) and as schema-stable
+// JSON (kLintJsonVersion) so CI and downstream tooling can consume them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace dft {
+
+// Bumped whenever a key is added/removed/renamed in render_json output.
+inline constexpr int kLintJsonVersion = 1;
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+std::string_view severity_name(Severity s);  // "info" / "warning" / "error"
+
+struct Diagnostic {
+  std::string rule;      // rule id, e.g. "SCAN-001"
+  Severity severity = Severity::Warning;
+  std::string category;  // "scan" | "structural" | "testability"
+  std::string paper;     // section the rule enforces, e.g. "Sec. IV-A rule 1"
+  std::string message;   // human sentence naming the offending gates
+  std::string fix;       // one-line fix hint
+  std::vector<GateId> gates;  // offending gates, primary culprit first
+};
+
+struct LintReport {
+  std::string netlist;        // Netlist::name() at lint time
+  std::size_t gate_count = 0;
+  std::vector<Diagnostic> diagnostics;  // sorted: errors first, then rule id
+
+  int count(Severity s) const;
+  int errors() const { return count(Severity::Error); }
+  int warnings() const { return count(Severity::Warning); }
+  // A netlist passes lint when it has no errors (warnings are advisory).
+  bool passed() const { return errors() == 0; }
+  bool clean() const { return diagnostics.empty(); }
+
+  // All diagnostics emitted by one rule id (copies, so the result stays
+  // valid past the report's lifetime).
+  std::vector<Diagnostic> by_rule(std::string_view rule_id) const;
+};
+
+// One line per diagnostic plus a summary header, gate ids resolved to labels.
+std::string render_text(const Netlist& nl, const LintReport& report);
+
+// Schema-stable JSON document:
+//   {"version":1,"netlist":...,"gates":N,
+//    "summary":{"errors":E,"warnings":W,"infos":I,"passed":bool},
+//    "diagnostics":[{"rule","severity","category","paper","message","fix",
+//                    "gates":[{"id","label"}]}]}
+std::string render_json(const Netlist& nl, const LintReport& report);
+
+}  // namespace dft

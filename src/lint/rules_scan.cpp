@@ -1,0 +1,256 @@
+// Scan design rules (Sec. IV-A rules 1-4, Sec. IV-B).
+//
+// LSSD "must be enforced by software": every storage element scannable, every
+// SRL / scan flip-flop threaded on exactly one shift-register chain that
+// starts at a scan-in primary input and ends at a scan-out primary output
+// (Fig. 11), a single clocking discipline per netlist (A/B shift clocks vs.
+// Clock-2), and dedicated scan ports that never cross into system data (the
+// model's analog of "no clock may feed a latch data input": the implicit
+// system clock has no net, so the shift-path ports carry the discipline).
+//
+// Addressable latches are scannable without a chain (Random-Access Scan,
+// Figs. 16-18) and are exempt from the chain rules.
+#include <algorithm>
+
+#include "lint/rules_util.h"
+
+namespace dft {
+
+namespace {
+
+bool is_chain_element(GateType t) {
+  return t == GateType::Srl || t == GateType::ScanDff;
+}
+
+// SCAN-001 — every storage element must be scannable (rule 1: "all internal
+// storage is implemented in hazard-free polarity-hold latches" reachable by
+// the shift path; Scan Path asks the same of its flip-flops).
+class UnscannedStorageRule final : public RuleBase {
+ public:
+  UnscannedStorageRule()
+      : RuleBase("SCAN-001", "unscanned-storage", Severity::Error, "scan",
+                 "Sec. IV-A rule 1 / Sec. IV-B") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    for (GateId g : ctx.nl.storage()) {
+      if (is_scannable_storage(ctx.nl.type(g))) continue;
+      Diagnostic d;
+      d.message = "storage element '" + ctx.nl.label(g) +
+                  "' is not scannable; its state is neither directly "
+                  "controllable nor observable";
+      d.fix = "convert it with insert_scan (LSSD SRL / Scan Path flip-flop) "
+              "or insert_scan_partial";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// Chain wiring shared by SCAN-002/003: successor[e] = chain elements whose
+// scan-data pin e feeds; heads are elements whose scan-in driver is a PI.
+struct ChainWiring {
+  std::vector<char> is_elem;
+  // elements whose ScanIn pin gate g drives (only filled for elements/PIs).
+  std::vector<std::vector<GateId>> si_sinks;
+  std::vector<GateId> heads;      // elements fed from an Input
+  std::vector<GateId> bad_si;     // elements with a non-chain, non-PI SI driver
+
+  explicit ChainWiring(const Netlist& nl)
+      : is_elem(nl.size(), 0), si_sinks(nl.size()) {
+    for (GateId g : nl.storage()) {
+      if (is_chain_element(nl.type(g))) is_elem[g] = 1;
+    }
+    for (GateId g : nl.storage()) {
+      if (!is_elem[g]) continue;
+      const GateId si = nl.fanin(g)[kStoragePinScanIn];
+      si_sinks[si].push_back(g);
+      if (is_elem[si]) continue;
+      if (nl.type(si) == GateType::Input) {
+        heads.push_back(g);
+      } else {
+        bad_si.push_back(g);
+      }
+    }
+  }
+};
+
+// SCAN-002 — every chain element sits on exactly one chain: its scan-data
+// pin is fed by a scan-in PI or a single predecessor element, chains do not
+// fork, and no element is stranded off every chain (Fig. 11 threading).
+class ChainMembershipRule final : public RuleBase {
+ public:
+  ChainMembershipRule()
+      : RuleBase("SCAN-002", "chain-membership", Severity::Error, "scan",
+                 "Sec. IV-A rule 2, Fig. 11") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    ChainWiring w(nl);
+    for (GateId g : w.bad_si) {
+      const GateId si = nl.fanin(g)[kStoragePinScanIn];
+      Diagnostic d;
+      d.message = "scan-data pin of '" + nl.label(g) + "' is driven by '" +
+                  nl.label(si) + "' (" +
+                  std::string(gate_type_name(nl.type(si))) +
+                  "), not by a chain predecessor or scan-in input";
+      d.fix = "rewire the scan-data pin to the previous chain element or a "
+              "dedicated scan-in PI";
+      d.gates = {g, si};
+      out.push_back(std::move(d));
+    }
+    // Forks: one driver feeding the scan-data pins of several elements puts
+    // those elements on more than one chain (or splits a scan-in PI).
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (w.si_sinks[g].size() < 2) continue;
+      Diagnostic d;
+      d.message = (w.is_elem[g] ? "scan chain forks at '"
+                                : "scan-in input '") +
+                  nl.label(g) + "': it feeds the scan-data pins of " +
+                  std::to_string(w.si_sinks[g].size()) + " elements";
+      d.fix = "thread the elements serially so each sits on exactly one "
+              "chain";
+      d.gates = {g};
+      d.gates.insert(d.gates.end(), w.si_sinks[g].begin(), w.si_sinks[g].end());
+      out.push_back(std::move(d));
+    }
+    // Elements never reached from a head form scan-in loops / stranded
+    // segments (their shift data can never come from a pin).
+    std::vector<char> reached(nl.size(), 0);
+    std::vector<GateId> stack = w.heads;
+    for (GateId g : stack) reached[g] = 1;
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId s : w.si_sinks[g]) {
+        if (!reached[s]) {
+          reached[s] = 1;
+          stack.push_back(s);
+        }
+      }
+    }
+    std::vector<GateId> stranded;
+    for (GateId g : nl.storage()) {
+      if (w.is_elem[g] && !reached[g] &&
+          !std::count(w.bad_si.begin(), w.bad_si.end(), g)) {
+        stranded.push_back(g);
+      }
+    }
+    if (!stranded.empty()) {
+      Diagnostic d;
+      d.message = std::to_string(stranded.size()) +
+                  " scan element(s) form a scan-in loop unreachable from any "
+                  "scan-in input";
+      d.fix = "break the loop and thread the elements from a scan-in PI";
+      d.gates = std::move(stranded);
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// SCAN-003 — every chain must end at a scan-out primary output: the tail
+// element's net directly drives an Output gate (Fig. 11's SRL output pin).
+class ChainObservabilityRule final : public RuleBase {
+ public:
+  ChainObservabilityRule()
+      : RuleBase("SCAN-003", "chain-observability", Severity::Error, "scan",
+                 "Sec. IV-A rule 2, Fig. 11") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    ChainWiring w(nl);
+    for (GateId g : nl.storage()) {
+      if (!w.is_elem[g]) continue;
+      // Tail = element whose net feeds no other element's scan-data pin.
+      if (!w.si_sinks[g].empty()) continue;
+      bool has_po = false;
+      for (GateId s : ctx.fanout(g)) {
+        if (nl.type(s) == GateType::Output) has_po = true;
+      }
+      if (has_po) continue;
+      Diagnostic d;
+      d.message = "scan chain ending at '" + nl.label(g) +
+                  "' does not drive a scan-out primary output; the chain "
+                  "contents cannot be unloaded";
+      d.fix = "add an Output gate on the tail element's net (scan-out pin)";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// SCAN-004 — one clocking discipline per netlist: LSSD SRLs (A/B shift
+// clocks) and Scan Path flip-flops (Clock-2 selection) cannot share the one
+// implicit system clock.
+class MixedScanStylesRule final : public RuleBase {
+ public:
+  MixedScanStylesRule()
+      : RuleBase("SCAN-004", "mixed-scan-styles", Severity::Error, "scan",
+                 "Sec. IV-A rule 3 / Sec. IV-B") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    GateId srl = kNoGate, sdff = kNoGate;
+    for (GateId g : ctx.nl.storage()) {
+      if (ctx.nl.type(g) == GateType::Srl && srl == kNoGate) srl = g;
+      if (ctx.nl.type(g) == GateType::ScanDff && sdff == kNoGate) sdff = g;
+    }
+    if (srl == kNoGate || sdff == kNoGate) return;
+    Diagnostic d;
+    d.message = "netlist mixes LSSD SRLs (e.g. '" + ctx.nl.label(srl) +
+                "') with Scan Path flip-flops (e.g. '" + ctx.nl.label(sdff) +
+                "'); the A/B shift-clock and Clock-2 disciplines cannot "
+                "coexist";
+    d.fix = "re-run scan insertion with a single ScanStyle";
+    d.gates = {srl, sdff};
+    out.push_back(std::move(d));
+  }
+};
+
+// SCAN-005 — scan ports are dedicated: a scan-in PI must not also drive
+// system data (the analog of rule 4, "no clock may feed a latch data input":
+// shift-path controls stay out of system logic).
+class ScanPortDisciplineRule final : public RuleBase {
+ public:
+  ScanPortDisciplineRule()
+      : RuleBase("SCAN-005", "scan-port-discipline", Severity::Error, "scan",
+                 "Sec. IV-A rules 3-4") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    for (GateId pi : nl.inputs()) {
+      bool feeds_si = false;
+      GateId data_sink = kNoGate;
+      for (GateId s : ctx.fanout(pi)) {
+        if (is_chain_element(nl.type(s)) &&
+            nl.fanin(s)[kStoragePinScanIn] == pi &&
+            // A PI wired to both the D and ScanIn pins is a data use too.
+            nl.fanin(s)[kStoragePinD] != pi) {
+          feeds_si = true;
+        } else {
+          data_sink = s;
+        }
+      }
+      if (!feeds_si || data_sink == kNoGate) continue;
+      Diagnostic d;
+      d.message = "scan-in input '" + nl.label(pi) +
+                  "' also drives system data (e.g. '" + nl.label(data_sink) +
+                  "'); scan ports must be dedicated";
+      d.fix = "route system data from a separate primary input";
+      d.gates = {pi, data_sink};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<LintRule>> make_scan_rules() {
+  std::vector<std::unique_ptr<LintRule>> rules;
+  rules.push_back(std::make_unique<UnscannedStorageRule>());
+  rules.push_back(std::make_unique<ChainMembershipRule>());
+  rules.push_back(std::make_unique<ChainObservabilityRule>());
+  rules.push_back(std::make_unique<MixedScanStylesRule>());
+  rules.push_back(std::make_unique<ScanPortDisciplineRule>());
+  return rules;
+}
+
+}  // namespace dft

@@ -1,0 +1,281 @@
+// Structural design rules: combinational feedback, dangling nets, bus
+// discipline (Fig. 6), and reachability/observability cones.
+//
+// The netlist's single-driver discipline (one gate = one net) makes undriven
+// and multiply-driven nets unrepresentable by construction; what remains
+// checkable — and routinely wrong in hand-built or imported netlists — is
+// everything below.
+#include <algorithm>
+
+#include "lint/rules_util.h"
+
+namespace dft {
+
+namespace {
+
+void append_labels(const Netlist& nl, const std::vector<GateId>& gates,
+                   std::size_t max_named, std::string& msg) {
+  for (std::size_t i = 0; i < gates.size() && i < max_named; ++i) {
+    if (i) msg += ", ";
+    msg += "'" + nl.label(gates[i]) + "'";
+  }
+  if (gates.size() > max_named) {
+    msg += ", ... (" + std::to_string(gates.size() - max_named) + " more)";
+  }
+}
+
+// STRUCT-001 — no combinational feedback: level-sensitive design rules
+// forbid loops outside latches; every loop also defeats the topological
+// order that ATPG and the measures rely on.
+class CombLoopRule final : public RuleBase {
+ public:
+  CombLoopRule()
+      : RuleBase("STRUCT-001", "comb-loop", Severity::Error, "structural",
+                 "Sec. IV-A rule 1") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    for (const std::vector<GateId>& scc : ctx.comb_cycles()) {
+      Diagnostic d;
+      d.message = "combinational feedback loop through " +
+                  std::to_string(scc.size()) + " gate(s): ";
+      append_labels(ctx.nl, scc, 8, d.message);
+      d.fix = "break the loop with a storage element or restructure the "
+              "feedback path";
+      d.gates = scc;
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// STRUCT-002 — dangling nets: a gate whose net drives nothing and is not a
+// primary output is dead logic (and an unobservable fault site).
+class DanglingNetRule final : public RuleBase {
+ public:
+  DanglingNetRule()
+      : RuleBase("STRUCT-002", "dangling-net", Severity::Warning,
+                 "structural", "Sec. II (observability)") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    for (GateId g = 0; g < ctx.nl.size(); ++g) {
+      if (ctx.nl.type(g) == GateType::Output || !ctx.fanout(g).empty()) {
+        continue;
+      }
+      Diagnostic d;
+      d.message = std::string(gate_type_name(ctx.nl.type(g))) + " gate '" +
+                  ctx.nl.label(g) + "' drives nothing";
+      d.fix = "remove the gate or observe its net at a primary output";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// STRUCT-003 — bus discipline (Fig. 6): tri-state drivers feed Bus gates and
+// nothing else; Bus gates are fed by tri-state drivers and nothing else.
+// Otherwise a high-impedance Z leaks into ordinary logic, or a plain gate
+// fights the bus.
+class BusDisciplineRule final : public RuleBase {
+ public:
+  BusDisciplineRule()
+      : RuleBase("STRUCT-003", "bus-discipline", Severity::Error,
+                 "structural", "Sec. III-A, Fig. 6") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.type(g) == GateType::Tristate) {
+        for (GateId s : ctx.fanout(g)) {
+          if (nl.type(s) == GateType::Bus) continue;
+          Diagnostic d;
+          d.message = "tri-state driver '" + nl.label(g) +
+                      "' feeds non-bus gate '" + nl.label(s) +
+                      "'; a disabled driver would put Z into ordinary logic";
+          d.fix = "resolve the driver through a Bus gate";
+          d.gates = {g, s};
+          out.push_back(std::move(d));
+        }
+      } else if (nl.type(g) == GateType::Bus) {
+        for (GateId f : nl.fanin(g)) {
+          if (nl.type(f) == GateType::Tristate) continue;
+          Diagnostic d;
+          d.message = "bus '" + nl.label(g) + "' is driven by '" +
+                      nl.label(f) + "' (" +
+                      std::string(gate_type_name(nl.type(f))) +
+                      "), which cannot release the bus";
+          d.fix = "drive the bus through a Tristate gate";
+          d.gates = {g, f};
+          out.push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+// STRUCT-004 — bus contention: two drivers of one bus sharing an enable net
+// are on together whenever that enable is 1 (Fig. 6's "two bus drivers
+// fighting each other").
+class BusContentionRule final : public RuleBase {
+ public:
+  BusContentionRule()
+      : RuleBase("STRUCT-004", "bus-contention", Severity::Warning,
+                 "structural", "Sec. III-A, Fig. 6") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.type(g) != GateType::Bus) continue;
+      const auto& drivers = nl.fanin(g);
+      for (std::size_t i = 0; i < drivers.size(); ++i) {
+        for (std::size_t j = i + 1; j < drivers.size(); ++j) {
+          const GateId a = drivers[i], b = drivers[j];
+          if (a == b || nl.type(a) != GateType::Tristate ||
+              nl.type(b) != GateType::Tristate) {
+            continue;
+          }
+          if (nl.fanin(a)[kTristatePinEnable] !=
+              nl.fanin(b)[kTristatePinEnable]) {
+            continue;
+          }
+          Diagnostic d;
+          d.message = "bus '" + nl.label(g) + "': drivers '" + nl.label(a) +
+                      "' and '" + nl.label(b) +
+                      "' share one enable net and drive simultaneously";
+          d.fix = "decode the enables so at most one driver is active";
+          d.gates = {g, a, b};
+          out.push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+// STRUCT-005 — floating bus: a bus with a single driver floats whenever that
+// driver is disabled, so the bus value is undefined in normal operation.
+class FloatingBusRule final : public RuleBase {
+ public:
+  FloatingBusRule()
+      : RuleBase("STRUCT-005", "floating-bus", Severity::Warning,
+                 "structural", "Sec. III-A, Fig. 6") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    for (GateId g = 0; g < ctx.nl.size(); ++g) {
+      if (ctx.nl.type(g) != GateType::Bus || ctx.nl.fanin(g).size() != 1) {
+        continue;
+      }
+      Diagnostic d;
+      d.message = "bus '" + ctx.nl.label(g) + "' has a single driver ('" +
+                  ctx.nl.label(ctx.nl.fanin(g)[0]) +
+                  "') and floats whenever it is disabled";
+      d.fix = "add a default driver or bus keeper";
+      d.gates = {g, ctx.nl.fanin(g)[0]};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// STRUCT-006 — unreachable cone: gates with no path from any primary input
+// or constant (through storage) can never be controlled, e.g. a state island
+// that no input initializes.
+class UnreachableRule final : public RuleBase {
+ public:
+  UnreachableRule()
+      : RuleBase("STRUCT-006", "unreachable-from-pi", Severity::Warning,
+                 "structural", "Sec. II (controllability)") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    std::vector<char> reached(nl.size(), 0);
+    std::vector<GateId> stack;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (is_source(nl.type(g))) {
+        reached[g] = 1;
+        stack.push_back(g);
+      }
+    }
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId s : ctx.fanout(g)) {
+        if (!reached[s]) {
+          reached[s] = 1;
+          stack.push_back(s);
+        }
+      }
+    }
+    std::vector<GateId> dead;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (!reached[g]) dead.push_back(g);
+    }
+    if (dead.empty()) return;
+    Diagnostic d;
+    d.message = std::to_string(dead.size()) +
+                " gate(s) are unreachable from every primary input and "
+                "constant: ";
+    append_labels(nl, dead, 8, d.message);
+    d.fix = "drive the cone from a primary input (the state island cannot "
+            "be initialized)";
+    d.gates = std::move(dead);
+    out.push_back(std::move(d));
+  }
+};
+
+// STRUCT-007 — unobservable cone: gates whose net fans out but from which no
+// primary output is reachable (through storage). Dangling gates are reported
+// by STRUCT-002 instead.
+class UnobservableRule final : public RuleBase {
+ public:
+  UnobservableRule()
+      : RuleBase("STRUCT-007", "unobservable-at-po", Severity::Warning,
+                 "structural", "Sec. II (observability)") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const Netlist& nl = ctx.nl;
+    std::vector<char> observed(nl.size(), 0);
+    std::vector<GateId> stack;
+    for (GateId g : nl.outputs()) {
+      observed[g] = 1;
+      stack.push_back(g);
+    }
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId f : nl.fanin(g)) {
+        if (f < nl.size() && !observed[f]) {
+          observed[f] = 1;
+          stack.push_back(f);
+        }
+      }
+    }
+    std::vector<GateId> blind;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (!observed[g] && nl.type(g) != GateType::Output &&
+          !ctx.fanout(g).empty()) {
+        blind.push_back(g);
+      }
+    }
+    if (blind.empty()) return;
+    Diagnostic d;
+    d.message = std::to_string(blind.size()) +
+                " gate(s) have no path to any primary output: ";
+    append_labels(nl, blind, 8, d.message);
+    d.fix = "add an observation test point (Sec. III-B) on the cone";
+    d.gates = std::move(blind);
+    out.push_back(std::move(d));
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<LintRule>> make_structural_rules() {
+  std::vector<std::unique_ptr<LintRule>> rules;
+  rules.push_back(std::make_unique<CombLoopRule>());
+  rules.push_back(std::make_unique<DanglingNetRule>());
+  rules.push_back(std::make_unique<BusDisciplineRule>());
+  rules.push_back(std::make_unique<BusContentionRule>());
+  rules.push_back(std::make_unique<FloatingBusRule>());
+  rules.push_back(std::make_unique<UnreachableRule>());
+  rules.push_back(std::make_unique<UnobservableRule>());
+  return rules;
+}
+
+}  // namespace dft

@@ -1,0 +1,139 @@
+// Testability lint: SCOAP and COP hotspots (Secs. II, III-B, V-A).
+//
+// These rules quantify the survey's core claim — testability is
+// controllability plus observability — and flag the nets whose numbers say
+// "this will be expensive to test" *before* ATPG or random-pattern testing
+// is attempted. Thresholds live in LintOptions. Both rules need a
+// topological order, so they stay silent on cyclic netlists (STRUCT-001
+// already reports those as errors).
+#include <algorithm>
+#include <cstdio>
+
+#include "lint/rules_util.h"
+
+namespace dft {
+
+namespace {
+
+std::string fmt_prob(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2e", p);
+  return buf;
+}
+
+// A dedicated scan-in port: an Input whose whole fanout is scan-data pins of
+// scannable elements. The measures call it unobservable, but it is exercised
+// by shifting the chain, so the hotspot rules skip it.
+bool is_scan_port(const LintContext& ctx, GateId g) {
+  if (ctx.nl.type(g) != GateType::Input) return false;
+  bool any = false;
+  for (GateId s : ctx.fanout(g)) {
+    const auto& pins = ctx.nl.fanin(s);
+    if (is_scannable_storage(ctx.nl.type(s)) &&
+        pins.size() > static_cast<std::size_t>(kStoragePinScanIn) &&
+        pins[kStoragePinScanIn] == g && pins[kStoragePinD] != g) {
+      any = true;
+      continue;
+    }
+    return false;
+  }
+  return any;
+}
+
+// TEST-001 — SCOAP hotspot: nets whose worst controllability plus
+// observability exceeds the configured threshold need a test point or scan
+// access (Sec. II: "high numbers flag nets that need test points").
+class ScoapHotspotRule final : public RuleBase {
+ public:
+  ScoapHotspotRule()
+      : RuleBase("TEST-001", "scoap-hotspot", Severity::Warning,
+                 "testability", "Sec. II / Sec. III-B") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const ScoapResult* r = ctx.scoap();
+    if (!r) return;
+    const Netlist& nl = ctx.nl;
+    std::vector<GateId> hot;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      const GateType t = nl.type(g);
+      // A constant's opposite value is uncontrollable by definition; a test
+      // point cannot help, so constants are not hotspots.
+      if (t == GateType::Output || t == GateType::Const0 ||
+          t == GateType::Const1 || is_scan_port(ctx, g)) {
+        continue;
+      }
+      if (r->difficulty(g) > ctx.opt.scoap_difficulty_threshold) {
+        hot.push_back(g);
+      }
+    }
+    std::sort(hot.begin(), hot.end(), [&](GateId a, GateId b) {
+      return r->difficulty(a) > r->difficulty(b);
+    });
+    for (GateId g : hot) {
+      Diagnostic d;
+      d.message = "net '" + nl.label(g) + "' is hard to test: CC0=" +
+                  std::to_string(r->cc0[g]) + " CC1=" +
+                  std::to_string(r->cc1[g]) + " CO=" +
+                  std::to_string(r->co[g]) + " (difficulty " +
+                  std::to_string(r->difficulty(g)) + " > " +
+                  std::to_string(ctx.opt.scoap_difficulty_threshold) + ")";
+      d.fix = "insert a control/observation test point (Sec. III-B) or scan "
+              "this region";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// TEST-002 — random-pattern-resistant net: the per-pattern detection
+// probability of a stuck fault on the net, approximated COP-style as
+// obs * min(p1, 1-p1), falls below the configured floor — the PLA
+// product-term problem of Sec. V-A (Fig. 22: fan-in 20 means 2^-20).
+class RandomResistantRule final : public RuleBase {
+ public:
+  RandomResistantRule()
+      : RuleBase("TEST-002", "random-resistant", Severity::Warning,
+                 "testability", "Sec. V-A, Fig. 22") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const CopResult* r = ctx.cop();
+    if (!r) return;
+    const Netlist& nl = ctx.nl;
+    std::vector<std::pair<double, GateId>> weak;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      const GateType t = nl.type(g);
+      // Constants are their own stuck value; storage nets are random
+      // sources in the full-scan COP view.
+      if (t == GateType::Output || t == GateType::Const0 ||
+          t == GateType::Const1 || is_storage(t) || is_scan_port(ctx, g)) {
+        continue;
+      }
+      const double p =
+          r->obs[g] * std::min(r->p1[g], 1.0 - r->p1[g]);
+      if (p < ctx.opt.cop_detectability_floor) weak.emplace_back(p, g);
+    }
+    std::sort(weak.begin(), weak.end());
+    for (const auto& [p, g] : weak) {
+      Diagnostic d;
+      d.message = "net '" + nl.label(g) +
+                  "' resists random patterns: detection probability " +
+                  fmt_prob(p) + " per pattern (floor " +
+                  fmt_prob(ctx.opt.cop_detectability_floor) + ")";
+      d.fix = "add test points or partition for exhaustive/autonomous test "
+              "(Secs. III-B, V-C)";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<LintRule>> make_testability_rules() {
+  std::vector<std::unique_ptr<LintRule>> rules;
+  rules.push_back(std::make_unique<ScoapHotspotRule>());
+  rules.push_back(std::make_unique<RandomResistantRule>());
+  return rules;
+}
+
+}  // namespace dft

@@ -1,0 +1,32 @@
+// Internal helper shared by the rules_*.cpp files: a LintRule base that
+// stores the rule's identity as string-view literals so each concrete rule
+// only implements check().
+#pragma once
+
+#include "lint/rule.h"
+
+namespace dft {
+
+class RuleBase : public LintRule {
+ public:
+  RuleBase(std::string_view id, std::string_view title, Severity severity,
+           std::string_view category, std::string_view paper)
+      : id_(id),
+        title_(title),
+        severity_(severity),
+        category_(category),
+        paper_(paper) {}
+
+  std::string_view id() const override { return id_; }
+  std::string_view title() const override { return title_; }
+  Severity severity() const override { return severity_; }
+  std::string_view category() const override { return category_; }
+  std::string_view paper() const override { return paper_; }
+
+ private:
+  std::string_view id_, title_;
+  Severity severity_;
+  std::string_view category_, paper_;
+};
+
+}  // namespace dft

@@ -115,6 +115,11 @@ ScoapResult compute_scoap(const Netlist& nl, ScoapMode mode) {
   r.co.assign(n, kScoapInf);
 
   for (GateId g : nl.inputs()) r.cc0[g] = r.cc1[g] = 1;
+  // Constants sit outside the combinational topo order; seed them here.
+  for (GateId g = 0; g < n; ++g) {
+    if (nl.type(g) == GateType::Const0) r.cc0[g] = 0;
+    if (nl.type(g) == GateType::Const1) r.cc1[g] = 0;
+  }
   if (mode == ScoapMode::FullScan) {
     for (GateId g : nl.storage()) r.cc0[g] = r.cc1[g] = 1;
   }

@@ -1,7 +1,12 @@
 #include "scan/scan_insert.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+
+#ifndef NDEBUG
+#include "lint/engine.h"
+#endif
 
 namespace dft {
 
@@ -9,7 +14,7 @@ namespace {
 
 ScanInsertionResult insert_impl(Netlist& nl, ScanStyle style,
                                 std::vector<GateId> flops, int num_chains,
-                                const std::string& prefix) {
+                                bool full_scan, const std::string& prefix) {
   ScanInsertionResult res;
   res.gate_equivalents_before = nl.gate_equivalents();
   if (flops.empty()) {
@@ -50,6 +55,13 @@ ScanInsertionResult insert_impl(Netlist& nl, ScanStyle style,
   res.extra_pins += 2;
   res.gate_equivalents_after = nl.gate_equivalents();
   nl.validate();
+  // Post-condition (Sec. IV-A: design rules "enforced by software"): a
+  // freshly scanned netlist must pass the scan-readiness lint rules; partial
+  // scan is only excused the unconverted flip-flops.
+  assert(lint_scan_rules(nl, /*require_all_scanned=*/full_scan).passed());
+#ifdef NDEBUG
+  (void)full_scan;
+#endif
   return res;
 }
 
@@ -61,7 +73,8 @@ ScanInsertionResult insert_scan(Netlist& nl, ScanStyle style, int num_chains,
   for (GateId g : nl.storage()) {
     if (nl.type(g) == GateType::Dff) flops.push_back(g);
   }
-  return insert_impl(nl, style, std::move(flops), num_chains, prefix);
+  return insert_impl(nl, style, std::move(flops), num_chains,
+                     /*full_scan=*/true, prefix);
 }
 
 ScanInsertionResult insert_scan_partial(Netlist& nl, ScanStyle style,
@@ -72,7 +85,7 @@ ScanInsertionResult insert_scan_partial(Netlist& nl, ScanStyle style,
       throw std::invalid_argument("partial scan subset must be plain DFFs");
     }
   }
-  return insert_impl(nl, style, subset, 1, prefix);
+  return insert_impl(nl, style, subset, 1, /*full_scan=*/false, prefix);
 }
 
 std::vector<ScanChain> discover_chains(const Netlist& nl) {
