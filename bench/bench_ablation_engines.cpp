@@ -9,12 +9,15 @@
 //   4. compaction: raw vs merged+reverse-order-dropped test sets.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <random>
 
 #include "atpg/engine.h"
 #include "circuits/random_circuit.h"
 #include "fault/deductive.h"
 #include "fault/fault_sim.h"
+#include "fault/threaded_fault_sim.h"
 
 using namespace dft;
 
@@ -27,7 +30,17 @@ double secs(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 0;  // 0 = one worker per hardware thread
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   RandomCircuitSpec spec;
   spec.num_inputs = 20;
   spec.num_outputs = 12;
@@ -58,12 +71,19 @@ int main() {
     ParallelFaultSimulator par(nl);
     const auto rp = par.run(pats, col.representatives, false);
     const auto t3 = std::chrono::steady_clock::now();
+    ThreadedFaultSimulator thr(nl, threads);
+    const auto t4 = std::chrono::steady_clock::now();
+    const auto rt = thr.run(pats, col.representatives, false);
+    const auto t5 = std::chrono::steady_clock::now();
     std::printf("      serial    %8.3fs  (%d detected)\n", secs(t0, t1),
                 rs.num_detected);
     std::printf("      deductive %8.3fs  (%d detected)\n", secs(t1, t2),
                 rd.num_detected);
     std::printf("      PPSFP     %8.3fs  (%d detected)\n", secs(t2, t3),
                 rp.num_detected);
+    std::printf("      PPSFP x%-2d %8.3fs  (%d detected, %.2fx vs 1 thread)\n",
+                thr.threads(), secs(t4, t5), rt.num_detected,
+                secs(t2, t3) / std::max(1e-9, secs(t4, t5)));
   }
 
   // 2. Collapsing.

@@ -5,15 +5,23 @@
 // gate count, and fits the log-log slope. The paper argues the combined
 // exponent is ~3 (footnote: "other analyses have used the value 2") and
 // that fault simulation alone scales ~N^2.
+//
+// `--threads N` additionally runs the fault-simulation workload on the
+// fault-partitioned ThreadedFaultSimulator with N workers (0 = hardware
+// concurrency) and reports the speedup over the single-threaded engine;
+// the constant K shrinks with cores, the exponent does not.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <random>
 #include <vector>
 
 #include "atpg/engine.h"
 #include "circuits/random_circuit.h"
 #include "fault/fault_sim.h"
+#include "fault/threaded_fault_sim.h"
 
 using namespace dft;
 
@@ -41,10 +49,26 @@ double fit_slope(const std::vector<double>& x, const std::vector<double>& y) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+  const bool threaded = threads != 1;
+
   std::printf("Eq. (1) -- T = K*N^e scaling of ATPG and fault simulation\n\n");
-  std::printf("  %6s  %8s  %10s  %12s  %10s\n", "gates", "faults",
-              "atpg_s", "faultsim_s", "coverage");
+  if (threaded) {
+    std::printf("  %6s  %8s  %10s  %12s  %12s  %8s  %10s\n", "gates", "faults",
+                "atpg_s", "faultsim_s", "fsim_mt_s", "speedup", "coverage");
+  } else {
+    std::printf("  %6s  %8s  %10s  %12s  %10s\n", "gates", "faults",
+                "atpg_s", "faultsim_s", "coverage");
+  }
 
   std::vector<double> sizes, t_atpg, t_fsim;
   for (const int gates : {100, 200, 400, 800}) {
@@ -61,6 +85,7 @@ int main() {
     AtpgOptions opt;
     opt.random_patterns = 256;
     opt.backtrack_limit = 400;
+    opt.threads = threads;
     const AtpgRun run = run_atpg(nl, faults, opt);
     const auto a1 = std::chrono::steady_clock::now();
 
@@ -71,14 +96,31 @@ int main() {
     for (int i = 0; i < 256; ++i) pats.push_back(random_source_vector(nl, rng));
     ParallelFaultSimulator fsim(nl);
     const auto f0 = std::chrono::steady_clock::now();
-    fsim.run(pats, faults, /*drop_detected=*/false);
+    const auto r1 = fsim.run(pats, faults, /*drop_detected=*/false);
     const auto f1 = std::chrono::steady_clock::now();
 
     sizes.push_back(gates);
     t_atpg.push_back(std::max(1e-6, seconds(a0, a1)));
     t_fsim.push_back(std::max(1e-6, seconds(f0, f1)));
-    std::printf("  %6d  %8zu  %10.4f  %12.4f  %9.1f%%\n", gates, faults.size(),
-                t_atpg.back(), t_fsim.back(), 100 * run.fault_coverage());
+    if (threaded) {
+      ThreadedFaultSimulator tsim(nl, threads);
+      const auto m0 = std::chrono::steady_clock::now();
+      const auto rt = tsim.run(pats, faults, /*drop_detected=*/false);
+      const auto m1 = std::chrono::steady_clock::now();
+      if (rt.first_detected_by != r1.first_detected_by) {
+        std::fprintf(stderr, "ERROR: threaded result diverged at %d gates\n",
+                     gates);
+        return 1;
+      }
+      const double tm = std::max(1e-6, seconds(m0, m1));
+      std::printf("  %6d  %8zu  %10.4f  %12.4f  %12.4f  %7.2fx  %9.1f%%\n",
+                  gates, faults.size(), t_atpg.back(), t_fsim.back(), tm,
+                  t_fsim.back() / tm, 100 * run.fault_coverage());
+    } else {
+      std::printf("  %6d  %8zu  %10.4f  %12.4f  %9.1f%%\n", gates,
+                  faults.size(), t_atpg.back(), t_fsim.back(),
+                  100 * run.fault_coverage());
+    }
   }
 
   std::printf("\n  fitted exponents (log-log slope):\n");

@@ -6,6 +6,8 @@
 // ("if 100 patterns are run between scan-outs, the test data volume may be
 // reduced by a factor of 100").
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bist/bilbo.h"
 #include "circuits/basic.h"
@@ -37,7 +39,17 @@ Netlist make_expander(int n_in, int n_out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   // CLN1: 8-bit ripple adder (17 -> 9); CLN2: a 9 -> 17 expander. Both
   // MISRs are >= 9 bits, so aliasing is below 0.2%.
   const Netlist cln1 = make_ripple_adder(8);
@@ -64,8 +76,8 @@ int main() {
   std::printf("  %9s  %10s  %10s\n", "patterns", "CLN1", "CLN2");
   for (int n : {8, 16, 32, 64, 128, 256, 512}) {
     std::printf("  %9d  %9.1f%%  %9.1f%%\n", n,
-                100 * bist.signature_coverage(1, faults1, n),
-                100 * bist.signature_coverage(2, faults2, n));
+                100 * bist.signature_coverage(1, faults1, n, threads),
+                100 * bist.signature_coverage(2, faults2, n, threads));
   }
 
   std::printf("\n  test-data volume per 100 applied patterns:\n");

@@ -6,6 +6,8 @@
 // fault the global syndrome misses is rescued by holding a single input
 // (the [116] two-pass scheme), no extra gates.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bist/autonomous.h"
 #include "bist/syndrome.h"
@@ -16,9 +18,11 @@ using namespace dft;
 
 namespace {
 
+int g_threads = 1;
+
 void report(const char* name, const Netlist& nl) {
   const auto faults = collapse_faults(nl).representatives;
-  const auto res = analyze_syndrome_testability(nl, faults);
+  const auto res = analyze_syndrome_testability(nl, faults, g_threads);
   int held = 0, modded = 0, redundant = 0, lost = 0;
   for (const Fault& f : res.untestable) {
     if (!exhaustive_detects(nl, f)) {
@@ -38,7 +42,16 @@ void report(const char* name, const Netlist& nl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Fig. 23 / Sec. V-B -- syndrome testing\n\n");
   std::printf("  syndromes S = K/2^n of small networks:\n");
   {

@@ -8,6 +8,8 @@
 //     sessions exhaust the part with far fewer than 2^14 patterns at the
 //     exhaustive coverage ceiling.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bist/autonomous.h"
 #include "circuits/basic.h"
@@ -15,7 +17,17 @@
 
 using namespace dft;
 
-int main() {
+int main(int argc, char** argv) {
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Figs. 26-34 -- autonomous testing\n\n");
 
   // (a) model independence.
@@ -55,7 +67,7 @@ int main() {
               mp.mux_gate_equivalents);
 
   // (c) the 74181 sensitized sessions.
-  const SensitizedPartitionResult res = sensitized_partition_74181();
+  const SensitizedPartitionResult res = sensitized_partition_74181(threads);
   std::printf("  (c) SN74181 sensitized partitioning:\n");
   std::printf("      exhaustive: %llu patterns -> %.2f%% stuck-at coverage "
               "(ceiling: 10/235 collapsed faults are redundant)\n",

@@ -3,7 +3,10 @@
 //   dft_tool stats   <file.bench>          structural summary
 //   dft_tool scoap   <file.bench> [N]      N hardest nets (default 10)
 //   dft_tool faults  <file.bench>          fault universe / collapsing
-//   dft_tool atpg    <file.bench>          full ATPG run + test vectors
+//   dft_tool atpg    <file.bench> [--threads N]
+//                                          full ATPG run + test vectors;
+//                                          N fault-sim workers (0 = all
+//                                          hardware threads, default 1)
 //   dft_tool scan    <file.bench> [chains] LSSD insertion, writes result
 //   dft_tool lint    <file.bench> [--json] [--scan-first]
 //                                          design-rule check; exits 1 on any
@@ -36,7 +39,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dft_tool {stats|scoap|faults|atpg|scan} <file.bench> "
-               "[arg]\n       dft_tool lint <file.bench> [--json] "
+               "[arg]\n       dft_tool atpg <file.bench> [--threads N]\n"
+               "       dft_tool lint <file.bench> [--json] "
                "[--scan-first]\n       dft_tool export <name> <out.bench>\n");
   return 2;
 }
@@ -124,6 +128,15 @@ int main(int argc, char** argv) {
       const auto faults = collapse_faults(nl).representatives;
       AtpgOptions opt;
       opt.backtrack_limit = 100000;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+          char* end = nullptr;
+          opt.threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
+          if (end == argv[i] || *end != '\0') return usage();
+        } else {
+          return usage();
+        }
+      }
       const AtpgRun run = run_atpg(nl, faults, opt);
       std::printf("%zu faults: coverage %.2f%% (test coverage %.2f%%), "
                   "%zu tests, %zu redundant, %zu aborted\n",

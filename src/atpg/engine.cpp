@@ -4,6 +4,7 @@
 
 #include "atpg/compact.h"
 #include "atpg/random_tpg.h"
+#include "fault/threaded_fault_sim.h"
 
 namespace dft {
 
@@ -22,6 +23,7 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
     ropt.stall_blocks = options.random_stall_blocks;
     ropt.adaptive = options.adaptive_random;
     ropt.seed = options.seed;
+    ropt.threads = options.threads;
     const RandomTpgResult rres = random_tpg(nl, faults, ropt);
     detected = rres.detected;
     run.random_phase_detected = rres.num_detected;
@@ -32,7 +34,7 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
   // each new cube is fault-simulated (random-filled) against the remaining
   // undetected faults.
   Podem podem(nl, options.backtrack_limit);
-  ParallelFaultSimulator fsim(nl);
+  const auto fsim = make_fault_sim_engine(nl, options.threads);
   std::vector<SourceVector> cubes;
   for (std::size_t fi = 0; fi < faults.size() && options.deterministic_phase;
        ++fi) {
@@ -64,7 +66,7 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
       }
     }
     if (!rest.empty()) {
-      const FaultSimResult s = fsim.run({filled}, rest);
+      const FaultSimResult s = fsim->run({filled}, rest);
       for (std::size_t k = 0; k < rest.size(); ++k) {
         if (s.first_detected_by[k] >= 0) {
           detected[rest_idx[k]] = 1;
@@ -85,7 +87,7 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
     run.tests = drop_redundant_patterns(nl, faults, run.tests);
   }
 
-  const FaultSimResult final_sim = fsim.run(run.tests, faults);
+  const FaultSimResult final_sim = fsim->run(run.tests, faults);
   run.detected = final_sim.num_detected;
   return run;
 }

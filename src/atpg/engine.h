@@ -24,6 +24,9 @@ struct AtpgOptions {
   int backtrack_limit = 20000;
   bool compact = true;
   std::uint64_t seed = 1;
+  // Fault-simulation workers for grading/dropping (1 = single-threaded,
+  // 0 = hardware concurrency). The result is identical at any value.
+  int threads = 1;
 };
 
 struct AtpgRun {

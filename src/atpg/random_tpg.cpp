@@ -1,6 +1,10 @@
 #include "atpg/random_tpg.h"
 
 #include <random>
+#include <stdexcept>
+#include <string>
+
+#include "fault/threaded_fault_sim.h"
 
 namespace dft {
 
@@ -21,10 +25,20 @@ SourceVector draw(const Netlist& nl, const std::vector<double>& weights,
 
 RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
                            const RandomTpgOptions& options) {
+  // draw() indexes weights[i] for every source; a short caller-supplied
+  // vector would be an out-of-bounds read, so reject it up front.
+  if (!options.weights.empty() &&
+      options.weights.size() != source_count(nl)) {
+    throw std::invalid_argument(
+        "RandomTpgOptions::weights has " +
+        std::to_string(options.weights.size()) + " entries but the netlist "
+        "has " + std::to_string(source_count(nl)) +
+        " sources (PIs + storage); pass one weight per source or none");
+  }
   RandomTpgResult res;
   res.detected.assign(faults.size(), 0);
   std::mt19937_64 rng(options.seed);
-  ParallelFaultSimulator fsim(nl);
+  const auto fsim = make_fault_sim_engine(nl, options.threads);
 
   // Weight profiles for the adaptive mode: balanced, 1-heavy, 0-heavy, and
   // per-source random weights redrawn each round.
@@ -56,7 +70,7 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
     std::vector<Fault> alive_faults;
     alive_faults.reserve(alive.size());
     for (std::size_t fi : alive) alive_faults.push_back(faults[fi]);
-    const FaultSimResult sim = fsim.run(block, alive_faults);
+    const FaultSimResult sim = fsim->run(block, alive_faults);
 
     if (sim.num_detected == 0) {
       ++stall;

@@ -22,10 +22,14 @@ struct RandomTpgOptions {
   // detection.
   int stall_blocks = 4;
   std::uint64_t seed = 1;
-  // Per-source probability of a 1; empty = 0.5 everywhere.
+  // Per-source probability of a 1; empty = 0.5 everywhere. When non-empty,
+  // the size must equal source_count(nl) (checked; throws otherwise).
   std::vector<double> weights;
   // Rotate through weight profiles (adaptive/weighted random).
   bool adaptive = false;
+  // Fault-simulation workers for grading (1 = single-threaded PPSFP,
+  // 0 = hardware concurrency). Results are identical at any value.
+  int threads = 1;
 };
 
 struct RandomTpgResult {

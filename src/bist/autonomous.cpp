@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuits/sn74181.h"
+#include "fault/threaded_fault_sim.h"
 #include "sim/comb_sim.h"
 #include "sim/parallel_sim.h"
 
@@ -32,10 +33,11 @@ bool exhaustive_detects(const Netlist& nl, const Fault& f) {
   return res.num_detected == 1;
 }
 
-double exhaustive_coverage(const Netlist& nl,
-                           const std::vector<Fault>& faults) {
-  ParallelFaultSimulator fsim(nl);
-  return fsim.run(all_patterns(nl), faults).coverage();
+double exhaustive_coverage(const Netlist& nl, const std::vector<Fault>& faults,
+                           int threads) {
+  return make_fault_sim_engine(nl, threads)
+      ->run(all_patterns(nl), faults)
+      .coverage();
 }
 
 bool exhaustive_detects_gate_swap(const Netlist& nl, GateId gate,
@@ -204,7 +206,7 @@ PartitionPatternCounts mux_partition_pattern_counts(const Netlist& g1,
   return c;
 }
 
-SensitizedPartitionResult sensitized_partition_74181() {
+SensitizedPartitionResult sensitized_partition_74181(int threads) {
   SensitizedPartitionResult res;
   const Netlist nl = make_sn74181();
   const auto faults = collapse_faults(nl).representatives;
@@ -248,9 +250,9 @@ SensitizedPartitionResult sensitized_partition_74181() {
   res.session_patterns = res.patterns.size();
   res.exhaustive_patterns = 1ull << n;
 
-  ParallelFaultSimulator fsim(nl);
-  res.session_coverage = fsim.run(res.patterns, faults).coverage();
-  res.exhaustive_coverage = exhaustive_coverage(nl, faults);
+  const auto fsim = make_fault_sim_engine(nl, threads);
+  res.session_coverage = fsim->run(res.patterns, faults).coverage();
+  res.exhaustive_coverage = exhaustive_coverage(nl, faults, threads);
   return res;
 }
 

@@ -27,8 +27,11 @@ namespace dft {
 // True when some input pattern distinguishes faulty from good machine.
 bool exhaustive_detects(const Netlist& nl, const Fault& f);
 
-// Coverage of a fault list under the all-2^n-patterns test.
-double exhaustive_coverage(const Netlist& nl, const std::vector<Fault>& faults);
+// Coverage of a fault list under the all-2^n-patterns test. `threads` > 1
+// (0 = hardware concurrency) partitions the fault list across workers;
+// the coverage is identical at any thread count.
+double exhaustive_coverage(const Netlist& nl, const std::vector<Fault>& faults,
+                           int threads = 1);
 
 // Model-independence demonstration: replace one gate's function entirely
 // (e.g. AND -> OR) and check the exhaustive test still catches it whenever
@@ -97,6 +100,8 @@ struct SensitizedPartitionResult {
 // Runs the paper's two sensitized sessions on the gate-level 74181:
 // session A holds S2 = S3 = 0, session B holds S0 = S1 = 1; every other
 // input is exhausted. Compares coverage against full exhaustion.
-SensitizedPartitionResult sensitized_partition_74181();
+// `threads` parallelizes the session/exhaustive fault grading
+// (0 = hardware concurrency); results are identical at any thread count.
+SensitizedPartitionResult sensitized_partition_74181(int threads = 1);
 
 }  // namespace dft

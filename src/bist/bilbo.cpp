@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "sim/thread_pool.h"
+
 namespace dft {
 
 BilboRegister::BilboRegister(int width, std::uint64_t seed) : width_(width) {
@@ -89,7 +91,7 @@ BilboBist::BilboBist(const Netlist& cln1, const Netlist& cln2,
 }
 
 BilboBist::Session BilboBist::run(int patterns_per_phase, int faulty_cln,
-                                  const Fault* f) {
+                                  const Fault* f) const {
   Session s;
   // Phase 1 (Fig. 20): R1 = PRPG into CLN1, R2 = MISR on CLN1 outputs.
   BilboRegister r1(w1_, seed_);
@@ -119,12 +121,12 @@ BilboBist::Session BilboBist::run(int patterns_per_phase, int faulty_cln,
   return s;
 }
 
-BilboBist::Session BilboBist::run_good(int patterns_per_phase) {
+BilboBist::Session BilboBist::run_good(int patterns_per_phase) const {
   return run(patterns_per_phase, 0, nullptr);
 }
 
 BilboBist::Session BilboBist::run_faulty(int which_cln, const Fault& f,
-                                         int patterns_per_phase) {
+                                         int patterns_per_phase) const {
   if (which_cln != 1 && which_cln != 2) {
     throw std::invalid_argument("which_cln must be 1 or 2");
   }
@@ -133,18 +135,32 @@ BilboBist::Session BilboBist::run_faulty(int which_cln, const Fault& f,
 
 double BilboBist::signature_coverage(int which_cln,
                                      const std::vector<Fault>& faults,
-                                     int patterns_per_phase) {
+                                     int patterns_per_phase,
+                                     int threads) const {
   if (faults.empty()) return 1.0;
   const Session good = run_good(patterns_per_phase);
-  int caught = 0;
-  for (const Fault& f : faults) {
-    const Session bad = run_faulty(which_cln, f, patterns_per_phase);
-    if (bad.signature_cln1 != good.signature_cln1 ||
-        bad.signature_cln2 != good.signature_cln2) {
-      ++caught;
-    }
+  std::vector<char> caught(faults.size(), 0);
+  auto grade = [&](std::size_t i) {
+    const Session bad = run_faulty(which_cln, faults[i], patterns_per_phase);
+    caught[i] = bad.signature_cln1 != good.signature_cln1 ||
+                bad.signature_cln2 != good.signature_cln2;
+  };
+  if (resolve_thread_count(threads) <= 1) {
+    for (std::size_t i = 0; i < faults.size(); ++i) grade(i);
+  } else {
+    // Each session builds its own simulators; warm the netlists' lazy
+    // caches first so workers only read shared state.
+    cln1_->topo_order();
+    cln2_->topo_order();
+    ThreadPool pool(threads);
+    parallel_for_chunks(pool, faults.size(),
+                        [&](std::size_t, std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) grade(i);
+                        });
   }
-  return static_cast<double>(caught) / static_cast<double>(faults.size());
+  int n = 0;
+  for (char c : caught) n += c;
+  return static_cast<double>(n) / static_cast<double>(faults.size());
 }
 
 }  // namespace dft

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/parallel_sim.h"
+#include "sim/thread_pool.h"
 
 namespace dft {
 
@@ -91,16 +92,32 @@ std::vector<double> syndromes(const Netlist& nl) {
   return out;
 }
 
-SyndromeAnalysis analyze_syndrome_testability(
-    const Netlist& nl, const std::vector<Fault>& faults) {
+SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
+                                              const std::vector<Fault>& faults,
+                                              int threads) {
   SyndromeAnalysis res;
   res.total_faults = static_cast<int>(faults.size());
   const auto good = minterm_counts(nl);
-  for (const Fault& f : faults) {
-    if (minterm_counts_faulty(nl, f) != good) {
+  std::vector<char> testable(faults.size(), 0);
+  auto grade = [&](std::size_t i) {
+    testable[i] = minterm_counts_faulty(nl, faults[i]) != good;
+  };
+  if (resolve_thread_count(threads) <= 1) {
+    for (std::size_t i = 0; i < faults.size(); ++i) grade(i);
+  } else {
+    nl.topo_order();  // warm the lazy caches before sharing the netlist
+    ThreadPool pool(threads);
+    parallel_for_chunks(pool, faults.size(),
+                        [&](std::size_t, std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) grade(i);
+                        });
+  }
+  // Merge in fault order, so the report is thread-count independent.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (testable[i]) {
       ++res.syndrome_testable;
     } else {
-      res.untestable.push_back(f);
+      res.untestable.push_back(faults[i]);
     }
   }
   return res;

@@ -36,9 +36,12 @@ struct SyndromeAnalysis {
 };
 
 // Classifies every fault by comparing good/faulty ones-counts across all
-// outputs.
+// outputs. Faults are independent, so `threads` > 1 (0 = hardware
+// concurrency) grades them in parallel; the analysis (including the order
+// of `untestable`) is identical at any thread count.
 SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
-                                              const std::vector<Fault>& faults);
+                                              const std::vector<Fault>& faults,
+                                              int threads = 1);
 
 // The [116] scheme: a fault missed by the global syndrome may be exposed by
 // holding one input constant and syndrome-testing the remaining subcube

@@ -191,6 +191,7 @@ std::vector<char> DeductiveFaultSimulator::detected(
 FaultSimResult DeductiveFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
     bool drop_detected) {
+  validate_patterns(*nl_, patterns, /*require_binary=*/true);
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
   for (std::size_t p = 0; p < patterns.size(); ++p) {

@@ -23,7 +23,7 @@
 
 namespace dft {
 
-class DeductiveFaultSimulator {
+class DeductiveFaultSimulator : public FaultSimEngine {
  public:
   explicit DeductiveFaultSimulator(const Netlist& nl);
   explicit DeductiveFaultSimulator(Netlist&&) = delete;  // would dangle
@@ -35,7 +35,9 @@ class DeductiveFaultSimulator {
   // Same contract as the other engines.
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true);
+                     bool drop_detected = true) override;
+
+  std::string_view name() const override { return "deductive"; }
 
  private:
   using List = std::vector<int>;  // sorted fault indices

@@ -22,6 +22,30 @@ void random_fill(SourceVector& v, std::mt19937_64& rng) {
   }
 }
 
+void validate_patterns(const Netlist& nl,
+                       const std::vector<SourceVector>& patterns,
+                       bool require_binary) {
+  const std::size_t ns = source_count(nl);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    if (patterns[p].size() != ns) {
+      throw std::invalid_argument(
+          "pattern " + std::to_string(p) + " has " +
+          std::to_string(patterns[p].size()) + " entries, netlist has " +
+          std::to_string(ns) + " sources");
+    }
+    if (require_binary) {
+      for (Logic l : patterns[p]) {
+        if (!is_binary(l)) {
+          throw std::invalid_argument(
+              "pattern " + std::to_string(p) +
+              " contains X/Z entries; this engine requires binary patterns "
+              "(random_fill them first)");
+        }
+      }
+    }
+  }
+}
+
 // --- Serial --------------------------------------------------------------
 
 SerialFaultSimulator::SerialFaultSimulator(const Netlist& nl)
@@ -73,15 +97,21 @@ bool SerialFaultSimulator::detects(const SourceVector& pattern,
 
 FaultSimResult SerialFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
-    bool /*drop_detected*/) {
+    bool drop_detected) {
+  validate_patterns(*nl_, patterns, /*require_binary=*/false);
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
       if (detects(patterns[pi], faults[fi])) {
-        res.first_detected_by[fi] = static_cast<int>(pi);
-        ++res.num_detected;
-        break;
+        if (res.first_detected_by[fi] < 0) {
+          res.first_detected_by[fi] = static_cast<int>(pi);
+          ++res.num_detected;
+        }
+        // Dropping only skips the remaining (pattern, fault) pairs; the
+        // first-detection result is the same either way -- the contract the
+        // other engines follow.
+        if (drop_detected) break;
       }
     }
   }
@@ -169,6 +199,10 @@ std::uint64_t ParallelFaultSimulator::detect_word(const Fault& f) {
 FaultSimResult ParallelFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
     bool drop_detected) {
+  // All validation happens before any set_word: a malformed pattern in the
+  // middle of a block must not leave the simulator half-mutated.
+  validate_patterns(*nl_, patterns, /*require_binary=*/true);
+
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
 
@@ -184,14 +218,7 @@ FaultSimResult ParallelFaultSimulator::run(
     for (std::size_t s = 0; s < ns; ++s) {
       std::uint64_t w = 0;
       for (std::size_t b = 0; b < blk; ++b) {
-        const auto& pat = patterns[base + b];
-        if (pat.size() != ns) throw std::invalid_argument("pattern size");
-        const Logic l = pat[s];
-        if (!is_binary(l)) {
-          throw std::invalid_argument(
-              "ParallelFaultSimulator requires binary patterns");
-        }
-        if (l == Logic::One) w |= 1ull << b;
+        if (patterns[base + b][s] == Logic::One) w |= 1ull << b;
       }
       const GateId src = s < pis.size() ? pis[s] : ffs[s - pis.size()];
       sim_.set_word(src, w);

@@ -1,15 +1,21 @@
 // Fault simulation (Sec. I-B).
 //
-// Two engines:
+// Engine hierarchy (all implement FaultSimEngine; see also deductive.h and
+// threaded_fault_sim.h):
 //  * SerialFaultSimulator -- the textbook reference: one good-machine and one
 //    faulty-machine simulation per (pattern, fault) pair. "Fault simulation,
 //    with respect to run time, is similar to doing 3001 good machine
 //    simulations."
 //  * ParallelFaultSimulator -- parallel-pattern single-fault propagation
 //    (PPSFP): 64 patterns per word, fault-cone-only resimulation, and fault
-//    dropping. This is the engine the benches use.
+//    dropping. This is the single-threaded workhorse.
+//  * DeductiveFaultSimulator (deductive.h) -- Armstrong-style fault-list
+//    propagation, the independent cross-check.
+//  * ThreadedFaultSimulator (threaded_fault_sim.h) -- the fault-partitioned
+//    multi-threaded engine: one PPSFP machine per worker, bit-identical
+//    results at any thread count.
 //
-// Both use the combinational test model: primary inputs and storage outputs
+// All use the combinational test model: primary inputs and storage outputs
 // are controllable (pseudo primary inputs), primary outputs and storage D
 // pins are observable (pseudo primary outputs) -- precisely the access that
 // LSSD/Scan Path/RAS provide (Sec. IV).
@@ -17,6 +23,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 #include <vector>
 
 #include "fault/fault.h"
@@ -38,6 +45,14 @@ SourceVector random_source_vector(const Netlist& nl, std::mt19937_64& rng);
 // Replaces X/Z entries with random binary values (test-pattern "fill").
 void random_fill(SourceVector& v, std::mt19937_64& rng);
 
+// Throws std::invalid_argument when any pattern's width differs from
+// source_count(nl) or (with require_binary) any entry is X/Z. Engines call
+// this before touching any simulator state, so a malformed pattern in the
+// middle of a block can never leave an engine half-mutated.
+void validate_patterns(const Netlist& nl,
+                       const std::vector<SourceVector>& patterns,
+                       bool require_binary);
+
 struct FaultSimResult {
   // Parallel to the fault list passed in: index of the first detecting
   // pattern, or -1 if undetected.
@@ -51,7 +66,26 @@ struct FaultSimResult {
   }
 };
 
-class SerialFaultSimulator {
+// Common interface over every fault-simulation engine. The contract all
+// implementations share:
+//  * `first_detected_by[i]` is the index of the first pattern detecting
+//    `faults[i]` (-1 if none) -- identical for every engine and, for the
+//    threaded engine, for every thread count;
+//  * `drop_detected` is a performance hint only: a detected fault is not
+//    simulated against later patterns. It never changes the result.
+class FaultSimEngine {
+ public:
+  virtual ~FaultSimEngine() = default;
+
+  virtual FaultSimResult run(const std::vector<SourceVector>& patterns,
+                             const std::vector<Fault>& faults,
+                             bool drop_detected = true) = 0;
+
+  // Short stable identifier ("serial", "ppsfp", "deductive", "threaded").
+  virtual std::string_view name() const = 0;
+};
+
+class SerialFaultSimulator : public FaultSimEngine {
  public:
   explicit SerialFaultSimulator(const Netlist& nl);
   explicit SerialFaultSimulator(Netlist&&) = delete;  // would dangle
@@ -62,7 +96,9 @@ class SerialFaultSimulator {
 
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true);
+                     bool drop_detected = true) override;
+
+  std::string_view name() const override { return "serial"; }
 
  private:
   void apply(CombSim& sim, const SourceVector& pattern);
@@ -71,7 +107,7 @@ class SerialFaultSimulator {
   CombSim bad_;
 };
 
-class ParallelFaultSimulator {
+class ParallelFaultSimulator : public FaultSimEngine {
  public:
   explicit ParallelFaultSimulator(const Netlist& nl);
   explicit ParallelFaultSimulator(Netlist&&) = delete;  // would dangle
@@ -79,7 +115,9 @@ class ParallelFaultSimulator {
   // Patterns must be binary (use random_fill for X entries).
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true);
+                     bool drop_detected = true) override;
+
+  std::string_view name() const override { return "ppsfp"; }
 
   // Overrides the observation points. The default is the full-scan view
   // (primary outputs + every storage D net); restricting this models

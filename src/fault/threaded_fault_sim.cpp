@@ -1,0 +1,82 @@
+#include "fault/threaded_fault_sim.h"
+
+#include <exception>
+#include <mutex>
+
+namespace dft {
+
+ThreadedFaultSimulator::ThreadedFaultSimulator(const Netlist& nl, int threads)
+    : nl_(&nl), pool_(threads) {
+  // Warm the netlist's lazily-built caches (fanouts, topo order, levels)
+  // while still single-threaded: every worker machine reads them.
+  nl.topo_order();
+  machines_.reserve(static_cast<std::size_t>(pool_.size()));
+  for (int i = 0; i < pool_.size(); ++i) {
+    machines_.push_back(std::make_unique<ParallelFaultSimulator>(nl));
+  }
+}
+
+void ThreadedFaultSimulator::set_observation_points(
+    const std::vector<GateId>& observed) {
+  for (auto& m : machines_) m->set_observation_points(observed);
+}
+
+void ThreadedFaultSimulator::reset_observation_points() {
+  for (auto& m : machines_) m->reset_observation_points();
+}
+
+FaultSimResult ThreadedFaultSimulator::run(
+    const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
+    bool drop_detected) {
+  // Validate before any worker touches its machine: the whole engine stays
+  // unmutated on malformed input, like the single-threaded engines.
+  validate_patterns(*nl_, patterns, /*require_binary=*/true);
+
+  const std::size_t nw = static_cast<std::size_t>(pool_.size());
+
+  // Round-robin partition: neighboring faults share cone geometry, so
+  // striding spreads the heavy cones evenly across workers.
+  std::vector<std::vector<Fault>> part(nw);
+  std::vector<std::vector<std::size_t>> origin(nw);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    part[i % nw].push_back(faults[i]);
+    origin[i % nw].push_back(i);
+  }
+
+  std::vector<FaultSimResult> sub(nw);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  for (std::size_t w = 0; w < nw; ++w) {
+    if (part[w].empty()) continue;
+    pool_.submit([&, w] {
+      try {
+        sub[w] = machines_[w]->run(patterns, part[w], drop_detected);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool_.wait();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Deterministic merge: scatter each worker's slice back by original fault
+  // index. Completion order never matters.
+  FaultSimResult res;
+  res.first_detected_by.assign(faults.size(), -1);
+  for (std::size_t w = 0; w < nw; ++w) {
+    for (std::size_t k = 0; k < origin[w].size(); ++k) {
+      res.first_detected_by[origin[w][k]] = sub[w].first_detected_by[k];
+    }
+    res.num_detected += sub[w].num_detected;
+  }
+  return res;
+}
+
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
+                                                      int threads) {
+  if (threads == 1) return std::make_unique<ParallelFaultSimulator>(nl);
+  return std::make_unique<ThreadedFaultSimulator>(nl, threads);
+}
+
+}  // namespace dft

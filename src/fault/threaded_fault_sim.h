@@ -1,0 +1,62 @@
+// Multi-threaded fault-partitioned fault simulation.
+//
+// The survey's Eq. 1 (T = K*N^3) makes fault simulation the inner-loop cost
+// of everything downstream -- ATPG dropping, random-TPG grading, BIST
+// coverage measurement. Faults are embarrassingly parallel under PPSFP: a
+// fault's first-detecting pattern depends only on the good machine and that
+// fault's own cone, never on other faults. ThreadedFaultSimulator therefore
+// partitions the fault list round-robin across workers, each owning a full
+// ParallelFaultSimulator (its own good/faulty 64-bit machines), and
+// scatters the per-worker first_detected_by slices back by original index.
+//
+// Determinism guarantee: the merged FaultSimResult is bit-identical to
+// ParallelFaultSimulator::run on the same inputs for ANY thread count --
+// the partition only reorders which worker computes a fault's (independent)
+// result, and the merge is by fault index, not completion order. The
+// differential tests assert this at 1, 2, and 8 threads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "netlist/netlist.h"
+#include "sim/thread_pool.h"
+
+namespace dft {
+
+class ThreadedFaultSimulator : public FaultSimEngine {
+ public:
+  // threads == 0 means one worker per hardware thread.
+  explicit ThreadedFaultSimulator(const Netlist& nl, int threads = 0);
+  explicit ThreadedFaultSimulator(Netlist&&, int = 0) = delete;  // dangle
+
+  FaultSimResult run(const std::vector<SourceVector>& patterns,
+                     const std::vector<Fault>& faults,
+                     bool drop_detected = true) override;
+
+  std::string_view name() const override { return "threaded"; }
+
+  int threads() const { return pool_.size(); }
+
+  // Same observability override as ParallelFaultSimulator, forwarded to
+  // every worker machine.
+  void set_observation_points(const std::vector<GateId>& observed);
+  void reset_observation_points();
+
+ private:
+  const Netlist* nl_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<ParallelFaultSimulator>> machines_;
+};
+
+// Engine factory for the hot callers: threads <= 1 yields the plain PPSFP
+// engine (no pool, no synchronization), anything else the threaded one
+// (0 = hardware concurrency). Results are identical either way.
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
+                                                      int threads = 1);
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(Netlist&&,
+                                                      int = 1) = delete;
+
+}  // namespace dft

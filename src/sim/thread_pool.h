@@ -1,0 +1,66 @@
+// Small reusable worker-thread pool.
+//
+// The fault-simulation engines partition work (fault lists, BIST sessions)
+// across long-lived workers instead of spawning threads per call: Eq. 1's
+// N^3 wall is attacked with hardware parallelism, and thread start-up cost
+// must not be paid once per 64-pattern block. The pool is deliberately
+// minimal: FIFO jobs, a completion barrier, and a chunked parallel-for that
+// propagates the first worker exception to the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dft {
+
+// Maps a user-facing thread-count request onto a worker count: values >= 1
+// are taken as-is; 0 (or negative) means "one per hardware thread" with a
+// floor of 1 when the runtime cannot tell.
+int resolve_thread_count(int requested);
+
+class ThreadPool {
+ public:
+  // Spawns resolve_thread_count(threads) workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a job; jobs must not themselves call submit()/wait() on the
+  // same pool. Exceptions must be handled by the job (parallel_for_chunks
+  // does this for its bodies).
+  void submit(std::function<void()> job);
+
+  // Blocks until every job submitted so far has finished.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::size_t unfinished_ = 0;
+  bool stop_ = false;
+};
+
+// Splits [0, n) into pool.size() contiguous chunks, runs
+// body(chunk_index, begin, end) on the workers, and blocks until all chunks
+// are done; empty chunks (n < pool.size()) are never invoked. The first
+// exception thrown by any body is rethrown here, after every chunk has
+// finished (so no body is still touching caller state).
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+}  // namespace dft
