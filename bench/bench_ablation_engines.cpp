@@ -7,13 +7,15 @@
 //   2. fault collapsing: universe vs collapsed list;
 //   3. ATPG phases: random-only vs PODEM-only vs the hybrid;
 //   4. compaction: raw vs merged+reverse-order-dropped test sets.
-#include <chrono>
+//
+// `--json <file>` writes the dft-obs-report document with every section
+// time as "bench.<section>" timers.
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <random>
 
 #include "atpg/engine.h"
+#include "bench_util.h"
 #include "circuits/random_circuit.h"
 #include "fault/deductive.h"
 #include "fault/fault_sim.h"
@@ -21,25 +23,11 @@
 
 using namespace dft;
 
-namespace {
-
-double secs(std::chrono::steady_clock::time_point a,
-            std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  int threads = 0;  // 0 = one worker per hardware thread
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
-      return 2;
-    }
-  }
+  // 0 = one worker per hardware thread
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 0);
+  if (args.status >= 0) return args.status;
+  const int threads = args.threads;
 
   RandomCircuitSpec spec;
   spec.num_inputs = 20;
@@ -61,44 +49,50 @@ int main(int argc, char** argv) {
   // 1. Engines.
   std::printf("  [1] fault-simulation engines (collapsed list, no drop):\n");
   {
-    const auto t0 = std::chrono::steady_clock::now();
     SerialFaultSimulator ser(nl);
-    const auto rs = ser.run(pats, col.representatives);
-    const auto t1 = std::chrono::steady_clock::now();
+    double t_ser = 0;
+    const auto rs = bench::timed("engine.serial", &t_ser, [&] {
+      return ser.run(pats, col.representatives);
+    });
     DeductiveFaultSimulator ded(nl);
-    const auto rd = ded.run(pats, col.representatives, false);
-    const auto t2 = std::chrono::steady_clock::now();
+    double t_ded = 0;
+    const auto rd = bench::timed("engine.deductive", &t_ded, [&] {
+      return ded.run(pats, col.representatives, false);
+    });
     ParallelFaultSimulator par(nl);
-    const auto rp = par.run(pats, col.representatives, false);
-    const auto t3 = std::chrono::steady_clock::now();
+    double t_par = 0;
+    const auto rp = bench::timed("engine.ppsfp", &t_par, [&] {
+      return par.run(pats, col.representatives, false);
+    });
     ThreadedFaultSimulator thr(nl, threads);
-    const auto t4 = std::chrono::steady_clock::now();
-    const auto rt = thr.run(pats, col.representatives, false);
-    const auto t5 = std::chrono::steady_clock::now();
-    std::printf("      serial    %8.3fs  (%d detected)\n", secs(t0, t1),
+    double t_thr = 0;
+    const auto rt = bench::timed("engine.ppsfp_mt", &t_thr, [&] {
+      return thr.run(pats, col.representatives, false);
+    });
+    std::printf("      serial    %8.3fs  (%d detected)\n", t_ser,
                 rs.num_detected);
-    std::printf("      deductive %8.3fs  (%d detected)\n", secs(t1, t2),
+    std::printf("      deductive %8.3fs  (%d detected)\n", t_ded,
                 rd.num_detected);
-    std::printf("      PPSFP     %8.3fs  (%d detected)\n", secs(t2, t3),
+    std::printf("      PPSFP     %8.3fs  (%d detected)\n", t_par,
                 rp.num_detected);
     std::printf("      PPSFP x%-2d %8.3fs  (%d detected, %.2fx vs 1 thread)\n",
-                thr.threads(), secs(t4, t5), rt.num_detected,
-                secs(t2, t3) / std::max(1e-9, secs(t4, t5)));
+                thr.threads(), t_thr, rt.num_detected,
+                t_par / std::max(1e-9, t_thr));
   }
 
   // 2. Collapsing.
   std::printf("\n  [2] fault collapsing (PPSFP, with dropping):\n");
   {
     ParallelFaultSimulator par(nl);
-    const auto t0 = std::chrono::steady_clock::now();
-    par.run(pats, col.universe);
-    const auto t1 = std::chrono::steady_clock::now();
-    par.run(pats, col.representatives);
-    const auto t2 = std::chrono::steady_clock::now();
+    double t_uni = 0, t_col = 0;
+    bench::timed("collapse.universe", &t_uni,
+                 [&] { par.run(pats, col.universe); });
+    bench::timed("collapse.collapsed", &t_col,
+                 [&] { par.run(pats, col.representatives); });
     std::printf("      universe  (%4zu faults) %8.3fs\n", col.universe.size(),
-                secs(t0, t1));
+                t_uni);
     std::printf("      collapsed (%4zu faults) %8.3fs\n",
-                col.representatives.size(), secs(t1, t2));
+                col.representatives.size(), t_col);
   }
 
   // 3. ATPG phases.
@@ -107,6 +101,7 @@ int main(int argc, char** argv) {
               "cov%", "redund", "seconds");
   struct Cfg {
     const char* name;
+    const char* tag;
     AtpgOptions opt;
   };
   AtpgOptions rand_only;
@@ -117,15 +112,16 @@ int main(int argc, char** argv) {
   det_only.backtrack_limit = 5000;
   AtpgOptions hybrid;
   hybrid.backtrack_limit = 5000;
-  for (const Cfg& c : {Cfg{"random only (2048)", rand_only},
-                       Cfg{"PODEM only", det_only},
-                       Cfg{"hybrid (default)", hybrid}}) {
-    const auto t0 = std::chrono::steady_clock::now();
-    const AtpgRun run = run_atpg(nl, col.representatives, c.opt);
-    const auto t1 = std::chrono::steady_clock::now();
+  for (const Cfg& c : {Cfg{"random only (2048)", "atpg.random_only", rand_only},
+                       Cfg{"PODEM only", "atpg.podem_only", det_only},
+                       Cfg{"hybrid (default)", "atpg.hybrid", hybrid}}) {
+    double t = 0;
+    const AtpgRun run = bench::timed(c.tag, &t, [&] {
+      return run_atpg(nl, col.representatives, c.opt);
+    });
     std::printf("      %-22s %8zu %7.1f%% %8zu %8.2fs\n", c.name,
                 run.tests.size(), 100 * run.fault_coverage(),
-                run.redundant.size(), secs(t0, t1));
+                run.redundant.size(), t);
   }
 
   // 4. Compaction.
@@ -135,8 +131,12 @@ int main(int argc, char** argv) {
     with.backtrack_limit = 5000;
     AtpgOptions without = with;
     without.compact = false;
-    const AtpgRun a = run_atpg(nl, col.representatives, with);
-    const AtpgRun b = run_atpg(nl, col.representatives, without);
+    const AtpgRun a = bench::timed("compaction.with", nullptr, [&] {
+      return run_atpg(nl, col.representatives, with);
+    });
+    const AtpgRun b = bench::timed("compaction.without", nullptr, [&] {
+      return run_atpg(nl, col.representatives, without);
+    });
     std::printf("      compacted   : %zu tests (coverage %.1f%%)\n",
                 a.tests.size(), 100 * a.fault_coverage());
     std::printf("      uncompacted : %zu tests (coverage %.1f%%)\n",
@@ -150,5 +150,9 @@ int main(int argc, char** argv) {
       "  redundancy-heavy logic the deterministic phases are dominated by\n"
       "  redundancy proofs (which only PODEM can deliver); compaction\n"
       "  shrinks the set at unchanged coverage.\n");
+  if (!bench::emit_report(args, "bench_ablation_engines",
+                          {{"gates", "600"}, {"patterns", "256"}})) {
+    return 1;
+  }
   return 0;
 }

@@ -10,55 +10,27 @@
 // fault-partitioned ThreadedFaultSimulator with N workers (0 = hardware
 // concurrency) and reports the speedup over the single-threaded engine;
 // the constant K shrinks with cores, the exponent does not.
-#include <chrono>
-#include <cmath>
+// `--json <file>` writes the dft-obs-report document with every section
+// time ("bench.atpg.<gates>", ...), the engine phase timers, and the
+// fitted exponents as values.
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "atpg/engine.h"
+#include "bench_util.h"
 #include "circuits/random_circuit.h"
 #include "fault/fault_sim.h"
 #include "fault/threaded_fault_sim.h"
 
 using namespace dft;
 
-namespace {
-
-double seconds(std::chrono::steady_clock::time_point a,
-               std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double>(b - a).count();
-}
-
-double fit_slope(const std::vector<double>& x, const std::vector<double>& y) {
-  // Least-squares slope of log(y) vs log(x).
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
-  const double n = static_cast<double>(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double lx = std::log(x[i]);
-    const double ly = std::log(y[i]);
-    sx += lx;
-    sy += ly;
-    sxx += lx * lx;
-    sxy += lx * ly;
-  }
-  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  int threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
-      return 2;
-    }
-  }
+  const bench::BenchArgs args = bench::parse_args(argc, argv, 1);
+  if (args.status >= 0) return args.status;
+  const int threads = args.threads;
   const bool threaded = threads != 1;
 
   std::printf("Eq. (1) -- T = K*N^e scaling of ATPG and fault simulation\n\n");
@@ -80,14 +52,15 @@ int main(int argc, char** argv) {
     spec.seed = 1234 + static_cast<std::uint64_t>(gates);
     const Netlist nl = make_random_combinational(spec);
     const auto faults = collapse_faults(nl).representatives;
+    const std::string tag = std::to_string(gates);
 
-    const auto a0 = std::chrono::steady_clock::now();
     AtpgOptions opt;
     opt.random_patterns = 256;
     opt.backtrack_limit = 400;
     opt.threads = threads;
-    const AtpgRun run = run_atpg(nl, faults, opt);
-    const auto a1 = std::chrono::steady_clock::now();
+    double atpg_s = 0;
+    const AtpgRun run = bench::timed("atpg." + tag, &atpg_s,
+                                     [&] { return run_atpg(nl, faults, opt); });
 
     // Fault simulation alone: 256 random patterns, no dropping (the paper's
     // "3001 good machine simulations" picture).
@@ -95,24 +68,27 @@ int main(int argc, char** argv) {
     std::vector<SourceVector> pats;
     for (int i = 0; i < 256; ++i) pats.push_back(random_source_vector(nl, rng));
     ParallelFaultSimulator fsim(nl);
-    const auto f0 = std::chrono::steady_clock::now();
-    const auto r1 = fsim.run(pats, faults, /*drop_detected=*/false);
-    const auto f1 = std::chrono::steady_clock::now();
+    double fsim_s = 0;
+    const auto r1 =
+        bench::timed("fault_sim." + tag, &fsim_s,
+                     [&] { return fsim.run(pats, faults, false); });
 
     sizes.push_back(gates);
-    t_atpg.push_back(std::max(1e-6, seconds(a0, a1)));
-    t_fsim.push_back(std::max(1e-6, seconds(f0, f1)));
+    t_atpg.push_back(std::max(1e-6, atpg_s));
+    t_fsim.push_back(std::max(1e-6, fsim_s));
+    bench::report_value("coverage." + tag, run.fault_coverage());
     if (threaded) {
       ThreadedFaultSimulator tsim(nl, threads);
-      const auto m0 = std::chrono::steady_clock::now();
-      const auto rt = tsim.run(pats, faults, /*drop_detected=*/false);
-      const auto m1 = std::chrono::steady_clock::now();
+      double mt_s = 0;
+      const auto rt =
+          bench::timed("fault_sim_mt." + tag, &mt_s,
+                       [&] { return tsim.run(pats, faults, false); });
       if (rt.first_detected_by != r1.first_detected_by) {
         std::fprintf(stderr, "ERROR: threaded result diverged at %d gates\n",
                      gates);
         return 1;
       }
-      const double tm = std::max(1e-6, seconds(m0, m1));
+      const double tm = std::max(1e-6, mt_s);
       std::printf("  %6d  %8zu  %10.4f  %12.4f  %12.4f  %7.2fx  %9.1f%%\n",
                   gates, faults.size(), t_atpg.back(), t_fsim.back(), tm,
                   t_fsim.back() / tm, 100 * run.fault_coverage());
@@ -123,13 +99,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  const double e_atpg = bench::fit_slope(sizes, t_atpg);
+  const double e_fsim = bench::fit_slope(sizes, t_fsim);
+  bench::report_value("exponent.atpg", e_atpg);
+  bench::report_value("exponent.fault_sim", e_fsim);
   std::printf("\n  fitted exponents (log-log slope):\n");
   std::printf("    ATPG + fault sim : %.2f   (paper: ~3, some analyses ~2)\n",
-              fit_slope(sizes, t_atpg));
-  std::printf("    fault sim alone  : %.2f   (paper: ~2)\n",
-              fit_slope(sizes, t_fsim));
+              e_atpg);
+  std::printf("    fault sim alone  : %.2f   (paper: ~2)\n", e_fsim);
   std::printf(
       "\n  shape check: superlinear growth in both; small increases in gate\n"
       "  count yield quickly increasing run times.\n");
+  if (!bench::emit_report(args, "bench_eq01_scaling",
+                          {{"sizes", "100,200,400,800"},
+                           {"patterns", "256"}})) {
+    return 1;
+  }
   return 0;
 }

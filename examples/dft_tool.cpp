@@ -7,11 +7,22 @@
 //                                          full ATPG run + test vectors;
 //                                          N fault-sim workers (0 = all
 //                                          hardware threads, default 1)
+//   dft_tool bist    <file.bench> [--patterns N] [--threads N]
+//                                          pseudo-random self-test: LFSR
+//                                          PRPG patterns, signature-register
+//                                          response compaction, fault-sim
+//                                          coverage grading
 //   dft_tool scan    <file.bench> [chains] LSSD insertion, writes result
 //   dft_tool lint    <file.bench> [--json] [--scan-first]
 //                                          design-rule check; exits 1 on any
 //                                          error-severity violation
 //   dft_tool export  <name> <out.bench>    dump a built-in circuit
+//
+// Observability flags, accepted by every command:
+//   --stats               print the dft::obs metrics table after the run
+//   --report-json <file>  write the versioned machine-readable run report
+//   --trace-json <file>   write a Chrome trace_event JSON (chrome://tracing)
+// DFT_OBS=0 in the environment disables all metric recording.
 //
 // Every command that reads a .bench file also accepts a built-in circuit
 // name: c17, adder4, adder8, mult3, dec3, parity8, mux3, cmp4, sn74181,
@@ -19,18 +30,26 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "atpg/engine.h"
 #include "circuits/basic.h"
 #include "circuits/sequential.h"
 #include "circuits/sn74181.h"
 #include "fault/fault.h"
+#include "fault/threaded_fault_sim.h"
+#include "lfsr/lfsr.h"
 #include "lint/engine.h"
 #include "measure/scoap.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "scan/scan_insert.h"
+#include "sim/comb_sim.h"
 
 using namespace dft;
 
@@ -40,8 +59,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: dft_tool {stats|scoap|faults|atpg|scan} <file.bench> "
                "[arg]\n       dft_tool atpg <file.bench> [--threads N]\n"
+               "       dft_tool bist <file.bench> [--patterns N] "
+               "[--threads N]\n"
                "       dft_tool lint <file.bench> [--json] "
-               "[--scan-first]\n       dft_tool export <name> <out.bench>\n");
+               "[--scan-first]\n       dft_tool export <name> <out.bench>\n"
+               "observability (any command): [--stats] "
+               "[--report-json <file>] [--trace-json <file>]\n");
   return 2;
 }
 
@@ -60,114 +83,278 @@ Netlist builtin(const std::string& name) {
   throw std::invalid_argument("unknown built-in circuit: " + name);
 }
 
+// Observability outputs requested on the command line. The flags are
+// extracted before mode dispatch so every mode accepts them uniformly.
+struct ObsFlags {
+  bool stats = false;
+  std::string trace_path;
+  std::string report_path;
+};
+
+bool parse_int(const char* s, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+// Writes the stats table / report JSON / trace JSON as requested. Returns
+// false when a file cannot be written.
+bool emit_obs_outputs(const ObsFlags& flags, const std::string& tool,
+                      const std::map<std::string, std::string>& context) {
+  obs::ReportOptions ropt;
+  ropt.tool = tool;
+  ropt.context = context;
+  const obs::Registry& reg = obs::Registry::global();
+  if (flags.stats) {
+    std::printf("%s", obs::render_report_text(reg, ropt).c_str());
+  }
+  if (!flags.report_path.empty()) {
+    std::ofstream out(flags.report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.report_path.c_str());
+      return false;
+    }
+    out << obs::render_report_json(reg, ropt) << "\n";
+  }
+  if (!flags.trace_path.empty()) {
+    obs::Tracer::global().stop();
+    std::ofstream out(flags.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_path.c_str());
+      return false;
+    }
+    out << obs::Tracer::global().render_chrome_json() << "\n";
+  }
+  return true;
+}
+
+int run_tool(const std::vector<std::string>& args,
+             std::map<std::string, std::string>& context) {
+  const std::string& cmd = args[0];
+  context["command"] = cmd;
+  context["circuit"] = args[1];
+
+  if (cmd == "export") {
+    if (args.size() < 3) return usage();
+    const Netlist nl = builtin(args[1]);
+    std::ofstream out(args[2]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args[2].c_str());
+      return 1;
+    }
+    write_bench(out, nl);
+    std::printf("wrote %s (%zu gates)\n", args[2].c_str(), nl.size());
+    return 0;
+  }
+
+  const Netlist nl = [&] {
+    obs::Phase phase("parse");
+    // Accept either a .bench file or a built-in circuit name.
+    if (std::ifstream probe(args[1]); probe.good()) {
+      return read_bench_file(args[1].c_str());
+    }
+    return builtin(args[1]);
+  }();
+
+  if (cmd == "lint") {
+    bool json = false, scan_first = false;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--json") json = true;
+      else if (args[i] == "--scan-first") scan_first = true;
+      else return usage();
+    }
+    Netlist copy = nl;
+    if (scan_first) insert_scan(copy, ScanStyle::Lssd);
+    obs::Phase phase("lint");
+    const LintReport report = lint_netlist(copy);
+    std::printf("%s", (json ? render_json(copy, report)
+                            : render_text(copy, report)).c_str());
+    if (json) std::printf("\n");
+    return report.passed() ? 0 : 1;
+  }
+  if (cmd == "stats") {
+    const NetlistStats s = compute_stats(nl);
+    std::printf("%s: PI=%d PO=%d FF=%d (scan %d) gates=%d GE=%d depth=%d "
+                "maxfi=%d maxfo=%d\n",
+                args[1].c_str(), s.primary_inputs, s.primary_outputs,
+                s.storage_elements, s.scannable_storage,
+                s.combinational_gates, s.gate_equivalents, s.depth,
+                s.max_fanin, s.max_fanout);
+    return 0;
+  }
+  if (cmd == "scoap") {
+    const std::size_t n = args.size() > 2 ? std::stoul(args[2]) : 10;
+    std::printf("%s", scoap_report(nl, compute_scoap(nl), n).c_str());
+    return 0;
+  }
+  if (cmd == "faults") {
+    const CollapseResult col = collapse_faults(nl);
+    std::printf("fault universe: %zu, collapsed: %zu (%.1f%%), "
+                "checkpoints: %zu\n",
+                col.universe.size(), col.representatives.size(),
+                100 * col.collapse_ratio(), checkpoint_faults(nl).size());
+    return 0;
+  }
+  if (cmd == "atpg") {
+    AtpgOptions opt;
+    opt.backtrack_limit = 100000;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--threads" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), opt.threads)) return usage();
+      } else {
+        return usage();
+      }
+    }
+    context["threads"] = std::to_string(opt.threads);
+    const auto faults = [&] {
+      obs::Phase phase("collapse");
+      return collapse_faults(nl).representatives;
+    }();
+    const AtpgRun run = run_atpg(nl, faults, opt);
+    std::printf("%zu faults: coverage %.2f%% (test coverage %.2f%%), "
+                "%zu tests, %zu redundant, %zu aborted "
+                "(backtrack limit %d)\n",
+                faults.size(), 100 * run.fault_coverage(),
+                100 * run.test_coverage(), run.tests.size(),
+                run.redundant.size(), run.aborted.size(),
+                run.backtrack_limit);
+    for (const auto& t : run.tests) {
+      std::string s;
+      for (Logic l : t) s += to_char(l);
+      std::printf("  %s\n", s.c_str());
+    }
+    for (const Fault& f : run.redundant) {
+      std::printf("  redundant: %s\n", fault_name(nl, f).c_str());
+    }
+    return 0;
+  }
+  if (cmd == "bist") {
+    int patterns = 1024, threads = 1;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--patterns" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), patterns) || patterns <= 0) {
+          return usage();
+        }
+      } else if (args[i] == "--threads" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), threads)) return usage();
+      } else {
+        return usage();
+      }
+    }
+    context["threads"] = std::to_string(threads);
+    context["patterns"] = std::to_string(patterns);
+    const auto faults = [&] {
+      obs::Phase phase("collapse");
+      return collapse_faults(nl).representatives;
+    }();
+
+    // PRPG: one maximal LFSR feeding every source serially, exactly like a
+    // pseudo-random scan-BIST session shifting the chain from the generator.
+    const std::size_t nsrc = source_count(nl);
+    std::vector<SourceVector> tests;
+    {
+      obs::Phase phase("bist.prpg");
+      Lfsr prpg = Lfsr::maximal(24, 0x5eed);
+      tests.reserve(static_cast<std::size_t>(patterns));
+      for (int p = 0; p < patterns; ++p) {
+        SourceVector v(nsrc);
+        for (auto& bit : v) bit = to_logic(prpg.step());
+        tests.push_back(std::move(v));
+      }
+    }
+
+    // Good-machine signature: serialize every primary-output response
+    // through a signature analyzer (Fig. 8), as scan-out would.
+    std::uint64_t signature = 0;
+    std::uint64_t signature_updates = 0;
+    {
+      obs::Phase phase("bist.signature");
+      CombSim sim(nl);
+      SignatureAnalyzer sa(32);
+      for (const SourceVector& v : tests) {
+        std::size_t k = 0;
+        for (GateId g : nl.inputs()) sim.set_value(g, v[k++]);
+        for (GateId g : nl.storage()) sim.set_value(g, v[k++]);
+        sim.evaluate();
+        for (GateId po : nl.outputs()) {
+          sa.shift(sim.value(po) == Logic::One);
+          ++signature_updates;
+        }
+      }
+      signature = sa.signature();
+    }
+
+    // Coverage grading of the pseudo-random pattern set.
+    const FaultSimResult sim_result = [&] {
+      obs::Phase phase("bist.fault_sim");
+      const auto fsim = make_fault_sim_engine(nl, threads);
+      return fsim->run(tests, faults);
+    }();
+
+    if (obs::enabled()) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("bist.prpg.patterns_applied")
+          .add(static_cast<std::uint64_t>(patterns));
+      reg.counter("bist.prpg.signature_updates").add(signature_updates);
+    }
+    std::printf("%d pseudo-random patterns over %zu sources, signature "
+                "%016llx (%llu updates)\n",
+                patterns, nsrc,
+                static_cast<unsigned long long>(signature),
+                static_cast<unsigned long long>(signature_updates));
+    std::printf("%zu faults: coverage %.2f%% (%d detected)\n",
+                faults.size(), 100 * sim_result.coverage(),
+                sim_result.num_detected);
+    return 0;
+  }
+  if (cmd == "scan") {
+    Netlist copy = nl;
+    const int chains = args.size() > 2 ? std::atoi(args[2].c_str()) : 1;
+    const ScanInsertionResult res =
+        insert_scan(copy, ScanStyle::Lssd, chains);
+    std::printf("converted %d flops into %zu chain(s); overhead %.1f%%, "
+                "+%d pins\n",
+                res.converted_flops, res.chains.size(),
+                100 * res.overhead_fraction(), res.extra_pins);
+    std::printf("%s", write_bench_string(copy).c_str());
+    return 0;
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
-  try {
-    if (cmd == "export") {
-      if (argc < 4) return usage();
-      const Netlist nl = builtin(argv[2]);
-      std::ofstream out(argv[3]);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", argv[3]);
-        return 1;
-      }
-      write_bench(out, nl);
-      std::printf("wrote %s (%zu gates)\n", argv[3], nl.size());
-      return 0;
-    }
+  obs::init_from_env();
 
-    const Netlist nl = [&] {
-      // Accept either a .bench file or a built-in circuit name.
-      if (std::ifstream probe(argv[2]); probe.good()) {
-        return read_bench_file(argv[2]);
-      }
-      return builtin(argv[2]);
-    }();
-    if (cmd == "lint") {
-      bool json = false, scan_first = false;
-      for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0) json = true;
-        else if (std::strcmp(argv[i], "--scan-first") == 0) scan_first = true;
-        else return usage();
-      }
-      Netlist copy = nl;
-      if (scan_first) insert_scan(copy, ScanStyle::Lssd);
-      const LintReport report = lint_netlist(copy);
-      std::printf("%s", (json ? render_json(copy, report)
-                              : render_text(copy, report)).c_str());
-      if (json) std::printf("\n");
-      return report.passed() ? 0 : 1;
+  // Pull the observability flags out first: they are orthogonal to the mode.
+  ObsFlags flags;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      flags.stats = true;
+    } else if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
+      flags.report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      flags.trace_path = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
     }
-    if (cmd == "stats") {
-      const NetlistStats s = compute_stats(nl);
-      std::printf("%s: PI=%d PO=%d FF=%d (scan %d) gates=%d GE=%d depth=%d "
-                  "maxfi=%d maxfo=%d\n",
-                  argv[2], s.primary_inputs, s.primary_outputs,
-                  s.storage_elements, s.scannable_storage,
-                  s.combinational_gates, s.gate_equivalents, s.depth,
-                  s.max_fanin, s.max_fanout);
-      return 0;
-    }
-    if (cmd == "scoap") {
-      const std::size_t n = argc > 3 ? std::stoul(argv[3]) : 10;
-      std::printf("%s", scoap_report(nl, compute_scoap(nl), n).c_str());
-      return 0;
-    }
-    if (cmd == "faults") {
-      const CollapseResult col = collapse_faults(nl);
-      std::printf("fault universe: %zu, collapsed: %zu (%.1f%%), "
-                  "checkpoints: %zu\n",
-                  col.universe.size(), col.representatives.size(),
-                  100 * col.collapse_ratio(), checkpoint_faults(nl).size());
-      return 0;
-    }
-    if (cmd == "atpg") {
-      const auto faults = collapse_faults(nl).representatives;
-      AtpgOptions opt;
-      opt.backtrack_limit = 100000;
-      for (int i = 3; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-          char* end = nullptr;
-          opt.threads = static_cast<int>(std::strtol(argv[++i], &end, 10));
-          if (end == argv[i] || *end != '\0') return usage();
-        } else {
-          return usage();
-        }
-      }
-      const AtpgRun run = run_atpg(nl, faults, opt);
-      std::printf("%zu faults: coverage %.2f%% (test coverage %.2f%%), "
-                  "%zu tests, %zu redundant, %zu aborted\n",
-                  faults.size(), 100 * run.fault_coverage(),
-                  100 * run.test_coverage(), run.tests.size(),
-                  run.redundant.size(), run.aborted.size());
-      for (const auto& t : run.tests) {
-        std::string s;
-        for (Logic l : t) s += to_char(l);
-        std::printf("  %s\n", s.c_str());
-      }
-      for (const Fault& f : run.redundant) {
-        std::printf("  redundant: %s\n", fault_name(nl, f).c_str());
-      }
-      return 0;
-    }
-    if (cmd == "scan") {
-      Netlist copy = nl;
-      const int chains = argc > 3 ? std::atoi(argv[3]) : 1;
-      const ScanInsertionResult res =
-          insert_scan(copy, ScanStyle::Lssd, chains);
-      std::printf("converted %d flops into %zu chain(s); overhead %.1f%%, "
-                  "+%d pins\n",
-                  res.converted_flops, res.chains.size(),
-                  100 * res.overhead_fraction(), res.extra_pins);
-      std::printf("%s", write_bench_string(copy).c_str());
-      return 0;
-    }
-    return usage();
+  }
+  if (args.size() < 2) return usage();
+  if (!flags.trace_path.empty()) obs::Tracer::global().start();
+
+  std::map<std::string, std::string> context;
+  int rc;
+  try {
+    rc = run_tool(args, context);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  const std::string tool = "dft_tool " + args[0];
+  if (!emit_obs_outputs(flags, tool, context) && rc == 0) rc = 1;
+  return rc;
 }

@@ -1,0 +1,97 @@
+// report_check -- validates a dft-obs-report JSON document against the
+// checked-in schema (data/obs_report_schema_v1.json) and, optionally,
+// asserts that named counters came out nonzero.
+//
+//   report_check <schema.json> <report.json> [--nonzero-counter NAME]...
+//
+// Exit 0 when the report conforms (and every asserted counter is > 0),
+// 1 otherwise with one diagnostic per problem. CI runs this on a fresh
+// `dft_tool atpg --report-json` output, so any schema drift -- a key
+// added, removed, or renamed without bumping kReportJsonVersion and the
+// schema file together -- fails the build.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: report_check <schema.json> <report.json> "
+                 "[--nonzero-counter NAME]...\n");
+    return 2;
+  }
+  std::vector<std::string> nonzero;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nonzero-counter") == 0 && i + 1 < argc) {
+      nonzero.emplace_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::string schema_text, report_text;
+  if (!read_file(argv[1], schema_text)) {
+    std::fprintf(stderr, "cannot read schema %s\n", argv[1]);
+    return 1;
+  }
+  if (!read_file(argv[2], report_text)) {
+    std::fprintf(stderr, "cannot read report %s\n", argv[2]);
+    return 1;
+  }
+
+  try {
+    const dft::obs::Json schema = dft::obs::parse_json(schema_text);
+    const dft::obs::Json report = dft::obs::parse_json(report_text);
+    std::vector<std::string> problems =
+        dft::obs::validate_report(schema, report);
+
+    const dft::obs::Json* counters = report.find("counters");
+    for (const std::string& name : nonzero) {
+      const dft::obs::Json* c =
+          counters != nullptr && counters->is_object() ? counters->find(name)
+                                                       : nullptr;
+      if (c == nullptr) {
+        problems.push_back("required counter '" + name + "' is absent");
+      } else if (!c->is_number() || c->as_number() <= 0) {
+        problems.push_back("required counter '" + name + "' is zero");
+      }
+    }
+
+    if (problems.empty()) {
+      std::printf("%s: ok (%s, schema version %d)\n", argv[2],
+                  report.find("tool") != nullptr &&
+                          report.find("tool")->is_string()
+                      ? report.find("tool")->as_string().c_str()
+                      : "?",
+                  dft::obs::kReportJsonVersion);
+      return 0;
+    }
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "%s: %s\n", argv[2], p.c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

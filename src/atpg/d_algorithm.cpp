@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace dft {
 
 namespace {
@@ -194,6 +196,7 @@ bool DAlgorithm::propagate_frontier_and_justify(int depth) {
     aborted_ = true;
     return false;
   }
+  ++implications_;
   if (!imply()) return false;
 
   const Logic stuck = fault_.sa1 ? Logic::One : Logic::Zero;
@@ -263,6 +266,7 @@ bool DAlgorithm::propagate_frontier_and_justify(int depth) {
     }
     if (choices.empty()) return false;
     for (const auto& ch : choices) {
+      ++decisions_;
       const std::size_t m = mark();
       bool ok = true;
       for (const auto& [g, v] : ch) {
@@ -338,6 +342,7 @@ bool DAlgorithm::propagate_frontier_and_justify(int depth) {
       alts.push_back({{free, DVal::One}});
     }
     for (const auto& alt : alts) {
+      ++decisions_;
       const std::size_t m = mark();
       bool ok = true;
       for (const auto& [fi, v] : alt) {
@@ -363,6 +368,8 @@ AtpgOutcome DAlgorithm::generate(const Fault& fault) {
   trail_.clear();
   worklist_.clear();
   backtracks_ = 0;
+  decisions_ = 0;
+  implications_ = 0;
   aborted_ = false;
 
   for (GateId g = 0; g < nl_->size(); ++g) {
@@ -387,6 +394,8 @@ AtpgOutcome DAlgorithm::generate(const Fault& fault) {
 
   const bool found = seeded && propagate_frontier_and_justify(0);
   out.backtracks = backtracks_;
+  out.decisions = decisions_;
+  out.implications = implications_;
   if (found) {
     out.status = AtpgStatus::TestFound;
     out.pattern.reserve(nl_->inputs().size() + nl_->storage().size());
@@ -394,6 +403,20 @@ AtpgOutcome DAlgorithm::generate(const Fault& fault) {
     for (GateId g : nl_->storage()) out.pattern.push_back(good_of(values_[g]));
   } else {
     out.status = aborted_ ? AtpgStatus::Aborted : AtpgStatus::Redundant;
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("dalg.calls").add(1);
+    reg.counter("dalg.decisions").add(static_cast<std::uint64_t>(decisions_));
+    reg.counter("dalg.backtracks").add(static_cast<std::uint64_t>(backtracks_));
+    reg.counter("dalg.implications")
+        .add(static_cast<std::uint64_t>(implications_));
+    reg.gauge("dalg.backtrack_limit").set(backtrack_limit_);
+    switch (out.status) {
+      case AtpgStatus::TestFound: reg.counter("dalg.tests_found").add(1); break;
+      case AtpgStatus::Redundant: reg.counter("dalg.redundant").add(1); break;
+      case AtpgStatus::Aborted: reg.counter("dalg.aborted").add(1); break;
+    }
   }
   return out;
 }

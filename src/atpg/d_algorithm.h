@@ -42,6 +42,8 @@ class DAlgorithm {
   const Netlist* nl_;
   int backtrack_limit_;
   int backtracks_ = 0;
+  int decisions_ = 0;
+  int implications_ = 0;
   bool aborted_ = false;
   Fault fault_{};
   std::vector<DVal> values_;

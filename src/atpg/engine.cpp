@@ -5,19 +5,23 @@
 #include "atpg/compact.h"
 #include "atpg/random_tpg.h"
 #include "fault/threaded_fault_sim.h"
+#include "obs/trace.h"
 
 namespace dft {
 
 AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
                  const AtpgOptions& options) {
+  obs::TraceSpan atpg_span("atpg", "atpg");
   AtpgRun run;
   run.num_faults = static_cast<int>(faults.size());
+  run.backtrack_limit = options.backtrack_limit;
   std::mt19937_64 rng(options.seed ^ 0x9e3779b97f4a7c15ull);
 
   // Phase 1: (weighted) random patterns with fault dropping.
   std::vector<char> detected(faults.size(), 0);
   std::vector<SourceVector> random_tests;
   if (options.random_patterns > 0) {
+    obs::Phase phase("atpg.random");
     RandomTpgOptions ropt;
     ropt.max_patterns = options.random_patterns;
     ropt.stall_blocks = options.random_stall_blocks;
@@ -36,11 +40,15 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
   Podem podem(nl, options.backtrack_limit);
   const auto fsim = make_fault_sim_engine(nl, options.threads);
   std::vector<SourceVector> cubes;
+  {
+  obs::Phase deterministic_phase("atpg.deterministic");
   for (std::size_t fi = 0; fi < faults.size() && options.deterministic_phase;
        ++fi) {
     if (detected[fi]) continue;
     const AtpgOutcome out = podem.generate(faults[fi]);
     run.total_backtracks += out.backtracks;
+    run.total_decisions += out.decisions;
+    run.total_implications += out.implications;
     switch (out.status) {
       case AtpgStatus::Redundant:
         run.redundant.push_back(faults[fi]);
@@ -75,18 +83,23 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
       }
     }
   }
+  }
 
   // Phase 3: compaction and final verification fault simulation.
-  if (options.compact) cubes = merge_compatible(std::move(cubes));
-  run.tests = std::move(random_tests);
-  for (auto& c : cubes) {
-    random_fill(c, rng);
-    run.tests.push_back(std::move(c));
-  }
-  if (options.compact && !run.tests.empty()) {
-    run.tests = drop_redundant_patterns(nl, faults, run.tests);
+  {
+    obs::Phase compact_phase("atpg.compact");
+    if (options.compact) cubes = merge_compatible(std::move(cubes));
+    run.tests = std::move(random_tests);
+    for (auto& c : cubes) {
+      random_fill(c, rng);
+      run.tests.push_back(std::move(c));
+    }
+    if (options.compact && !run.tests.empty()) {
+      run.tests = drop_redundant_patterns(nl, faults, run.tests);
+    }
   }
 
+  obs::Phase final_sim_phase("atpg.final_sim");
   const FaultSimResult final_sim = fsim->run(run.tests, faults);
   run.detected = final_sim.num_detected;
   return run;

@@ -40,6 +40,12 @@ struct AtpgRun {
   int random_phase_detected = 0;
   int deterministic_detected = 0;
   long long total_backtracks = 0;
+  // The limit the aborted faults gave up at (echo of
+  // AtpgOptions::backtrack_limit): an abort is a budget decision, not a
+  // property of the fault, so the report must say what the budget was.
+  int backtrack_limit = 0;
+  long long total_decisions = 0;
+  long long total_implications = 0;
 
   // detected / all faults.
   double fault_coverage() const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace dft {
 
 namespace {
@@ -325,16 +327,45 @@ bool Podem::backtrace(GateId net, Logic value, std::size_t& source_index,
   return false;
 }
 
+namespace {
+
+// One bulk registry flush per generate() call; the search loop itself only
+// touches the outcome's plain counters.
+void flush_podem_obs(const AtpgOutcome& out) {
+  if (!obs::enabled()) return;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("podem.calls").add(1);
+  reg.counter("podem.decisions").add(static_cast<std::uint64_t>(out.decisions));
+  reg.counter("podem.backtracks")
+      .add(static_cast<std::uint64_t>(out.backtracks));
+  reg.counter("podem.implications")
+      .add(static_cast<std::uint64_t>(out.implications));
+  switch (out.status) {
+    case AtpgStatus::TestFound: reg.counter("podem.tests_found").add(1); break;
+    case AtpgStatus::Redundant: reg.counter("podem.redundant").add(1); break;
+    case AtpgStatus::Aborted: reg.counter("podem.aborted").add(1); break;
+  }
+}
+
+}  // namespace
+
 AtpgOutcome Podem::generate(const Fault& fault) {
   std::fill(assignment_.begin(), assignment_.end(), Logic::X);
   std::vector<Decision> stack;
   AtpgOutcome out;
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .gauge("podem.backtrack_limit")
+        .set(backtrack_limit_);
+  }
 
   for (;;) {
     simulate(fault);
+    ++out.implications;
     if (fault_detected(fault)) {
       out.status = AtpgStatus::TestFound;
       out.pattern = assignment_;
+      flush_podem_obs(out);
       return out;
     }
     bool need_backtrack = excitation_impossible(fault);
@@ -349,6 +380,7 @@ AtpgOutcome Podem::generate(const Fault& fault) {
       if (backtrace(net, value, si, one)) {
         stack.push_back({si, false});
         assignment_[si] = one ? Logic::One : Logic::Zero;
+        ++out.decisions;
         continue;
       }
       need_backtrack = true;
@@ -357,6 +389,7 @@ AtpgOutcome Podem::generate(const Fault& fault) {
     for (;;) {
       if (stack.empty()) {
         out.status = AtpgStatus::Redundant;
+        flush_podem_obs(out);
         return out;
       }
       Decision& d = stack.back();
@@ -367,6 +400,7 @@ AtpgOutcome Podem::generate(const Fault& fault) {
                                                       : Logic::One;
         if (++out.backtracks > backtrack_limit_) {
           out.status = AtpgStatus::Aborted;
+          flush_podem_obs(out);
           return out;
         }
         break;

@@ -28,6 +28,8 @@ struct AtpgOutcome {
   // Test cube over sources (inputs then storage); unassigned entries are X.
   SourceVector pattern;
   int backtracks = 0;
+  int decisions = 0;     // source assignments tried (search-tree nodes)
+  int implications = 0;  // forward implication passes (simulations)
 };
 
 class Podem {

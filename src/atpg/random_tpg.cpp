@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fault/threaded_fault_sim.h"
+#include "obs/obs.h"
 
 namespace dft {
 
@@ -94,6 +95,15 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
       if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
     }
     alive = std::move(next_alive);
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("random_tpg.runs").add(1);
+    reg.counter("random_tpg.patterns_tried")
+        .add(static_cast<std::uint64_t>(res.patterns_tried));
+    reg.counter("random_tpg.patterns_kept").add(res.kept_patterns.size());
+    reg.counter("random_tpg.detections")
+        .add(static_cast<std::uint64_t>(res.num_detected));
   }
   return res;
 }

@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "sim/thread_pool.h"
 
 namespace dft {
@@ -118,6 +119,21 @@ BilboBist::Session BilboBist::run(int patterns_per_phase, int faulty_cln,
   }
   s.signature_cln2 = r1.state();
   s.scan_bits += w1_;
+  // Session-granularity flush: one run() is a full two-phase BIST session,
+  // so a handful of atomic adds here is invisible next to the 2 x
+  // patterns_per_phase network evaluations above. Never count inside
+  // BilboRegister::clock -- that is the per-cycle hot path.
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("bist.bilbo.sessions").add(1);
+    reg.counter("bist.bilbo.patterns_applied")
+        .add(static_cast<std::uint64_t>(s.patterns));
+    // Each applied pattern clocks exactly one MISR in its phase.
+    reg.counter("bist.bilbo.signature_updates")
+        .add(static_cast<std::uint64_t>(s.patterns));
+    reg.counter("bist.bilbo.scan_bits")
+        .add(static_cast<std::uint64_t>(s.scan_bits));
+  }
   return s;
 }
 
@@ -160,6 +176,12 @@ double BilboBist::signature_coverage(int which_cln,
   }
   int n = 0;
   for (char c : caught) n += c;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("bist.bilbo.faults_graded").add(faults.size());
+    reg.counter("bist.bilbo.faults_caught")
+        .add(static_cast<std::uint64_t>(n));
+  }
   return static_cast<double>(n) / static_cast<double>(faults.size());
 }
 

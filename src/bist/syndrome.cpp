@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "sim/parallel_sim.h"
 #include "sim/thread_pool.h"
 
@@ -119,6 +120,14 @@ SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
     } else {
       res.untestable.push_back(faults[i]);
     }
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("bist.syndrome.analyses").add(1);
+    reg.counter("bist.syndrome.faults_graded").add(faults.size());
+    // Every grade is one exhaustive 2^n sweep of the network.
+    reg.counter("bist.syndrome.patterns_applied")
+        .add((faults.size() + 1) << nl.inputs().size());
   }
   return res;
 }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace dft {
 
 std::size_t source_count(const Netlist& nl) {
@@ -101,8 +103,10 @@ FaultSimResult SerialFaultSimulator::run(
   validate_patterns(*nl_, patterns, /*require_binary=*/false);
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
+  std::uint64_t pairs = 0;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
     for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+      ++pairs;
       if (detects(patterns[pi], faults[fi])) {
         if (res.first_detected_by[fi] < 0) {
           res.first_detected_by[fi] = static_cast<int>(pi);
@@ -114,6 +118,13 @@ FaultSimResult SerialFaultSimulator::run(
         if (drop_detected) break;
       }
     }
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("fault_sim.serial.runs").add(1);
+    reg.counter("fault_sim.serial.pairs_simulated").add(pairs);
+    reg.counter("fault_sim.serial.detections")
+        .add(static_cast<std::uint64_t>(res.num_detected));
   }
   return res;
 }
@@ -213,6 +224,13 @@ FaultSimResult ParallelFaultSimulator::run(
   std::vector<std::size_t> alive(faults.size());
   for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
 
+  // Local tallies flushed once at the end: this run() executes on worker
+  // threads under ThreadedFaultSimulator, so the loop must not touch
+  // shared counters.
+  std::uint64_t blocks = 0;
+  std::uint64_t faults_simulated = 0;
+  std::uint64_t faults_dropped = 0;
+
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const std::size_t blk = std::min<std::size_t>(64, patterns.size() - base);
     for (std::size_t s = 0; s < ns; ++s) {
@@ -228,6 +246,8 @@ FaultSimResult ParallelFaultSimulator::run(
     const std::uint64_t valid =
         blk == 64 ? ~0ull : ((1ull << blk) - 1);
 
+    ++blocks;
+    faults_simulated += alive.size();
     std::vector<std::size_t> still_alive;
     still_alive.reserve(alive.size());
     for (std::size_t fi : alive) {
@@ -238,9 +258,19 @@ FaultSimResult ParallelFaultSimulator::run(
         ++res.num_detected;
       }
       if (det == 0 || !drop_detected) still_alive.push_back(fi);
+      else ++faults_dropped;
     }
     alive = std::move(still_alive);
     if (alive.empty()) break;
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("fault_sim.ppsfp.runs").add(1);
+    reg.counter("fault_sim.ppsfp.pattern_blocks").add(blocks);
+    reg.counter("fault_sim.ppsfp.faults_simulated").add(faults_simulated);
+    reg.counter("fault_sim.ppsfp.faults_dropped").add(faults_dropped);
+    reg.counter("fault_sim.ppsfp.detections")
+        .add(static_cast<std::uint64_t>(res.num_detected));
   }
   return res;
 }

@@ -2,6 +2,9 @@
 
 #include <exception>
 #include <mutex>
+#include <string>
+
+#include "obs/obs.h"
 
 namespace dft {
 
@@ -46,11 +49,24 @@ FaultSimResult ThreadedFaultSimulator::run(
   std::vector<FaultSimResult> sub(nw);
   std::mutex err_mu;
   std::exception_ptr first_error;
+  const bool observed = obs::enabled();
   for (std::size_t w = 0; w < nw; ++w) {
     if (part[w].empty()) continue;
-    pool_.submit([&, w] {
+    pool_.submit([&, w, observed] {
       try {
-        sub[w] = machines_[w]->run(patterns, part[w], drop_detected);
+        if (observed) {
+          // Per-worker task latency + load, attributable in the run report
+          // (fault_sim.threaded.worker.<w>.*) next to the pool's queue
+          // counters. One registry lookup per task, at task granularity.
+          obs::Registry& reg = obs::Registry::global();
+          const std::string prefix =
+              "fault_sim.threaded.worker." + std::to_string(w);
+          reg.counter(prefix + ".faults").add(part[w].size());
+          obs::ScopedTimer timer(reg.timer(prefix + ".task"));
+          sub[w] = machines_[w]->run(patterns, part[w], drop_detected);
+        } else {
+          sub[w] = machines_[w]->run(patterns, part[w], drop_detected);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);
         if (!first_error) first_error = std::current_exception();
@@ -58,6 +74,13 @@ FaultSimResult ThreadedFaultSimulator::run(
     });
   }
   pool_.wait();
+  if (observed) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("fault_sim.threaded.runs").add(1);
+    reg.gauge("fault_sim.threaded.workers").set(pool_.size());
+    reg.gauge("thread_pool.max_queue_depth")
+        .set_max(static_cast<std::int64_t>(pool_.max_queue_depth()));
+  }
   if (first_error) std::rethrow_exception(first_error);
 
   // Deterministic merge: scatter each worker's slice back by original fault

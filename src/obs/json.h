@@ -1,0 +1,63 @@
+// Minimal JSON document parser.
+//
+// Just enough of RFC 8259 to read back what this toolkit writes -- run
+// reports, lint diagnostics, bench output, the checked-in report schema --
+// so the schema validator (report_check) and the golden tests can compare
+// documents structurally instead of by string. Numbers are stored as
+// double; values outside the exact-double integer range are not needed by
+// any consumer here. Parse errors throw std::invalid_argument with a byte
+// offset.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dft::obs {
+
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  static std::string_view kind_name(Kind k);
+
+  // Typed accessors; throw std::invalid_argument on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+  const std::map<std::string, Json>& as_object() const;
+
+  // Object member lookup: nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+
+  static Json make_null();
+  static Json make_bool(bool b);
+  static Json make_number(double d);
+  static Json make_string(std::string s);
+  static Json make_array(std::vector<Json> a);
+  static Json make_object(std::map<std::string, Json> o);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+// Parses one JSON document; trailing non-whitespace is an error.
+Json parse_json(std::string_view text);
+
+}  // namespace dft::obs

@@ -1,0 +1,316 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#elif defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dft::obs {
+
+namespace {
+
+void json_escape(const std::string& s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void json_string(const std::string& s, std::string& out) {
+  out += '"';
+  json_escape(s, out);
+  out += '"';
+}
+
+void append_u64(std::uint64_t v, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::int64_t v, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_double(double v, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+}  // namespace
+
+long long peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#ifdef __APPLE__
+  return static_cast<long long>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<long long>(ru.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string render_report_json(const Registry& reg, const ReportOptions& opt) {
+  std::string out = "{\"schema\":\"dft-obs-report\",\"version\":";
+  append_i64(kReportJsonVersion, out);
+  out += ",\"tool\":";
+  json_string(opt.tool, out);
+
+  out += ",\"context\":{";
+  bool first = true;
+  for (const auto& [k, v] : opt.context) {
+    if (!first) out += ',';
+    first = false;
+    json_string(k, out);
+    out += ':';
+    json_string(v, out);
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [k, v] : reg.counters()) {
+    if (!first) out += ',';
+    first = false;
+    json_string(k, out);
+    out += ':';
+    append_u64(v, out);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : reg.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    json_string(k, out);
+    out += ':';
+    append_i64(v, out);
+  }
+  out += "},\"values\":{";
+  first = true;
+  for (const auto& [k, v] : reg.values()) {
+    if (!first) out += ',';
+    first = false;
+    json_string(k, out);
+    out += ':';
+    append_double(v, out);
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [k, t] : reg.timers()) {
+    if (!first) out += ',';
+    first = false;
+    json_string(k, out);
+    out += ":{\"count\":";
+    append_u64(t.count, out);
+    out += ",\"total_us\":";
+    append_u64(t.total_us, out);
+    out += ",\"min_us\":";
+    append_u64(t.min_us, out);
+    out += ",\"max_us\":";
+    append_u64(t.max_us, out);
+    out += ",\"mean_us\":";
+    append_double(t.mean_us, out);
+    out += '}';
+  }
+  out += "},\"peak_rss_bytes\":";
+  append_i64(peak_rss_bytes(), out);
+  out += '}';
+  return out;
+}
+
+std::string render_report_text(const Registry& reg, const ReportOptions& opt) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "== run report: %s ==\n", opt.tool.c_str());
+  out += buf;
+  for (const auto& [k, v] : opt.context) {
+    std::snprintf(buf, sizeof buf, "  %-34s %s\n", k.c_str(), v.c_str());
+    out += buf;
+  }
+  const auto counters = reg.counters();
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [k, v] : counters) {
+      std::snprintf(buf, sizeof buf, "  %-34s %llu\n", k.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    }
+  }
+  const auto gauges = reg.gauges();
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [k, v] : gauges) {
+      std::snprintf(buf, sizeof buf, "  %-34s %lld\n", k.c_str(),
+                    static_cast<long long>(v));
+      out += buf;
+    }
+  }
+  const auto values = reg.values();
+  if (!values.empty()) {
+    out += "values:\n";
+    for (const auto& [k, v] : values) {
+      std::snprintf(buf, sizeof buf, "  %-34s %.6g\n", k.c_str(), v);
+      out += buf;
+    }
+  }
+  const auto timers = reg.timers();
+  if (!timers.empty()) {
+    out += "timers (us):\n";
+    std::snprintf(buf, sizeof buf, "  %-34s %10s %12s %10s %10s %10s\n",
+                  "name", "count", "total", "min", "max", "mean");
+    out += buf;
+    for (const auto& [k, t] : timers) {
+      std::snprintf(buf, sizeof buf,
+                    "  %-34s %10llu %12llu %10llu %10llu %10.1f\n", k.c_str(),
+                    static_cast<unsigned long long>(t.count),
+                    static_cast<unsigned long long>(t.total_us),
+                    static_cast<unsigned long long>(t.min_us),
+                    static_cast<unsigned long long>(t.max_us), t.mean_us);
+      out += buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "peak rss: %.1f MiB\n",
+                static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+  out += buf;
+  return out;
+}
+
+namespace {
+
+bool type_matches(const Json& v, const std::string& type_name) {
+  if (type_name == "string") return v.is_string();
+  if (type_name == "number") return v.is_number();
+  if (type_name == "object") return v.is_object();
+  if (type_name == "array") return v.is_array();
+  if (type_name == "bool") return v.is_bool();
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_report(const Json& schema,
+                                         const Json& report) {
+  std::vector<std::string> problems;
+  if (!report.is_object()) {
+    problems.push_back("report is not a JSON object");
+    return problems;
+  }
+  const Json* required = schema.find("required");
+  if (required == nullptr || !required->is_object()) {
+    problems.push_back("schema has no 'required' object");
+    return problems;
+  }
+
+  // 1. Every required top-level key present with the right type.
+  for (const auto& [key, type_j] : required->as_object()) {
+    const Json* v = report.find(key);
+    if (v == nullptr) {
+      problems.push_back("missing required key '" + key + "'");
+      continue;
+    }
+    const std::string& want = type_j.as_string();
+    if (!type_matches(*v, want)) {
+      problems.push_back("key '" + key + "' is " +
+                         std::string(Json::kind_name(v->kind())) +
+                         ", schema requires " + want);
+    }
+  }
+
+  // 2. No unlisted top-level keys (schema drift in the other direction).
+  const Json* allow_extra = schema.find("allow_extra_keys");
+  if (allow_extra == nullptr || !allow_extra->as_bool()) {
+    for (const auto& [key, v] : report.as_object()) {
+      if (required->find(key) == nullptr) {
+        problems.push_back("unexpected top-level key '" + key +
+                           "' (schema drift: bump the version and update the "
+                           "schema)");
+      }
+    }
+  }
+
+  // 3. Homogeneous sections: every entry has the section's declared type.
+  if (const Json* entry_types = schema.find("entry_types");
+      entry_types != nullptr && entry_types->is_object()) {
+    for (const auto& [section, type_j] : entry_types->as_object()) {
+      const Json* sec = report.find(section);
+      if (sec == nullptr || !sec->is_object()) continue;  // caught above
+      const std::string& want = type_j.as_string();
+      for (const auto& [k, v] : sec->as_object()) {
+        if (!type_matches(v, want)) {
+          problems.push_back("entry '" + section + "." + k + "' is " +
+                             std::string(Json::kind_name(v.kind())) +
+                             ", schema requires " + want);
+        }
+      }
+    }
+  }
+
+  // 4. Per-timer stat keys.
+  if (const Json* timer_required = schema.find("timer_required");
+      timer_required != nullptr && timer_required->is_object()) {
+    if (const Json* timers = report.find("timers");
+        timers != nullptr && timers->is_object()) {
+      for (const auto& [name, stats] : timers->as_object()) {
+        if (!stats.is_object()) continue;  // caught by entry_types
+        for (const auto& [key, type_j] : timer_required->as_object()) {
+          const Json* v = stats.find(key);
+          if (v == nullptr) {
+            problems.push_back("timer '" + name + "' missing stat '" + key +
+                               "'");
+          } else if (!type_matches(*v, type_j.as_string())) {
+            problems.push_back("timer '" + name + "' stat '" + key +
+                               "' has wrong type");
+          }
+        }
+        for (const auto& [key, v] : stats.as_object()) {
+          if (timer_required->find(key) == nullptr) {
+            problems.push_back("timer '" + name + "' has unexpected stat '" +
+                               key + "' (schema drift)");
+          }
+        }
+      }
+    }
+  }
+
+  // 5. Pinned exact values (schema name, version).
+  if (const Json* expect = schema.find("expect");
+      expect != nullptr && expect->is_object()) {
+    for (const auto& [key, want] : expect->as_object()) {
+      const Json* got = report.find(key);
+      if (got == nullptr) continue;  // missing-key problem already recorded
+      bool ok = true;
+      if (want.is_string()) {
+        ok = got->is_string() && got->as_string() == want.as_string();
+      } else if (want.is_number()) {
+        ok = got->is_number() && got->as_number() == want.as_number();
+      }
+      if (!ok) {
+        problems.push_back("key '" + key + "' does not match the pinned "
+                           "schema value");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace dft::obs

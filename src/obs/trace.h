@@ -1,0 +1,109 @@
+// Span tracing exportable as Chrome trace_event JSON.
+//
+// TraceSpan is an RAII "complete" event ("ph":"X"): nested spans on one
+// thread nest in the chrome://tracing / Perfetto UI by ts+dur containment,
+// so the parse -> collapse -> ATPG -> fault-sim -> compaction pipeline reads
+// as a flame graph. Tracing is off unless started explicitly (dft_tool
+// --trace-json, bench --json); an inactive span costs one relaxed load.
+//
+// Phase couples a span with a Registry timer ("phase.<name>") so the run
+// report and the trace always agree on where the time went.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace dft::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   // start, microseconds since Tracer::start()
+  std::uint64_t dur_us = 0;  // duration
+  int tid = 0;               // per-process dense thread id
+};
+
+// Dense id of the calling thread (0 = first thread that asked).
+int current_thread_tid();
+
+// Names the calling thread for traces AND for the OS (pthread_setname_np
+// where available), so TSan/ASan reports and trace rows are attributable.
+// Truncated to 15 characters for the kernel; the trace keeps the full name.
+void set_current_thread_name(const std::string& name);
+
+class Tracer {
+ public:
+  static Tracer& global();
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts recording (clears any previous events, rebases timestamps).
+  void start();
+  void stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  void record(std::string name, std::string category, std::uint64_t ts_us,
+              std::uint64_t dur_us, int tid);
+  void note_thread_name(int tid, const std::string& name);
+
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+
+  // The Chrome trace_event "JSON Object Format": {"traceEvents":[...]},
+  // complete events plus one thread_name metadata event per named thread.
+  // Load via chrome://tracing or https://ui.perfetto.dev.
+  std::string render_chrome_json() const;
+
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+ private:
+  std::atomic<bool> active_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<int, std::string>> thread_names_;
+};
+
+// RAII span on the global tracer. Inert (no clock read, no allocation) when
+// the tracer is inactive at construction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view category = "");
+  ~TraceSpan() { finish(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void finish();  // records now (idempotent)
+
+ private:
+  bool active_;
+  std::string_view name_;
+  std::string_view category_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// A named pipeline phase: Registry timer "phase.<name>" + trace span (in
+// category "phase"). Both sides are skipped when their subsystem is off.
+class Phase {
+ public:
+  explicit Phase(std::string_view name);
+  ~Phase() = default;
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+ private:
+  // Order matters: span_ closes before timer_ records, keeping the span
+  // inside the timed interval.
+  std::unique_ptr<ScopedTimer> timer_;
+  TraceSpan span_;
+};
+
+}  // namespace dft::obs

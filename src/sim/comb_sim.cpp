@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "sim/eval.h"
 
 namespace dft {
@@ -68,6 +69,18 @@ void CombSim::evaluate() {
     Logic out = eval_gate(nl_->type(g), scratch_);
     if (stuck_ && stuck_->gate == g && stuck_->pin < 0) out = stuck_->value;
     values_[g] = out;
+  }
+  // Plain member accumulation: evaluate() runs on worker threads (syndrome
+  // and exhaustive grading give each worker its own CombSim), so touching a
+  // shared atomic here would contend. The totals flush on destruction.
+  ++obs_passes_;
+  obs_gate_evals_ += nl_->topo_order().size();
+}
+
+CombSim::~CombSim() {
+  if (obs::enabled() && obs_passes_ != 0) {
+    obs::Registry::global().counter("sim.comb.passes").add(obs_passes_);
+    obs::Registry::global().counter("sim.comb.gate_evals").add(obs_gate_evals_);
   }
 }
 

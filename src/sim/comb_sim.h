@@ -7,6 +7,7 @@
 // the reference ("serial") fault simulation mechanism of Sec. I-B.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -29,6 +30,10 @@ class CombSim {
   explicit CombSim(const Netlist& nl);
   // The simulator keeps a reference: a temporary netlist would dangle.
   explicit CombSim(Netlist&&) = delete;
+  // Flushes accumulated pass/eval counts to dft::obs ("sim.comb.*").
+  ~CombSim();
+  CombSim(const CombSim&) = default;
+  CombSim& operator=(const CombSim&) = default;
 
   const Netlist& netlist() const { return *nl_; }
 
@@ -58,6 +63,8 @@ class CombSim {
   std::vector<GateId> consts_;
   std::optional<StuckSite> stuck_;
   std::vector<Logic> scratch_;
+  std::uint64_t obs_passes_ = 0;
+  std::uint64_t obs_gate_evals_ = 0;
 };
 
 }  // namespace dft

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "sim/eval.h"
 
 namespace dft {
@@ -22,7 +23,24 @@ void ParallelSim::set_word(GateId source, std::uint64_t w) {
   words_.at(source) = w;
 }
 
-void ParallelSim::evaluate() { evaluate_gates(nl_->topo_order()); }
+void ParallelSim::evaluate() {
+  evaluate_gates(nl_->topo_order());
+  // Full good-machine passes only; per-fault cone resimulations are counted
+  // in bulk by the fault simulator (evaluate_gates is its inner loop).
+  // Plain members, flushed on destruction: each fault-sim worker owns its
+  // ParallelSim, so a shared atomic here would contend across threads.
+  ++obs_passes_;
+  obs_gate_evals_ += nl_->topo_order().size();
+}
+
+ParallelSim::~ParallelSim() {
+  if (obs::enabled() && obs_passes_ != 0) {
+    obs::Registry::global().counter("sim.parallel.passes").add(obs_passes_);
+    obs::Registry::global()
+        .counter("sim.parallel.gate_evals")
+        .add(obs_gate_evals_);
+  }
+}
 
 void ParallelSim::evaluate_gates(std::span<const GateId> gates) {
   for (GateId g : gates) {

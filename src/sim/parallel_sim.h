@@ -22,6 +22,10 @@ class ParallelSim {
   explicit ParallelSim(const Netlist& nl);
   // The simulator keeps a reference: a temporary netlist would dangle.
   explicit ParallelSim(Netlist&&) = delete;
+  // Flushes accumulated pass/eval counts to dft::obs ("sim.parallel.*").
+  ~ParallelSim();
+  ParallelSim(const ParallelSim&) = default;
+  ParallelSim& operator=(const ParallelSim&) = default;
 
   const Netlist& netlist() const { return *nl_; }
 
@@ -56,6 +60,8 @@ class ParallelSim {
   const Netlist* nl_;
   std::vector<std::uint64_t> words_;
   mutable std::vector<std::uint64_t> scratch_;
+  std::uint64_t obs_passes_ = 0;
+  std::uint64_t obs_gate_evals_ = 0;
 };
 
 }  // namespace dft

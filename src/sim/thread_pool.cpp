@@ -1,7 +1,11 @@
 #include "sim/thread_pool.h"
 
 #include <exception>
+#include <string>
 #include <utility>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace dft {
 
@@ -15,7 +19,7 @@ ThreadPool::ThreadPool(int threads) {
   const int n = resolve_thread_count(threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -33,6 +37,13 @@ void ThreadPool::submit(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
     ++unfinished_;
+    ++queued_;
+    if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
+  }
+  if (obs::enabled()) {
+    static obs::Counter& tasks_queued =
+        obs::Registry::global().counter("thread_pool.tasks_queued");
+    tasks_queued.add(1);
   }
   work_cv_.notify_one();
 }
@@ -42,7 +53,25 @@ void ThreadPool::wait() {
   done_cv_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::uint64_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+std::uint64_t ThreadPool::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_queue_depth_;
+}
+
+void ThreadPool::worker_loop(int index) {
+  // Attributable threads: the name shows up in OS thread lists, sanitizer
+  // reports, and trace rows.
+  obs::set_current_thread_name("dft-worker-" + std::to_string(index));
   for (;;) {
     std::function<void()> job;
     {
@@ -56,6 +85,12 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --unfinished_;
+      ++completed_;
+    }
+    if (obs::enabled()) {
+      static obs::Counter& tasks_completed =
+          obs::Registry::global().counter("thread_pool.tasks_completed");
+      tasks_completed.add(1);
     }
     done_cv_.notify_all();
   }

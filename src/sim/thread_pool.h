@@ -6,10 +6,16 @@
 // must not be paid once per 64-pattern block. The pool is deliberately
 // minimal: FIFO jobs, a completion barrier, and a chunked parallel-for that
 // propagates the first worker exception to the caller.
+//
+// Observability: workers are named "dft-worker-<i>" (visible to the OS,
+// TSan/ASan reports, and dft::obs traces), and the pool keeps lifetime
+// queued()/completed() task counters plus a queue-depth high-water mark,
+// mirrored into the global metrics registry ("thread_pool.*").
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -42,16 +48,26 @@ class ThreadPool {
   // Blocks until every job submitted so far has finished.
   void wait();
 
+  // Lifetime task counters: submitted vs finished. queued() - completed()
+  // is the number of tasks waiting or running right now.
+  std::uint64_t queued() const;
+  std::uint64_t completed() const;
+  // Largest number of jobs that were ever waiting in the FIFO at once.
+  std::size_t max_queue_depth() const;
+
  private:
-  void worker_loop();
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::size_t unfinished_ = 0;
   bool stop_ = false;
+  std::uint64_t queued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t max_queue_depth_ = 0;
 };
 
 // Splits [0, n) into pool.size() contiguous chunks, runs
