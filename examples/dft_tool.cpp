@@ -3,11 +3,14 @@
 //   dft_tool stats   <file.bench>          structural summary
 //   dft_tool scoap   <file.bench> [N]      N hardest nets (default 10)
 //   dft_tool faults  <file.bench>          fault universe / collapsing
-//   dft_tool atpg    <file.bench> [--threads N]
+//   dft_tool atpg    <file.bench> [--threads N] [--engine E]
 //                                          full ATPG run + test vectors;
 //                                          N fault-sim workers (0 = all
-//                                          hardware threads, default 1)
-//   dft_tool bist    <file.bench> [--patterns N] [--threads N]
+//                                          hardware threads, default 1);
+//                                          E = serial|ppsfp|deductive|event
+//                                          (default event; every engine
+//                                          gives identical results)
+//   dft_tool bist    <file.bench> [--patterns N] [--threads N] [--engine E]
 //                                          pseudo-random self-test: LFSR
 //                                          PRPG patterns, signature-register
 //                                          response compaction, fault-sim
@@ -58,9 +61,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: dft_tool {stats|scoap|faults|atpg|scan} <file.bench> "
-               "[arg]\n       dft_tool atpg <file.bench> [--threads N]\n"
+               "[arg]\n       dft_tool atpg <file.bench> [--threads N] "
+               "[--engine serial|ppsfp|deductive|event]\n"
                "       dft_tool bist <file.bench> [--patterns N] "
-               "[--threads N]\n"
+               "[--threads N] [--engine E]\n"
                "       dft_tool lint <file.bench> [--json] "
                "[--scan-first]\n       dft_tool export <name> <out.bench>\n"
                "observability (any command): [--stats] "
@@ -203,11 +207,14 @@ int run_tool(const std::vector<std::string>& args,
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--threads" && i + 1 < args.size()) {
         if (!parse_int(args[++i].c_str(), opt.threads)) return usage();
+      } else if (args[i] == "--engine" && i + 1 < args.size()) {
+        opt.engine = args[++i];
       } else {
         return usage();
       }
     }
     context["threads"] = std::to_string(opt.threads);
+    context["engine"] = opt.engine.empty() ? "event" : opt.engine;
     const auto faults = [&] {
       obs::Phase phase("collapse");
       return collapse_faults(nl).representatives;
@@ -232,6 +239,7 @@ int run_tool(const std::vector<std::string>& args,
   }
   if (cmd == "bist") {
     int patterns = 1024, threads = 1;
+    std::string engine;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--patterns" && i + 1 < args.size()) {
         if (!parse_int(args[++i].c_str(), patterns) || patterns <= 0) {
@@ -239,12 +247,15 @@ int run_tool(const std::vector<std::string>& args,
         }
       } else if (args[i] == "--threads" && i + 1 < args.size()) {
         if (!parse_int(args[++i].c_str(), threads)) return usage();
+      } else if (args[i] == "--engine" && i + 1 < args.size()) {
+        engine = args[++i];
       } else {
         return usage();
       }
     }
     context["threads"] = std::to_string(threads);
     context["patterns"] = std::to_string(patterns);
+    context["engine"] = engine.empty() ? "event" : engine;
     const auto faults = [&] {
       obs::Phase phase("collapse");
       return collapse_faults(nl).representatives;
@@ -289,7 +300,7 @@ int run_tool(const std::vector<std::string>& args,
     // Coverage grading of the pseudo-random pattern set.
     const FaultSimResult sim_result = [&] {
       obs::Phase phase("bist.fault_sim");
-      const auto fsim = make_fault_sim_engine(nl, threads);
+      const auto fsim = make_fault_sim_engine(nl, engine, threads);
       return fsim->run(tests, faults);
     }();
 

@@ -28,6 +28,7 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
     ropt.adaptive = options.adaptive_random;
     ropt.seed = options.seed;
     ropt.threads = options.threads;
+    ropt.engine = options.engine;
     const RandomTpgResult rres = random_tpg(nl, faults, ropt);
     detected = rres.detected;
     run.random_phase_detected = rres.num_detected;
@@ -38,7 +39,7 @@ AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
   // each new cube is fault-simulated (random-filled) against the remaining
   // undetected faults.
   Podem podem(nl, options.backtrack_limit);
-  const auto fsim = make_fault_sim_engine(nl, options.threads);
+  const auto fsim = make_fault_sim_engine(nl, options.engine, options.threads);
   std::vector<SourceVector> cubes;
   {
   obs::Phase deterministic_phase("atpg.deterministic");

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "atpg/podem.h"
@@ -27,6 +28,10 @@ struct AtpgOptions {
   // Fault-simulation workers for grading/dropping (1 = single-threaded,
   // 0 = hardware concurrency). The result is identical at any value.
   int threads = 1;
+  // Fault-simulation engine ("serial", "ppsfp", "deductive", "event"; "" =
+  // the factory default, event). Every engine yields identical results;
+  // this is a speed/ablation knob, echoed into the obs run report.
+  std::string engine;
 };
 
 struct AtpgRun {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault.h"
@@ -27,9 +28,12 @@ struct RandomTpgOptions {
   std::vector<double> weights;
   // Rotate through weight profiles (adaptive/weighted random).
   bool adaptive = false;
-  // Fault-simulation workers for grading (1 = single-threaded PPSFP,
+  // Fault-simulation workers for grading (1 = single-threaded,
   // 0 = hardware concurrency). Results are identical at any value.
   int threads = 1;
+  // Fault-simulation engine name ("" = factory default, event); identical
+  // results for every engine.
+  std::string engine;
 };
 
 struct RandomTpgResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <stdexcept>
 
 #include "obs/obs.h"
@@ -131,12 +132,23 @@ FaultSimResult SerialFaultSimulator::run(
 
 // --- Parallel-pattern single-fault propagation -----------------------------
 
-ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& nl)
+ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& nl,
+                                               FaultSimKernel kernel)
+    : ParallelFaultSimulator(
+          nl, kernel == FaultSimKernel::Event
+                  ? std::make_shared<const CompiledNetlist>(nl)
+                  : std::shared_ptr<const CompiledNetlist>()) {}
+
+ParallelFaultSimulator::ParallelFaultSimulator(
+    const Netlist& nl, std::shared_ptr<const CompiledNetlist> compiled)
     : nl_(&nl),
+      kernel_(compiled ? FaultSimKernel::Event : FaultSimKernel::StaticCone),
       sim_(nl),
       observed_(nl.size(), 0),
       sites_(nl.size()),
-      site_built_(nl.size(), 0) {
+      site_built_(nl.size(), 0),
+      event_(compiled ? std::make_unique<EventSim>(std::move(compiled))
+                      : nullptr) {
   reset_observation_points();
 }
 
@@ -172,6 +184,10 @@ const ParallelFaultSimulator::Site& ParallelFaultSimulator::site_for(GateId g) {
 }
 
 std::uint64_t ParallelFaultSimulator::detect_word(const Fault& f) {
+  return event_ ? detect_word_event(f) : detect_word_static(f);
+}
+
+std::uint64_t ParallelFaultSimulator::detect_word_static(const Fault& f) {
   const GateType t = nl_->type(f.gate);
   const std::uint64_t forced = f.sa1 ? ~0ull : 0ull;
 
@@ -195,16 +211,78 @@ std::uint64_t ParallelFaultSimulator::detect_word(const Fault& f) {
   std::uint64_t detect = 0;
   if (observed_[f.gate]) detect = activation;
 
+  // Walk the static cone in level order, but write (and later restore) only
+  // gates whose word actually differs from the good machine: an unchanged
+  // gate already holds its good value, so skipping the store is both the
+  // cheaper and the identical-result choice. The event kernel goes further
+  // and skips the evaluation too.
   const Site& site = site_for(f.gate);
+  touched_.clear();
   sim_.force_word(f.gate, faulty_site);
-  sim_.evaluate_gates(site.cone);
   for (GateId c : site.cone) {
-    if (observed_[c]) detect |= sim_.word(c) ^ good_[c];
+    const std::uint64_t w = sim_.eval_word(c);
+    if (w == good_[c]) continue;
+    sim_.force_word(c, w);
+    touched_.push_back(c);
+    if (observed_[c]) detect |= w ^ good_[c];
   }
-  // Restore the good-machine values for the touched gates.
   sim_.force_word(f.gate, good_[f.gate]);
-  for (GateId c : site.cone) sim_.force_word(c, good_[c]);
+  for (GateId c : touched_) sim_.force_word(c, good_[c]);
   return detect;
+}
+
+std::uint64_t ParallelFaultSimulator::detect_word_event(const Fault& f) {
+  EventSim& ev = *event_;
+  const GateType t = nl_->type(f.gate);
+  const std::uint64_t forced = f.sa1 ? ~0ull : 0ull;
+
+  if (is_storage(t) && f.pin == kStoragePinD) {
+    const GateId din = nl_->fanin(f.gate)[kStoragePinD];
+    if (!observed_[din]) return 0;
+    return ev.good_word(din) ^ forced;
+  }
+
+  std::uint64_t faulty_site;
+  if (f.pin < 0) {
+    faulty_site = forced;
+  } else {
+    faulty_site = ev.eval_with_forced_pin(f.gate, f.pin, forced);
+  }
+  const std::uint64_t activation = faulty_site ^ ev.good_word(f.gate);
+  if (activation == 0) {
+    ++event_stats_.death_depth[0];
+    return 0;
+  }
+
+  std::uint64_t detect = 0;
+  if (observed_[f.gate]) detect = activation;
+
+  const EventSim::Propagation p =
+      ev.propagate(f.gate, faulty_site, observed_);
+  event_stats_.gates_evaluated += p.gates_evaluated;
+  ++event_stats_.death_depth[std::min(
+      p.death_depth, EventStats::kDeathDepthBuckets - 1)];
+  if (obs::enabled()) {
+    event_stats_.gates_skipped_vs_cone +=
+        static_cone_size(f.gate) - p.gates_evaluated;
+  }
+  return detect | p.detect;
+}
+
+// |static fanout cone| of g (combinational gates past the site itself) --
+// what the static kernel would have evaluated for this fault word. Computed
+// lazily per site and only consulted when observability is on.
+std::size_t ParallelFaultSimulator::static_cone_size(GateId g) {
+  if (cone_sizes_.empty()) cone_sizes_.assign(nl_->size(), -1);
+  std::int32_t& sz = cone_sizes_[g];
+  if (sz < 0) {
+    std::int32_t n = 0;
+    for (GateId c : nl_->fanout_cone(g)) {
+      if (c != g && is_combinational(nl_->type(c))) ++n;
+    }
+    sz = n;
+  }
+  return static_cast<std::size_t>(sz);
 }
 
 FaultSimResult ParallelFaultSimulator::run(
@@ -231,6 +309,11 @@ FaultSimResult ParallelFaultSimulator::run(
   std::uint64_t faults_simulated = 0;
   std::uint64_t faults_dropped = 0;
 
+  // Per-run event-kernel tallies (flushed to obs below, never per fault).
+  event_stats_ = EventStats{};
+  const std::uint64_t scheduled_before =
+      event_ ? event_->events_scheduled() : 0;
+
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const std::size_t blk = std::min<std::size_t>(64, patterns.size() - base);
     for (std::size_t s = 0; s < ns; ++s) {
@@ -239,10 +322,18 @@ FaultSimResult ParallelFaultSimulator::run(
         if (patterns[base + b][s] == Logic::One) w |= 1ull << b;
       }
       const GateId src = s < pis.size() ? pis[s] : ffs[s - pis.size()];
-      sim_.set_word(src, w);
+      if (event_) {
+        event_->set_source_word(src, w);
+      } else {
+        sim_.set_word(src, w);
+      }
     }
-    sim_.evaluate();
-    good_ = sim_.words();
+    if (event_) {
+      event_->evaluate_good();
+    } else {
+      sim_.evaluate();
+      good_ = sim_.words();
+    }
     const std::uint64_t valid =
         blk == 64 ? ~0ull : ((1ull << blk) - 1);
 
@@ -264,6 +355,10 @@ FaultSimResult ParallelFaultSimulator::run(
     if (alive.empty()) break;
   }
   if (obs::enabled()) {
+    // The run-loop counters keep the fault_sim.ppsfp.* names for BOTH
+    // kernels: they describe the shared 64-pattern block algorithm, so
+    // dashboards and the report schema checks stay comparable across
+    // kernels. Kernel-specific counters live under fault_sim.event.*.
     obs::Registry& reg = obs::Registry::global();
     reg.counter("fault_sim.ppsfp.runs").add(1);
     reg.counter("fault_sim.ppsfp.pattern_blocks").add(blocks);
@@ -271,6 +366,30 @@ FaultSimResult ParallelFaultSimulator::run(
     reg.counter("fault_sim.ppsfp.faults_dropped").add(faults_dropped);
     reg.counter("fault_sim.ppsfp.detections")
         .add(static_cast<std::uint64_t>(res.num_detected));
+    if (event_) {
+      reg.counter("fault_sim.event.runs").add(1);
+      reg.counter("fault_sim.event.events_scheduled")
+          .add(event_->events_scheduled() - scheduled_before);
+      reg.counter("fault_sim.event.gates_evaluated")
+          .add(event_stats_.gates_evaluated);
+      reg.counter("fault_sim.event.gates_skipped_vs_cone")
+          .add(event_stats_.gates_skipped_vs_cone);
+      // Frontier-death histogram: bucket d = fault words whose difference
+      // frontier died d levels past the fault site (d=0 includes faults
+      // never activated in the block). Flushed as counters so the whole
+      // run's distribution lands in one report.
+      for (int d = 0; d < EventStats::kDeathDepthBuckets; ++d) {
+        if (event_stats_.death_depth[static_cast<std::size_t>(d)] == 0) {
+          continue;
+        }
+        char name[48];
+        std::snprintf(name, sizeof(name),
+                      "fault_sim.event.death_depth.%02d%s", d,
+                      d == EventStats::kDeathDepthBuckets - 1 ? "_plus" : "");
+        reg.counter(name).add(
+            event_stats_.death_depth[static_cast<std::size_t>(d)]);
+      }
+    }
   }
   return res;
 }

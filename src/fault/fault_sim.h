@@ -7,13 +7,16 @@
 //    with respect to run time, is similar to doing 3001 good machine
 //    simulations."
 //  * ParallelFaultSimulator -- parallel-pattern single-fault propagation
-//    (PPSFP): 64 patterns per word, fault-cone-only resimulation, and fault
-//    dropping. This is the single-threaded workhorse.
+//    (PPSFP): 64 patterns per word with fault dropping, under one of two
+//    propagation kernels (FaultSimKernel): the classic static-cone
+//    resimulation ("ppsfp") or the compiled-netlist event-driven
+//    selective trace ("event"). Identical results; the event kernel only
+//    touches the difference frontier (see sim/event_sim.h).
 //  * DeductiveFaultSimulator (deductive.h) -- Armstrong-style fault-list
 //    propagation, the independent cross-check.
 //  * ThreadedFaultSimulator (threaded_fault_sim.h) -- the fault-partitioned
-//    multi-threaded engine: one PPSFP machine per worker, bit-identical
-//    results at any thread count.
+//    multi-threaded engine: one PPSFP machine per worker (either kernel),
+//    bit-identical results at any thread count.
 //
 // All use the combinational test model: primary inputs and storage outputs
 // are controllable (pseudo primary inputs), primary outputs and storage D
@@ -21,15 +24,19 @@
 // LSSD/Scan Path/RAS provide (Sec. IV).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <string_view>
 #include <vector>
 
 #include "fault/fault.h"
+#include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
 #include "sim/comb_sim.h"
+#include "sim/event_sim.h"
 #include "sim/parallel_sim.h"
 
 namespace dft {
@@ -107,17 +114,37 @@ class SerialFaultSimulator : public FaultSimEngine {
   CombSim bad_;
 };
 
+// Which propagation kernel a PPSFP machine runs on.
+//  * StaticCone -- precomputed per-site fanout cone, re-evaluated per fault
+//    word (the classic path, kept selectable for A/B measurement);
+//  * Event -- compiled-netlist event wheel: only gates whose word actually
+//    changed are evaluated, the walk stops when the difference frontier
+//    dies, and only touched gates are restored.
+// Both kernels produce bit-identical FaultSimResults.
+enum class FaultSimKernel { StaticCone, Event };
+
 class ParallelFaultSimulator : public FaultSimEngine {
  public:
-  explicit ParallelFaultSimulator(const Netlist& nl);
-  explicit ParallelFaultSimulator(Netlist&&) = delete;  // would dangle
+  explicit ParallelFaultSimulator(
+      const Netlist& nl, FaultSimKernel kernel = FaultSimKernel::StaticCone);
+  // Event-kernel machine over a prebuilt compiled snapshot -- the threaded
+  // engine compiles once and shares the (immutable) form across workers.
+  ParallelFaultSimulator(const Netlist& nl,
+                         std::shared_ptr<const CompiledNetlist> compiled);
+  explicit ParallelFaultSimulator(
+      Netlist&&, FaultSimKernel = FaultSimKernel::StaticCone) = delete;
+  ParallelFaultSimulator(Netlist&&,
+                         std::shared_ptr<const CompiledNetlist>) = delete;
 
   // Patterns must be binary (use random_fill for X entries).
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
                      bool drop_detected = true) override;
 
-  std::string_view name() const override { return "ppsfp"; }
+  std::string_view name() const override {
+    return kernel_ == FaultSimKernel::Event ? "event" : "ppsfp";
+  }
+  FaultSimKernel kernel() const { return kernel_; }
 
   // Overrides the observation points. The default is the full-scan view
   // (primary outputs + every storage D net); restricting this models
@@ -131,13 +158,35 @@ class ParallelFaultSimulator : public FaultSimEngine {
   };
   const Site& site_for(GateId g);
   std::uint64_t detect_word(const Fault& f);
+  std::uint64_t detect_word_static(const Fault& f);
+  std::uint64_t detect_word_event(const Fault& f);
+  std::size_t static_cone_size(GateId g);
 
   const Netlist* nl_;
+  FaultSimKernel kernel_;
   ParallelSim sim_;
   std::vector<std::uint64_t> good_;
   std::vector<char> observed_;
   std::vector<Site> sites_;
   std::vector<char> site_built_;
+  std::vector<GateId> touched_;  // static kernel: gates force_word'd per fault
+
+  // Event kernel state (null for StaticCone).
+  std::unique_ptr<EventSim> event_;
+
+  // Per-run event-kernel tallies, flushed to dft::obs once per run() --
+  // nothing per fault touches shared state (this code runs on worker
+  // threads under ThreadedFaultSimulator).
+  struct EventStats {
+    std::uint64_t gates_evaluated = 0;
+    std::uint64_t gates_skipped_vs_cone = 0;
+    // death_depth[d] = faults whose difference frontier died d levels past
+    // the origin (last bucket collects >= kDeathDepthBuckets-1).
+    static constexpr int kDeathDepthBuckets = 16;
+    std::array<std::uint64_t, kDeathDepthBuckets> death_depth{};
+  };
+  EventStats event_stats_;
+  std::vector<std::int32_t> cone_sizes_;  // lazy, obs-only: |static cone|
 };
 
 }  // namespace dft

@@ -2,20 +2,31 @@
 
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 
+#include "fault/deductive.h"
 #include "obs/obs.h"
 
 namespace dft {
 
-ThreadedFaultSimulator::ThreadedFaultSimulator(const Netlist& nl, int threads)
-    : nl_(&nl), pool_(threads) {
+ThreadedFaultSimulator::ThreadedFaultSimulator(const Netlist& nl, int threads,
+                                               FaultSimKernel kernel)
+    : nl_(&nl), kernel_(kernel), pool_(threads) {
   // Warm the netlist's lazily-built caches (fanouts, topo order, levels)
   // while still single-threaded: every worker machine reads them.
   nl.topo_order();
   machines_.reserve(static_cast<std::size_t>(pool_.size()));
+  // One compiled snapshot serves every event-kernel worker: it is immutable
+  // after construction, so concurrent reads need no synchronization.
+  std::shared_ptr<const CompiledNetlist> compiled;
+  if (kernel == FaultSimKernel::Event) {
+    compiled = std::make_shared<const CompiledNetlist>(nl);
+  }
   for (int i = 0; i < pool_.size(); ++i) {
-    machines_.push_back(std::make_unique<ParallelFaultSimulator>(nl));
+    machines_.push_back(
+        compiled ? std::make_unique<ParallelFaultSimulator>(nl, compiled)
+                 : std::make_unique<ParallelFaultSimulator>(nl));
   }
 }
 
@@ -97,9 +108,33 @@ FaultSimResult ThreadedFaultSimulator::run(
 }
 
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
+                                                      int threads,
+                                                      FaultSimKernel kernel) {
+  if (threads == 1) return std::make_unique<ParallelFaultSimulator>(nl, kernel);
+  return std::make_unique<ThreadedFaultSimulator>(nl, threads, kernel);
+}
+
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
+                                                      std::string_view engine,
                                                       int threads) {
-  if (threads == 1) return std::make_unique<ParallelFaultSimulator>(nl);
-  return std::make_unique<ThreadedFaultSimulator>(nl, threads);
+  if (engine.empty() || engine == "event") {
+    return make_fault_sim_engine(nl, threads, FaultSimKernel::Event);
+  }
+  if (engine == "ppsfp") {
+    return make_fault_sim_engine(nl, threads, FaultSimKernel::StaticCone);
+  }
+  if (engine == "serial" || engine == "deductive") {
+    if (threads != 1) {
+      throw std::invalid_argument("engine '" + std::string(engine) +
+                                  "' is single-machine; --threads requires "
+                                  "ppsfp or event");
+    }
+    if (engine == "serial") return std::make_unique<SerialFaultSimulator>(nl);
+    return std::make_unique<DeductiveFaultSimulator>(nl);
+  }
+  throw std::invalid_argument(
+      "unknown fault-sim engine '" + std::string(engine) +
+      "' (expected serial, ppsfp, deductive, or event)");
 }
 
 }  // namespace dft

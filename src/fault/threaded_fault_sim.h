@@ -28,15 +28,24 @@ namespace dft {
 
 class ThreadedFaultSimulator : public FaultSimEngine {
  public:
-  // threads == 0 means one worker per hardware thread.
-  explicit ThreadedFaultSimulator(const Netlist& nl, int threads = 0);
-  explicit ThreadedFaultSimulator(Netlist&&, int = 0) = delete;  // dangle
+  // threads == 0 means one worker per hardware thread. With the Event
+  // kernel the netlist is compiled once and the (immutable) snapshot is
+  // shared by every worker machine.
+  explicit ThreadedFaultSimulator(
+      const Netlist& nl, int threads = 0,
+      FaultSimKernel kernel = FaultSimKernel::StaticCone);
+  explicit ThreadedFaultSimulator(
+      Netlist&&, int = 0, FaultSimKernel = FaultSimKernel::StaticCone) =
+      delete;  // dangle
 
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
                      bool drop_detected = true) override;
 
-  std::string_view name() const override { return "threaded"; }
+  std::string_view name() const override {
+    return kernel_ == FaultSimKernel::Event ? "threaded-event" : "threaded";
+  }
+  FaultSimKernel kernel() const { return kernel_; }
 
   int threads() const { return pool_.size(); }
 
@@ -47,16 +56,32 @@ class ThreadedFaultSimulator : public FaultSimEngine {
 
  private:
   const Netlist* nl_;
+  FaultSimKernel kernel_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<ParallelFaultSimulator>> machines_;
 };
 
-// Engine factory for the hot callers: threads <= 1 yields the plain PPSFP
-// engine (no pool, no synchronization), anything else the threaded one
-// (0 = hardware concurrency). Results are identical either way.
-std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
-                                                      int threads = 1);
+// Engine factory for the hot callers: threads <= 1 yields a single PPSFP
+// machine (no pool, no synchronization), anything else the threaded engine
+// (0 = hardware concurrency). Results are identical either way. The kernel
+// defaults to Event -- the compiled selective-trace path -- which is
+// bit-identical to StaticCone; pass FaultSimKernel::StaticCone for A/B.
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
+    const Netlist& nl, int threads = 1,
+    FaultSimKernel kernel = FaultSimKernel::Event);
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
+    Netlist&&, int = 1, FaultSimKernel = FaultSimKernel::Event) = delete;
+
+// Name-based factory behind dft_tool's --engine flag and the options
+// structs: "serial", "ppsfp", "deductive", "event" (or "" for the default,
+// event). "ppsfp" and "event" honor threads (>1 or 0 wraps the kernel in
+// ThreadedFaultSimulator); "serial" and "deductive" are inherently
+// single-machine and throw std::invalid_argument when threads != 1, like an
+// unknown engine name does.
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
+    const Netlist& nl, std::string_view engine, int threads = 1);
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(Netlist&&,
+                                                      std::string_view,
                                                       int = 1) = delete;
 
 }  // namespace dft

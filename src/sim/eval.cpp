@@ -65,51 +65,6 @@ Logic eval_gate(GateType t, std::span<const Logic> in) {
   return Logic::X;
 }
 
-std::uint64_t eval_gate_word(GateType t, std::span<const std::uint64_t> in) {
-  switch (t) {
-    case GateType::Const0: return 0;
-    case GateType::Const1: return ~0ull;
-    case GateType::Buf:
-    case GateType::Output: return in[0];
-    case GateType::Not: return ~in[0];
-    case GateType::And:
-    case GateType::Nand: {
-      std::uint64_t v = ~0ull;
-      for (std::uint64_t a : in) v &= a;
-      return t == GateType::And ? v : ~v;
-    }
-    case GateType::Or:
-    case GateType::Nor: {
-      std::uint64_t v = 0;
-      for (std::uint64_t a : in) v |= a;
-      return t == GateType::Or ? v : ~v;
-    }
-    case GateType::Xor:
-    case GateType::Xnor: {
-      std::uint64_t v = 0;
-      for (std::uint64_t a : in) v ^= a;
-      return t == GateType::Xor ? v : ~v;
-    }
-    case GateType::Mux:
-      return (in[kMuxPinA] & ~in[kMuxPinSel]) | (in[kMuxPinB] & in[kMuxPinSel]);
-    case GateType::Tristate:
-      return in[kTristatePinData] & in[kTristatePinEnable];
-    case GateType::Bus: {
-      std::uint64_t v = 0;
-      for (std::uint64_t a : in) v |= a;
-      return v;
-    }
-    case GateType::Input:
-    case GateType::Dff:
-    case GateType::ScanDff:
-    case GateType::Srl:
-    case GateType::AddressableLatch:
-      throw std::logic_error(
-          "eval_gate_word called on a non-combinational gate");
-  }
-  return 0;
-}
-
 bool controlling_value(GateType t, Logic& value) {
   switch (t) {
     case GateType::And:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 
 #include "netlist/gate.h"
 #include "netlist/logic.h"
@@ -14,10 +15,81 @@ namespace dft {
 // drivers: all-Z yields Z, agreeing drivers win, conflicts yield X.
 Logic eval_gate(GateType t, std::span<const Logic> in);
 
-// Two-valued, 64-pattern bit-parallel evaluation. Tri-state drivers
-// contribute (data AND enable) and buses OR their drivers (a pull-down bus
-// model), which keeps bus logic meaningful without a third value.
-std::uint64_t eval_gate_word(GateType t, std::span<const std::uint64_t> in);
+namespace detail {
+
+// Two-valued 64-pattern evaluation over an arbitrary pin accessor
+// (at(i) = word of fanin pin i). Both public spellings below instantiate
+// this one switch, so the span-based and CSR-indexed paths can never drift
+// apart. Tri-state drivers contribute (data AND enable) and buses OR their
+// drivers (a pull-down bus model), which keeps bus logic meaningful without
+// a third value.
+template <typename At>
+std::uint64_t eval_word_impl(GateType t, std::size_t n, const At& at) {
+  switch (t) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~0ull;
+    case GateType::Buf:
+    case GateType::Output: return at(0);
+    case GateType::Not: return ~at(0);
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint64_t v = ~0ull;
+      for (std::size_t i = 0; i < n; ++i) v &= at(i);
+      return t == GateType::And ? v : ~v;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v |= at(i);
+      return t == GateType::Or ? v : ~v;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v ^= at(i);
+      return t == GateType::Xor ? v : ~v;
+    }
+    case GateType::Mux: {
+      const std::uint64_t sel = at(kMuxPinSel);
+      return (at(kMuxPinA) & ~sel) | (at(kMuxPinB) & sel);
+    }
+    case GateType::Tristate:
+      return at(kTristatePinData) & at(kTristatePinEnable);
+    case GateType::Bus: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v |= at(i);
+      return v;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::ScanDff:
+    case GateType::Srl:
+    case GateType::AddressableLatch:
+      throw std::logic_error(
+          "eval_gate_word called on a non-combinational gate");
+  }
+  return 0;
+}
+
+}  // namespace detail
+
+// Two-valued, 64-pattern bit-parallel evaluation with the fanin words
+// gathered into a contiguous buffer.
+inline std::uint64_t eval_gate_word(GateType t,
+                                    std::span<const std::uint64_t> in) {
+  return detail::eval_word_impl(t, in.size(),
+                                [&](std::size_t i) { return in[i]; });
+}
+
+// Same evaluation reading fanin words through a flat id array (a CSR fanin
+// span) straight out of the value table -- no gather copy. This is the
+// compiled-netlist inner loop.
+inline std::uint64_t eval_gate_word_ids(GateType t, const GateId* fanin,
+                                        std::size_t n,
+                                        const std::uint64_t* words) {
+  return detail::eval_word_impl(
+      t, n, [&](std::size_t i) { return words[fanin[i]]; });
+}
 
 // Controlling input value for simple gates (AND/NAND/tri-state: 0;
 // OR/NOR/bus: 1). Returns false if the gate has none (parity gates, MUX).

@@ -1,0 +1,84 @@
+// Event-driven selective-trace 64-bit fault propagation (the "event"
+// fault-sim kernel).
+//
+// The static-cone PPSFP path re-evaluates a fault's entire fanout cone per
+// 64-pattern word, but the survey's observability argument (Sec. II) says
+// most fault effects die within a level or two of the fault site. This
+// kernel only ever touches the difference frontier: starting from the
+// faulty site, it schedules the fanouts of gates whose 64-bit word actually
+// changed on a levelized event wheel, evaluates each scheduled gate at most
+// once when its level comes up (by then every fanin is final), and stops
+// the moment no scheduled gate remains -- then restores only the gates it
+// wrote. Levels come from a CompiledNetlist, whose CSR spans also feed the
+// gather-free eval_gate_word_ids inner loop.
+//
+// One EventSim is one single-threaded machine (like ParallelSim); the
+// CompiledNetlist behind it is immutable and may be shared across machines.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/compiled.h"
+
+namespace dft {
+
+class EventSim {
+ public:
+  explicit EventSim(std::shared_ptr<const CompiledNetlist> cn);
+
+  const CompiledNetlist& compiled() const { return *cn_; }
+
+  // Sets 64 pattern bits on a primary input or storage output.
+  void set_source_word(GateId source, std::uint64_t w) {
+    assert(source < words_.size());
+    assert(cn_->type(source) == GateType::Input ||
+           is_storage(cn_->type(source)));
+    words_[source] = w;
+  }
+
+  // Full good-machine pass in compiled (level, id) order; snapshots the
+  // result as the restore baseline for the propagations that follow.
+  void evaluate_good();
+
+  std::uint64_t good_word(GateId g) const {
+    assert(g < good_.size());
+    return good_[g];
+  }
+
+  // Evaluates gate g with input pin `pin` forced to `forced` (the faulty
+  // site of an input-pin stuck fault) without storing the result.
+  std::uint64_t eval_with_forced_pin(GateId g, int pin,
+                                     std::uint64_t forced) const;
+
+  struct Propagation {
+    std::uint64_t detect = 0;  // XOR-vs-good at observed gates, all levels
+    std::uint64_t gates_evaluated = 0;
+    // Levels past the origin the difference frontier survived (0 = died at
+    // the fault site's own fanout).
+    int death_depth = 0;
+  };
+
+  // Forces `faulty` onto `origin` and runs the event wheel. `observed` is
+  // indexed by GateId (1 = observation point). On return every touched word
+  // is restored to the good machine -- the propagation leaves no residue.
+  Propagation propagate(GateId origin, std::uint64_t faulty,
+                        const std::vector<char>& observed);
+
+  // Running totals across propagate() calls, for the caller's obs flush.
+  std::uint64_t events_scheduled() const { return events_scheduled_; }
+
+ private:
+  std::shared_ptr<const CompiledNetlist> cn_;
+  std::vector<std::uint64_t> words_;  // faulty machine; == good_ between calls
+  std::vector<std::uint64_t> good_;
+  std::vector<std::vector<GateId>> wheel_;  // one bucket per level
+  std::vector<std::uint32_t> stamp_;        // dedupe epoch per gate
+  std::uint32_t epoch_ = 0;
+  std::vector<GateId> touched_;
+  std::uint64_t events_scheduled_ = 0;
+};
+
+}  // namespace dft

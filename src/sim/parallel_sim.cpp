@@ -43,12 +43,19 @@ ParallelSim::~ParallelSim() {
 }
 
 void ParallelSim::evaluate_gates(std::span<const GateId> gates) {
+  // Fanin words are read through the id list straight out of the value
+  // table (eval_gate_word_ids) -- no per-gate gather into scratch_.
+  const std::uint64_t* w = words_.data();
   for (GateId g : gates) {
     const auto& fin = nl_->fanin(g);
-    scratch_.clear();
-    for (GateId f : fin) scratch_.push_back(words_[f]);
-    words_[g] = eval_gate_word(nl_->type(g), scratch_);
+    words_[g] = eval_gate_word_ids(nl_->type(g), fin.data(), fin.size(), w);
   }
+}
+
+std::uint64_t ParallelSim::eval_word(GateId g) const {
+  const auto& fin = nl_->fanin(g);
+  return eval_gate_word_ids(nl_->type(g), fin.data(), fin.size(),
+                            words_.data());
 }
 
 std::uint64_t ParallelSim::eval_with_forced_pin(GateId g, int pin,

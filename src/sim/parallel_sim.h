@@ -9,6 +9,7 @@
 // Storage-element outputs are free variables, like primary inputs.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -29,9 +30,15 @@ class ParallelSim {
 
   const Netlist& netlist() const { return *nl_; }
 
-  // Sets 64 pattern bits on a primary input or storage output.
+  // Sets 64 pattern bits on a primary input or storage output. This is the
+  // public setter boundary and stays range-checked; the readers and the
+  // fault-simulator force/restore path below are asserted instead -- they
+  // run per gate per fault word, and their ids come from the netlist itself.
   void set_word(GateId source, std::uint64_t w);
-  std::uint64_t word(GateId g) const { return words_.at(g); }
+  std::uint64_t word(GateId g) const {
+    assert(g < words_.size());
+    return words_[g];
+  }
 
   // Evaluates every combinational gate (full pass).
   void evaluate();
@@ -47,8 +54,15 @@ class ParallelSim {
   std::uint64_t eval_with_forced_pin(GateId g, int pin,
                                      std::uint64_t forced) const;
 
+  // Evaluates one gate from the current words without storing the result
+  // (the fault simulator's selective cone walk compares before writing).
+  std::uint64_t eval_word(GateId g) const;
+
   // Direct store, used by the fault simulator to force a faulty site.
-  void force_word(GateId g, std::uint64_t w) { words_.at(g) = w; }
+  void force_word(GateId g, std::uint64_t w) {
+    assert(g < words_.size());
+    words_[g] = w;
+  }
 
   // Copies the complete value state (for save/restore around fault cones).
   const std::vector<std::uint64_t>& words() const { return words_; }

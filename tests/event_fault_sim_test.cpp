@@ -1,0 +1,208 @@
+// Event-driven fault-sim kernel: differential fuzzing against every other
+// engine. The event kernel is an optimization with an exact contract --
+// bit-identical first_detected_by against serial, PPSFP (static cone),
+// deductive, and the threaded wrappers at any thread count, with and
+// without fault dropping -- so the whole test is "same answer, every
+// engine, on circuits none of them has seen".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "circuits/sn74181.h"
+#include "fault/deductive.h"
+#include "fault/fault.h"
+#include "fault/fault_sim.h"
+#include "fault/threaded_fault_sim.h"
+
+namespace dft {
+namespace {
+
+std::vector<SourceVector> random_patterns(const Netlist& nl, int n,
+                                          std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<SourceVector> pats;
+  pats.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pats.push_back(random_source_vector(nl, rng));
+  return pats;
+}
+
+// --- The fuzzer: ~50 random DAGs through every engine ---------------------
+
+TEST(EventKernelFuzz, AllEnginesAgreeOnRandomDags) {
+  std::mt19937_64 meta(2024);
+  for (int round = 0; round < 50; ++round) {
+    RandomCircuitSpec spec;
+    spec.num_inputs = 6 + static_cast<int>(meta() % 10);
+    spec.num_outputs = 3 + static_cast<int>(meta() % 6);
+    spec.num_gates = 40 + static_cast<int>(meta() % 80);
+    spec.max_fanin = 2 + static_cast<int>(meta() % 3);
+    spec.seed = meta();
+    const Netlist nl = make_random_combinational(spec);
+    const auto faults = enumerate_faults(nl);
+    const auto pats = random_patterns(nl, 64 + static_cast<int>(meta() % 65),
+                                      meta());
+
+    ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
+    const auto ref = evt.run(pats, faults);
+    SCOPED_TRACE("round " + std::to_string(round) + " (" + nl.name() + ", " +
+                 std::to_string(pats.size()) + " patterns)");
+
+    // drop_detected is a pure perf hint on the event kernel too.
+    const auto ref_nodrop = evt.run(pats, faults, /*drop_detected=*/false);
+    ASSERT_EQ(ref.first_detected_by, ref_nodrop.first_detected_by);
+
+    ParallelFaultSimulator stat(nl, FaultSimKernel::StaticCone);
+    ASSERT_EQ(ref.first_detected_by, stat.run(pats, faults).first_detected_by);
+
+    SerialFaultSimulator serial(nl);
+    ASSERT_EQ(ref.first_detected_by,
+              serial.run(pats, faults).first_detected_by);
+
+    DeductiveFaultSimulator ded(nl);
+    ASSERT_EQ(ref.first_detected_by, ded.run(pats, faults).first_detected_by);
+
+    for (int threads : {1, 2, 8}) {
+      for (FaultSimKernel k :
+           {FaultSimKernel::StaticCone, FaultSimKernel::Event}) {
+        ThreadedFaultSimulator tsim(nl, threads, k);
+        ASSERT_EQ(ref.first_detected_by,
+                  tsim.run(pats, faults).first_detected_by)
+            << threads << " threads, kernel "
+            << (k == FaultSimKernel::Event ? "event" : "static");
+        ASSERT_EQ(ref.first_detected_by,
+                  tsim.run(pats, faults, /*drop_detected=*/false)
+                      .first_detected_by)
+            << threads << " threads, no dropping";
+      }
+    }
+  }
+}
+
+// --- Sequential capture model (storage D nets observable, outputs
+// --- controllable) goes through the same event wheel -----------------------
+
+TEST(EventKernel, MatchesStaticKernelOnSequentialCaptureModel) {
+  for (std::uint64_t seed : {5u, 21u, 77u}) {
+    RandomSeqSpec spec;
+    spec.seed = seed;
+    const Netlist nl = make_random_sequential(spec);
+    const auto faults = collapse_faults(nl).representatives;
+    const auto pats = random_patterns(nl, 96, seed * 13 + 1);
+    ParallelFaultSimulator stat(nl, FaultSimKernel::StaticCone);
+    ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
+    const auto rs = stat.run(pats, faults);
+    const auto re = evt.run(pats, faults);
+    EXPECT_EQ(rs.num_detected, re.num_detected) << "seed " << seed;
+    EXPECT_EQ(rs.first_detected_by, re.first_detected_by) << "seed " << seed;
+  }
+}
+
+// --- Observation-point override narrows detection identically -------------
+
+TEST(EventKernel, HonorsObservationPointOverride) {
+  const Netlist nl = make_sn74181();
+  const auto faults = collapse_faults(nl).representatives;
+  const auto pats = random_patterns(nl, 128, 3);
+  const std::vector<GateId> observed(nl.outputs().begin(),
+                                     nl.outputs().begin() + 2);
+  ParallelFaultSimulator stat(nl, FaultSimKernel::StaticCone);
+  ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
+  stat.set_observation_points(observed);
+  evt.set_observation_points(observed);
+  const auto rs = stat.run(pats, faults);
+  const auto re = evt.run(pats, faults);
+  EXPECT_EQ(rs.first_detected_by, re.first_detected_by);
+
+  evt.reset_observation_points();
+  stat.reset_observation_points();
+  const auto full = evt.run(pats, faults);
+  EXPECT_GE(full.num_detected, re.num_detected);
+  EXPECT_EQ(stat.run(pats, faults).first_detected_by, full.first_detected_by);
+}
+
+// --- Storage D-pin faults (the capture-path special case) ------------------
+
+TEST(EventKernel, AgreesOnStorageDPinFaults) {
+  RandomSeqSpec spec;
+  spec.seed = 31;
+  const Netlist nl = make_random_sequential(spec);
+  std::vector<Fault> dpin;
+  for (GateId ff : nl.storage()) {
+    dpin.push_back(Fault{ff, kStoragePinD, false});
+    dpin.push_back(Fault{ff, kStoragePinD, true});
+  }
+  ASSERT_FALSE(dpin.empty());
+  const auto pats = random_patterns(nl, 128, 8);
+  ParallelFaultSimulator stat(nl, FaultSimKernel::StaticCone);
+  ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
+  EXPECT_EQ(stat.run(pats, dpin).first_detected_by,
+            evt.run(pats, dpin).first_detected_by);
+}
+
+// --- Malformed patterns leave the event engine reusable --------------------
+
+TEST(EventKernel, MalformedPatternLeavesEngineIntact) {
+  const Netlist nl = make_c17();
+  const auto faults = enumerate_faults(nl);
+  const auto pats = random_patterns(nl, 10, 42);
+  ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
+  const auto good = evt.run(pats, faults);
+
+  auto bad = pats;
+  bad[5].pop_back();
+  EXPECT_THROW(evt.run(bad, faults), std::invalid_argument);
+  EXPECT_EQ(good.first_detected_by, evt.run(pats, faults).first_detected_by);
+
+  bad = pats;
+  bad[7][2] = Logic::X;
+  EXPECT_THROW(evt.run(bad, faults), std::invalid_argument);
+  EXPECT_EQ(good.first_detected_by, evt.run(pats, faults).first_detected_by);
+}
+
+// --- The name-based factory ------------------------------------------------
+
+TEST(EngineFactory, SelectsEngineByName) {
+  const Netlist nl = make_c17();
+  EXPECT_EQ(make_fault_sim_engine(nl, "", 1)->name(), "event");
+  EXPECT_EQ(make_fault_sim_engine(nl, "", 4)->name(), "threaded-event");
+  EXPECT_EQ(make_fault_sim_engine(nl, "event", 1)->name(), "event");
+  EXPECT_EQ(make_fault_sim_engine(nl, "event", 2)->name(), "threaded-event");
+  EXPECT_EQ(make_fault_sim_engine(nl, "ppsfp", 1)->name(), "ppsfp");
+  EXPECT_EQ(make_fault_sim_engine(nl, "ppsfp", 4)->name(), "threaded");
+  EXPECT_EQ(make_fault_sim_engine(nl, "serial", 1)->name(), "serial");
+  EXPECT_EQ(make_fault_sim_engine(nl, "deductive", 1)->name(), "deductive");
+}
+
+TEST(EngineFactory, NamedEnginesAgree) {
+  const Netlist nl = make_sn74181();
+  const auto faults = collapse_faults(nl).representatives;
+  const auto pats = random_patterns(nl, 128, 6);
+  const auto ref =
+      make_fault_sim_engine(nl, "serial", 1)->run(pats, faults);
+  for (const char* engine : {"", "event", "ppsfp", "deductive"}) {
+    const auto r = make_fault_sim_engine(nl, engine, 1)->run(pats, faults);
+    EXPECT_EQ(ref.first_detected_by, r.first_detected_by)
+        << "engine '" << engine << "'";
+  }
+  for (const char* engine : {"", "event", "ppsfp"}) {
+    const auto r = make_fault_sim_engine(nl, engine, 4)->run(pats, faults);
+    EXPECT_EQ(ref.first_detected_by, r.first_detected_by)
+        << "engine '" << engine << "' x4";
+  }
+}
+
+TEST(EngineFactory, RejectsBadNamesAndThreadCounts) {
+  const Netlist nl = make_c17();
+  EXPECT_THROW(make_fault_sim_engine(nl, "bogus", 1), std::invalid_argument);
+  EXPECT_THROW(make_fault_sim_engine(nl, "serial", 2), std::invalid_argument);
+  EXPECT_THROW(make_fault_sim_engine(nl, "deductive", 8),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dft

@@ -199,10 +199,16 @@ TEST(ThreadedFaultSim, ForwardsObservationPoints) {
 
 TEST(ThreadedFaultSim, FactorySelectsEngineByThreadCount) {
   const Netlist nl = make_c17();
+  // The hot-caller factory defaults to the event kernel since PR 4; the
+  // static-cone kernel stays selectable for A/B.
   const auto one = make_fault_sim_engine(nl, 1);
   const auto four = make_fault_sim_engine(nl, 4);
-  EXPECT_EQ(one->name(), "ppsfp");
-  EXPECT_EQ(four->name(), "threaded");
+  EXPECT_EQ(one->name(), "event");
+  EXPECT_EQ(four->name(), "threaded-event");
+  EXPECT_EQ(make_fault_sim_engine(nl, 1, FaultSimKernel::StaticCone)->name(),
+            "ppsfp");
+  EXPECT_EQ(make_fault_sim_engine(nl, 4, FaultSimKernel::StaticCone)->name(),
+            "threaded");
   const auto faults = collapse_faults(nl).representatives;
   std::mt19937_64 rng(1);
   std::vector<SourceVector> pats;
