@@ -4,12 +4,19 @@
 //   dft_tool scoap   <file.bench> [N]      N hardest nets (default 10)
 //   dft_tool faults  <file.bench>          fault universe / collapsing
 //   dft_tool atpg    <file.bench> [--threads N] [--engine E]
+//                    [--time-budget-ms M] [--retry-aborted]
 //                                          full ATPG run + test vectors;
 //                                          N fault-sim workers (0 = all
 //                                          hardware threads, default 1);
 //                                          E = serial|ppsfp|deductive|event
 //                                          (default event; every engine
-//                                          gives identical results)
+//                                          gives identical results);
+//                                          M caps wall time -- an expired
+//                                          budget exits 3 with the partial
+//                                          result printed/reported;
+//                                          --retry-aborted re-attacks
+//                                          aborted faults with escalating
+//                                          limits + a D-algorithm prover
 //   dft_tool bist    <file.bench> [--patterns N] [--threads N] [--engine E]
 //                                          pseudo-random self-test: LFSR
 //                                          PRPG patterns, signature-register
@@ -29,7 +36,11 @@
 //
 // Every command that reads a .bench file also accepts a built-in circuit
 // name: c17, adder4, adder8, mult3, dec3, parity8, mux3, cmp4, sn74181,
-// counter8, accum4.
+// counter8, accum4, rand2k, rand20k.
+//
+// Exit codes: 0 success, 1 runtime failure (including lint errors), 2 usage
+// error, 3 budget expired / interrupted with a valid partial result.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,8 +51,10 @@
 
 #include "atpg/engine.h"
 #include "circuits/basic.h"
+#include "circuits/random_circuit.h"
 #include "circuits/sequential.h"
 #include "circuits/sn74181.h"
+#include "guard/guard.h"
 #include "fault/fault.h"
 #include "fault/threaded_fault_sim.h"
 #include "lfsr/lfsr.h"
@@ -58,18 +71,42 @@ using namespace dft;
 
 namespace {
 
+// Exit codes (also asserted by the ctest suite).
+constexpr int kExitOk = 0;
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInterrupted = 3;  // budget expired / ^C, partial emitted
+
 int usage() {
   std::fprintf(stderr,
                "usage: dft_tool {stats|scoap|faults|atpg|scan} <file.bench> "
                "[arg]\n       dft_tool atpg <file.bench> [--threads N] "
                "[--engine serial|ppsfp|deductive|event]\n"
+               "                     [--time-budget-ms M] [--retry-aborted]\n"
                "       dft_tool bist <file.bench> [--patterns N] "
                "[--threads N] [--engine E]\n"
+               "                     [--time-budget-ms M]\n"
                "       dft_tool lint <file.bench> [--json] "
                "[--scan-first]\n       dft_tool export <name> <out.bench>\n"
                "observability (any command): [--stats] "
                "[--report-json <file>] [--trace-json <file>]\n");
-  return 2;
+  return kExitUsage;
+}
+
+// ^C requests cooperative cancellation: the running phase stops at its next
+// poll and the partial result is printed/reported like a deadline expiry.
+// CancelToken::cancel is a relaxed atomic store -- async-signal-safe.
+guard::CancelToken& sigint_token() {
+  static guard::CancelToken token;
+  return token;
+}
+
+extern "C" void handle_sigint(int) { sigint_token().cancel(); }
+
+// Shares the process-lifetime SIGINT token with a Budget (no-op deleter:
+// the token outlives every budget).
+std::shared_ptr<guard::CancelToken> sigint_token_ref() {
+  return {&sigint_token(), [](guard::CancelToken*) {}};
 }
 
 Netlist builtin(const std::string& name) {
@@ -84,6 +121,24 @@ Netlist builtin(const std::string& name) {
   if (name == "sn74181") return make_sn74181();
   if (name == "counter8") return make_counter(8);
   if (name == "accum4") return make_accumulator(4);
+  // The two random benchmark circuits from bench_event_kernel, exposed so
+  // budget behavior can be exercised on realistic sizes from the CLI.
+  if (name == "rand2k" || name == "rand20k") {
+    RandomCircuitSpec spec;
+    if (name == "rand2k") {
+      spec.num_inputs = 40;
+      spec.num_outputs = 24;
+      spec.num_gates = 2000;
+      spec.seed = 99;
+    } else {
+      spec.num_inputs = 64;
+      spec.num_outputs = 48;
+      spec.num_gates = 20000;
+      spec.seed = 1234;
+    }
+    spec.max_fanin = 4;
+    return make_random_combinational(spec);
+  }
   throw std::invalid_argument("unknown built-in circuit: " + name);
 }
 
@@ -204,11 +259,18 @@ int run_tool(const std::vector<std::string>& args,
   if (cmd == "atpg") {
     AtpgOptions opt;
     opt.backtrack_limit = 100000;
+    long long budget_ms = -1;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--threads" && i + 1 < args.size()) {
         if (!parse_int(args[++i].c_str(), opt.threads)) return usage();
       } else if (args[i] == "--engine" && i + 1 < args.size()) {
         opt.engine = args[++i];
+      } else if (args[i] == "--time-budget-ms" && i + 1 < args.size()) {
+        int ms = 0;
+        if (!parse_int(args[++i].c_str(), ms) || ms < 0) return usage();
+        budget_ms = ms;
+      } else if (args[i] == "--retry-aborted") {
+        opt.retry_aborted = true;
       } else {
         return usage();
       }
@@ -219,7 +281,14 @@ int run_tool(const std::vector<std::string>& args,
       obs::Phase phase("collapse");
       return collapse_faults(nl).representatives;
     }();
+    // Arm the budget only now, after parse and collapse: the deadline
+    // covers the ATPG run itself. The SIGINT token is attached either way
+    // so ^C degrades gracefully even without --time-budget-ms.
+    if (budget_ms >= 0) opt.budget.set_deadline_ms(budget_ms);
+    opt.budget.set_cancel_token(sigint_token_ref());
     const AtpgRun run = run_atpg(nl, faults, opt);
+    context["status"] = std::string(guard::to_string(run.status));
+    context["elapsed_ms"] = std::to_string(run.elapsed_ms);
     std::printf("%zu faults: coverage %.2f%% (test coverage %.2f%%), "
                 "%zu tests, %zu redundant, %zu aborted "
                 "(backtrack limit %d)\n",
@@ -227,6 +296,16 @@ int run_tool(const std::vector<std::string>& args,
                 100 * run.test_coverage(), run.tests.size(),
                 run.redundant.size(), run.aborted.size(),
                 run.backtrack_limit);
+    std::printf("status %s after %lld ms", guard::to_string(run.status).data(),
+                run.elapsed_ms);
+    if (opt.retry_aborted) {
+      std::printf(", retries %d (rescued %d)", run.retry_attempts,
+                  run.retry_rescued);
+    }
+    if (!run.remaining.empty()) {
+      std::printf(", %zu faults remaining", run.remaining.size());
+    }
+    std::printf("\n");
     for (const auto& t : run.tests) {
       std::string s;
       for (Logic l : t) s += to_char(l);
@@ -235,10 +314,11 @@ int run_tool(const std::vector<std::string>& args,
     for (const Fault& f : run.redundant) {
       std::printf("  redundant: %s\n", fault_name(nl, f).c_str());
     }
-    return 0;
+    return guard::interrupted(run.status) ? kExitInterrupted : kExitOk;
   }
   if (cmd == "bist") {
     int patterns = 1024, threads = 1;
+    long long budget_ms = -1;
     std::string engine;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--patterns" && i + 1 < args.size()) {
@@ -249,6 +329,10 @@ int run_tool(const std::vector<std::string>& args,
         if (!parse_int(args[++i].c_str(), threads)) return usage();
       } else if (args[i] == "--engine" && i + 1 < args.size()) {
         engine = args[++i];
+      } else if (args[i] == "--time-budget-ms" && i + 1 < args.size()) {
+        int ms = 0;
+        if (!parse_int(args[++i].c_str(), ms) || ms < 0) return usage();
+        budget_ms = ms;
       } else {
         return usage();
       }
@@ -297,13 +381,21 @@ int run_tool(const std::vector<std::string>& args,
       signature = sa.signature();
     }
 
+    // The deadline covers the coverage-grading fault simulation, the
+    // expensive part of the session; the PRPG and good-machine signature
+    // above are a negligible prefix.
+    guard::Budget budget;
+    if (budget_ms >= 0) budget.set_deadline_ms(budget_ms);
+    budget.set_cancel_token(sigint_token_ref());
+
     // Coverage grading of the pseudo-random pattern set.
     const FaultSimResult sim_result = [&] {
       obs::Phase phase("bist.fault_sim");
       const auto fsim = make_fault_sim_engine(nl, engine, threads);
-      return fsim->run(tests, faults);
+      return fsim->run(tests, faults, true, &budget);
     }();
 
+    context["status"] = std::string(guard::to_string(sim_result.status));
     if (obs::enabled()) {
       obs::Registry& reg = obs::Registry::global();
       reg.counter("bist.prpg.patterns_applied")
@@ -315,10 +407,11 @@ int run_tool(const std::vector<std::string>& args,
                 patterns, nsrc,
                 static_cast<unsigned long long>(signature),
                 static_cast<unsigned long long>(signature_updates));
-    std::printf("%zu faults: coverage %.2f%% (%d detected)\n",
+    std::printf("%zu faults: coverage %.2f%% (%d detected), grading %s\n",
                 faults.size(), 100 * sim_result.coverage(),
-                sim_result.num_detected);
-    return 0;
+                sim_result.num_detected,
+                guard::to_string(sim_result.status).data());
+    return guard::interrupted(sim_result.status) ? kExitInterrupted : kExitOk;
   }
   if (cmd == "scan") {
     Netlist copy = nl;
@@ -339,6 +432,7 @@ int run_tool(const std::vector<std::string>& args,
 
 int main(int argc, char** argv) {
   obs::init_from_env();
+  std::signal(SIGINT, handle_sigint);
 
   // Pull the observability flags out first: they are orthogonal to the mode.
   ObsFlags flags;
@@ -363,9 +457,11 @@ int main(int argc, char** argv) {
     rc = run_tool(args, context);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitRuntimeError;
   }
   const std::string tool = "dft_tool " + args[0];
-  if (!emit_obs_outputs(flags, tool, context) && rc == 0) rc = 1;
+  if (!emit_obs_outputs(flags, tool, context) && rc == kExitOk) {
+    rc = kExitRuntimeError;
+  }
   return rc;
 }

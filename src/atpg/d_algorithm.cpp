@@ -197,6 +197,20 @@ bool DAlgorithm::propagate_frontier_and_justify(int depth) {
     return false;
   }
   ++implications_;
+  // Same stride as PODEM: one budget poll per 32 implication passes. A
+  // budget hit unwinds the whole recursion through the aborted_ flag.
+  if (budget_ != nullptr && budget_->limited() &&
+      (implications_ & 31) == 0) {
+    const auto total = static_cast<std::uint64_t>(decisions_ + backtracks_);
+    budget_->charge_decisions(total - charged_);
+    charged_ = total;
+    const guard::RunStatus st = budget_->poll();
+    if (st != guard::RunStatus::Completed) {
+      run_status_ = st;
+      aborted_ = true;
+      return false;
+    }
+  }
   if (!imply()) return false;
 
   const Logic stuck = fault_.sa1 ? Logic::One : Logic::Zero;
@@ -370,7 +384,9 @@ AtpgOutcome DAlgorithm::generate(const Fault& fault) {
   backtracks_ = 0;
   decisions_ = 0;
   implications_ = 0;
+  charged_ = 0;
   aborted_ = false;
+  run_status_ = guard::RunStatus::Completed;
 
   for (GateId g = 0; g < nl_->size(); ++g) {
     if (nl_->type(g) == GateType::Const0) values_[g] = DVal::Zero;
@@ -396,6 +412,7 @@ AtpgOutcome DAlgorithm::generate(const Fault& fault) {
   out.backtracks = backtracks_;
   out.decisions = decisions_;
   out.implications = implications_;
+  out.run_status = run_status_;
   if (found) {
     out.status = AtpgStatus::TestFound;
     out.pattern.reserve(nl_->inputs().size() + nl_->storage().size());

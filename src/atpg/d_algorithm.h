@@ -19,6 +19,10 @@ class DAlgorithm {
  public:
   explicit DAlgorithm(const Netlist& nl, int backtrack_limit = 20000);
 
+  // Optional cooperative budget, polled every few implication passes
+  // (same contract as Podem::set_budget).
+  void set_budget(const guard::Budget* budget) { budget_ = budget; }
+
   AtpgOutcome generate(const Fault& fault);
 
  private:
@@ -41,10 +45,13 @@ class DAlgorithm {
 
   const Netlist* nl_;
   int backtrack_limit_;
+  const guard::Budget* budget_ = nullptr;
   int backtracks_ = 0;
   int decisions_ = 0;
   int implications_ = 0;
+  std::uint64_t charged_ = 0;  // decisions+backtracks already billed
   bool aborted_ = false;
+  guard::RunStatus run_status_ = guard::RunStatus::Completed;
   Fault fault_{};
   std::vector<DVal> values_;
   std::vector<std::pair<GateId, DVal>> trail_;  // (gate, previous value)

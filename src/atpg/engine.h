@@ -1,9 +1,13 @@
 // Top-level ATPG flow: random phase -> deterministic PODEM phase ->
-// compaction -> final fault simulation.
+// retry ladder for aborted faults -> compaction -> final fault simulation.
 //
 // This is the complete test generation system the survey assumes a
 // structured (scan) design enables: combinational ATPG over primary inputs
-// and scan flip-flops, with exact redundancy identification.
+// and scan flip-flops, with exact redundancy identification. Every phase
+// cooperates with an optional guard::Budget: a deadline (or cancellation)
+// mid-phase yields a valid partial AtpgRun -- the tests generated so far,
+// the faults not yet processed, and an interrupted status -- which
+// resume_atpg can later pick up and finish.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include "atpg/podem.h"
 #include "fault/fault.h"
 #include "fault/fault_sim.h"
+#include "guard/guard.h"
 #include "netlist/netlist.h"
 
 namespace dft {
@@ -32,6 +37,19 @@ struct AtpgOptions {
   // the factory default, event). Every engine yields identical results;
   // this is a speed/ablation knob, echoed into the obs run report.
   std::string engine;
+  // Cooperative budget shared by every phase (random grading, PODEM search,
+  // retries). Default-constructed = unlimited: no polling, results
+  // bit-identical to an unguarded run.
+  guard::Budget budget;
+  // Graceful degradation for aborted faults: retry with an escalating
+  // backtrack limit (limit *= retry_backtrack_multiplier per round, up to
+  // retry_rounds rounds), then hand survivors to the D-algorithm as an
+  // independent prover (skipped automatically on circuits it rejects).
+  // Faults still unresolved are classified aborted, exactly as before.
+  bool retry_aborted = false;
+  int retry_rounds = 2;
+  int retry_backtrack_multiplier = 4;
+  bool retry_dalg_fallback = true;
 };
 
 struct AtpgRun {
@@ -39,6 +57,19 @@ struct AtpgRun {
   std::vector<SourceVector> tests;
   std::vector<Fault> redundant;
   std::vector<Fault> aborted;
+  // Faults the run never finished processing (only non-empty when a budget
+  // or cancellation interrupted the run): not detected, not proven
+  // redundant, not classified aborted. resume_atpg picks these up.
+  std::vector<Fault> remaining;
+
+  // Completed for a full run with no aborts; Degraded when aborted faults
+  // remain after any retries; DeadlineExpired / Cancelled when a budget cut
+  // the run short (tests/detected are then a valid partial).
+  guard::RunStatus status = guard::RunStatus::Completed;
+  long long elapsed_ms = 0;
+  // Retry-ladder accounting (zero unless AtpgOptions::retry_aborted).
+  int retry_attempts = 0;
+  int retry_rescued = 0;  // previously-aborted faults proven or tested
 
   int num_faults = 0;
   int detected = 0;
@@ -67,5 +98,14 @@ struct AtpgRun {
 
 AtpgRun run_atpg(const Netlist& nl, const std::vector<Fault>& faults,
                  const AtpgOptions& options = {});
+
+// Continues an interrupted run: `partial` is the AtpgRun an expired budget
+// returned, `faults` the SAME full fault list given to run_atpg. The
+// partial's tests are re-simulated to rebuild the detected set (the random
+// phase is not repeated), its redundant/aborted classifications carry over,
+// and the deterministic phase resumes on everything still open -- under
+// options.budget, so a resume can itself be budgeted and resumed again.
+AtpgRun resume_atpg(const Netlist& nl, const std::vector<Fault>& faults,
+                    const AtpgRun& partial, const AtpgOptions& options = {});
 
 }  // namespace dft

@@ -359,9 +359,27 @@ AtpgOutcome Podem::generate(const Fault& fault) {
         .set(backtrack_limit_);
   }
 
+  const bool guarded = budget_ != nullptr && budget_->limited();
+  std::uint64_t charged = 0;
   for (;;) {
     simulate(fault);
     ++out.implications;
+    // Budget poll every 32 implication passes: each pass is a full-netlist
+    // simulation, so the stride keeps poll overhead invisible while still
+    // bounding overshoot to ~32 simulations past the deadline.
+    if (guarded && (out.implications & 31) == 0) {
+      const auto total =
+          static_cast<std::uint64_t>(out.decisions + out.backtracks);
+      budget_->charge_decisions(total - charged);
+      charged = total;
+      const guard::RunStatus st = budget_->poll();
+      if (st != guard::RunStatus::Completed) {
+        out.status = AtpgStatus::Aborted;
+        out.run_status = st;
+        flush_podem_obs(out);
+        return out;
+      }
+    }
     if (fault_detected(fault)) {
       out.status = AtpgStatus::TestFound;
       out.pattern = assignment_;

@@ -16,6 +16,7 @@
 #include "atpg/dvalue.h"
 #include "fault/fault.h"
 #include "fault/fault_sim.h"
+#include "guard/guard.h"
 #include "measure/scoap.h"
 #include "netlist/netlist.h"
 
@@ -30,12 +31,20 @@ struct AtpgOutcome {
   int backtracks = 0;
   int decisions = 0;     // source assignments tried (search-tree nodes)
   int implications = 0;  // forward implication passes (simulations)
+  // Completed for a normal search exit (including limit-hit Aborted);
+  // DeadlineExpired/Cancelled when a budget cut the search short -- the
+  // status above is then Aborted, but the fault was NOT proven hard.
+  guard::RunStatus run_status = guard::RunStatus::Completed;
 };
 
 class Podem {
  public:
   explicit Podem(const Netlist& nl, int backtrack_limit = 20000);
   explicit Podem(Netlist&&, int = 0) = delete;  // would dangle
+
+  // Optional cooperative budget, polled every few implication passes inside
+  // generate(); the pointee must outlive the Podem (or be reset to null).
+  void set_budget(const guard::Budget* budget) { budget_ = budget; }
 
   AtpgOutcome generate(const Fault& fault);
 
@@ -60,6 +69,7 @@ class Podem {
 
   const Netlist* nl_;
   int backtrack_limit_;
+  const guard::Budget* budget_ = nullptr;
   ScoapResult scoap_;
   std::vector<GateId> sources_;
   std::vector<int> source_index_of_;  // GateId -> index in sources_, or -1

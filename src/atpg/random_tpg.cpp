@@ -36,6 +36,23 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
         "has " + std::to_string(source_count(nl)) +
         " sources (PIs + storage); pass one weight per source or none");
   }
+  // Negative knobs silently truncate/underflow in the loop bounds below;
+  // report them as configuration errors instead.
+  if (options.max_patterns < 0 || options.stall_blocks < 0 ||
+      options.threads < 0) {
+    throw std::invalid_argument(
+        "RandomTpgOptions: max_patterns (" +
+        std::to_string(options.max_patterns) + "), stall_blocks (" +
+        std::to_string(options.stall_blocks) + ") and threads (" +
+        std::to_string(options.threads) + ") must all be >= 0");
+  }
+  for (double w : options.weights) {
+    if (!(w >= 0.0 && w <= 1.0)) {
+      throw std::invalid_argument(
+          "RandomTpgOptions::weights entries must be probabilities in "
+          "[0, 1], got " + std::to_string(w));
+    }
+  }
   RandomTpgResult res;
   res.detected.assign(faults.size(), 0);
   std::mt19937_64 rng(options.seed);
@@ -75,26 +92,36 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
 
     if (sim.num_detected == 0) {
       ++stall;
-      continue;
+    } else {
+      stall = 0;
+      // Keep only patterns that detected something new.
+      std::vector<char> keep(block.size(), 0);
+      std::vector<std::size_t> next_alive;
+      for (std::size_t k = 0; k < alive.size(); ++k) {
+        const int by = sim.first_detected_by[k];
+        if (by >= 0) {
+          keep[static_cast<std::size_t>(by)] = 1;
+          res.detected[alive[k]] = 1;
+          ++res.num_detected;
+        } else {
+          next_alive.push_back(alive[k]);
+        }
+      }
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
+      }
+      alive = std::move(next_alive);
     }
-    stall = 0;
-    // Keep only patterns that detected something new.
-    std::vector<char> keep(block.size(), 0);
-    std::vector<std::size_t> next_alive;
-    for (std::size_t k = 0; k < alive.size(); ++k) {
-      const int by = sim.first_detected_by[k];
-      if (by >= 0) {
-        keep[static_cast<std::size_t>(by)] = 1;
-        res.detected[alive[k]] = 1;
-        ++res.num_detected;
-      } else {
-        next_alive.push_back(alive[k]);
+    // Per-block budget poll, after the block's detections are merged: even
+    // an already-expired budget yields one graded block of patterns.
+    if (options.budget.limited()) {
+      options.budget.charge_patterns(static_cast<std::uint64_t>(blk));
+      const guard::RunStatus st = options.budget.poll();
+      if (st != guard::RunStatus::Completed) {
+        res.status = st;
+        break;
       }
     }
-    for (std::size_t i = 0; i < block.size(); ++i) {
-      if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
-    }
-    alive = std::move(next_alive);
   }
   if (obs::enabled()) {
     obs::Registry& reg = obs::Registry::global();

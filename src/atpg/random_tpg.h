@@ -13,6 +13,7 @@
 
 #include "fault/fault.h"
 #include "fault/fault_sim.h"
+#include "guard/guard.h"
 #include "netlist/netlist.h"
 
 namespace dft {
@@ -34,6 +35,10 @@ struct RandomTpgOptions {
   // Fault-simulation engine name ("" = factory default, event); identical
   // results for every engine.
   std::string engine;
+  // Cooperative budget, polled once per 64-pattern block (after the block's
+  // detections are merged, so a partial result is never empty-handed).
+  // Default-constructed = unlimited: zero overhead, identical results.
+  guard::Budget budget;
 };
 
 struct RandomTpgResult {
@@ -41,6 +46,9 @@ struct RandomTpgResult {
   std::vector<char> detected;  // parallel to the fault list
   int num_detected = 0;
   int patterns_tried = 0;
+  // Completed unless the budget interrupted the block loop; the fields
+  // above are then a valid partial (patterns graded so far).
+  guard::RunStatus status = guard::RunStatus::Completed;
   double coverage(std::size_t total) const {
     return total == 0 ? 1.0 : static_cast<double>(num_detected) / total;
   }

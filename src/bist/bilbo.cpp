@@ -1,5 +1,6 @@
 #include "bist/bilbo.h"
 
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 
@@ -154,15 +155,47 @@ double BilboBist::signature_coverage(int which_cln,
                                      int patterns_per_phase,
                                      int threads) const {
   if (faults.empty()) return 1.0;
+  const GradeResult res =
+      signature_coverage_run(which_cln, faults, patterns_per_phase, threads);
+  return static_cast<double>(res.caught) /
+         static_cast<double>(faults.size());
+}
+
+BilboBist::GradeResult BilboBist::signature_coverage_run(
+    int which_cln, const std::vector<Fault>& faults, int patterns_per_phase,
+    int threads, const guard::Budget* budget) const {
+  GradeResult res;
+  res.total = static_cast<int>(faults.size());
+  if (faults.empty()) return res;
+  const bool guarded = budget != nullptr && budget->limited();
   const Session good = run_good(patterns_per_phase);
   std::vector<char> caught(faults.size(), 0);
+  std::vector<char> graded(faults.size(), 0);
+  // Worst interrupted status seen by any worker; doubles as the stop flag.
+  std::atomic<int> stop{0};
   auto grade = [&](std::size_t i) {
     const Session bad = run_faulty(which_cln, faults[i], patterns_per_phase);
+    graded[i] = 1;
     caught[i] = bad.signature_cln1 != good.signature_cln1 ||
                 bad.signature_cln2 != good.signature_cln2;
+    // Poll after the session: even an expired budget grades one fault.
+    if (guarded) {
+      budget->charge_patterns(static_cast<std::uint64_t>(bad.patterns));
+      const guard::RunStatus st = budget->poll();
+      if (st != guard::RunStatus::Completed) {
+        int cur = stop.load(std::memory_order_relaxed);
+        while (cur < static_cast<int>(st) &&
+               !stop.compare_exchange_weak(cur, static_cast<int>(st),
+                                           std::memory_order_relaxed)) {
+        }
+      }
+    }
   };
   if (resolve_thread_count(threads) <= 1) {
-    for (std::size_t i = 0; i < faults.size(); ++i) grade(i);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (stop.load(std::memory_order_relaxed) != 0) break;
+      grade(i);
+    }
   } else {
     // Each session builds its own simulators; warm the netlists' lazy
     // caches first so workers only read shared state.
@@ -171,18 +204,28 @@ double BilboBist::signature_coverage(int which_cln,
     ThreadPool pool(threads);
     parallel_for_chunks(pool, faults.size(),
                         [&](std::size_t, std::size_t b, std::size_t e) {
-                          for (std::size_t i = b; i < e; ++i) grade(i);
+                          for (std::size_t i = b; i < e; ++i) {
+                            if (stop.load(std::memory_order_relaxed) != 0) {
+                              break;
+                            }
+                            grade(i);
+                          }
                         });
   }
-  int n = 0;
-  for (char c : caught) n += c;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    res.graded += graded[i];
+    res.caught += caught[i];
+  }
+  res.status = static_cast<guard::RunStatus>(
+      stop.load(std::memory_order_relaxed));
   if (obs::enabled()) {
     obs::Registry& reg = obs::Registry::global();
-    reg.counter("bist.bilbo.faults_graded").add(faults.size());
+    reg.counter("bist.bilbo.faults_graded")
+        .add(static_cast<std::uint64_t>(res.graded));
     reg.counter("bist.bilbo.faults_caught")
-        .add(static_cast<std::uint64_t>(n));
+        .add(static_cast<std::uint64_t>(res.caught));
   }
-  return static_cast<double>(n) / static_cast<double>(faults.size());
+  return res;
 }
 
 }  // namespace dft

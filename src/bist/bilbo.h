@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "guard/guard.h"
 #include "lfsr/lfsr.h"
 #include "netlist/netlist.h"
 #include "sim/comb_sim.h"
@@ -83,6 +84,24 @@ class BilboBist {
   // the coverage is identical at any thread count.
   double signature_coverage(int which_cln, const std::vector<Fault>& faults,
                             int patterns_per_phase, int threads = 1) const;
+
+  // Budget-aware grading: the full census of how far the grading got. The
+  // budget is polled between fault sessions (each session = one unit of
+  // work), so an expired budget still grades at least one fault; on
+  // interruption `graded < total` and coverage() is over the graded subset.
+  struct GradeResult {
+    int total = 0;
+    int graded = 0;
+    int caught = 0;
+    guard::RunStatus status = guard::RunStatus::Completed;
+    double coverage() const {
+      return graded == 0 ? 0.0
+                         : static_cast<double>(caught) / graded;
+    }
+  };
+  GradeResult signature_coverage_run(
+      int which_cln, const std::vector<Fault>& faults, int patterns_per_phase,
+      int threads = 1, const guard::Budget* budget = nullptr) const;
 
  private:
   Session run(int patterns_per_phase, int faulty_cln, const Fault* f) const;

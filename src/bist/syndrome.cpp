@@ -1,5 +1,6 @@
 #include "bist/syndrome.h"
 
+#include <atomic>
 #include <bit>
 #include <stdexcept>
 
@@ -95,39 +96,71 @@ std::vector<double> syndromes(const Netlist& nl) {
 
 SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
                                               const std::vector<Fault>& faults,
-                                              int threads) {
+                                              int threads,
+                                              const guard::Budget* budget) {
   SyndromeAnalysis res;
   res.total_faults = static_cast<int>(faults.size());
+  const bool guarded = budget != nullptr && budget->limited();
   const auto good = minterm_counts(nl);
   std::vector<char> testable(faults.size(), 0);
+  std::vector<char> graded(faults.size(), 0);
+  // Worst interrupted status seen by any worker; doubles as the stop flag.
+  std::atomic<int> stop{0};
   auto grade = [&](std::size_t i) {
     testable[i] = minterm_counts_faulty(nl, faults[i]) != good;
+    graded[i] = 1;
+    // Poll after the sweep: each fault is one exhaustive 2^n application.
+    if (guarded) {
+      budget->charge_patterns(1ull << nl.inputs().size());
+      const guard::RunStatus st = budget->poll();
+      if (st != guard::RunStatus::Completed) {
+        int cur = stop.load(std::memory_order_relaxed);
+        while (cur < static_cast<int>(st) &&
+               !stop.compare_exchange_weak(cur, static_cast<int>(st),
+                                           std::memory_order_relaxed)) {
+        }
+      }
+    }
   };
   if (resolve_thread_count(threads) <= 1) {
-    for (std::size_t i = 0; i < faults.size(); ++i) grade(i);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (stop.load(std::memory_order_relaxed) != 0) break;
+      grade(i);
+    }
   } else {
     nl.topo_order();  // warm the lazy caches before sharing the netlist
     ThreadPool pool(threads);
     parallel_for_chunks(pool, faults.size(),
                         [&](std::size_t, std::size_t b, std::size_t e) {
-                          for (std::size_t i = b; i < e; ++i) grade(i);
+                          for (std::size_t i = b; i < e; ++i) {
+                            if (stop.load(std::memory_order_relaxed) != 0) {
+                              break;
+                            }
+                            grade(i);
+                          }
                         });
   }
   // Merge in fault order, so the report is thread-count independent.
   for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!graded[i]) continue;
+    ++res.graded;
     if (testable[i]) {
       ++res.syndrome_testable;
     } else {
       res.untestable.push_back(faults[i]);
     }
   }
+  res.status = static_cast<guard::RunStatus>(
+      stop.load(std::memory_order_relaxed));
   if (obs::enabled()) {
     obs::Registry& reg = obs::Registry::global();
     reg.counter("bist.syndrome.analyses").add(1);
-    reg.counter("bist.syndrome.faults_graded").add(faults.size());
+    reg.counter("bist.syndrome.faults_graded")
+        .add(static_cast<std::uint64_t>(res.graded));
     // Every grade is one exhaustive 2^n sweep of the network.
     reg.counter("bist.syndrome.patterns_applied")
-        .add((faults.size() + 1) << nl.inputs().size());
+        .add((static_cast<std::uint64_t>(res.graded) + 1)
+             << nl.inputs().size());
   }
   return res;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "guard/guard.h"
 #include "netlist/netlist.h"
 
 namespace dft {
@@ -26,8 +27,13 @@ std::vector<double> syndromes(const Netlist& nl);
 
 struct SyndromeAnalysis {
   int total_faults = 0;
+  // Faults whose exhaustive sweep actually ran (== total_faults unless a
+  // budget interrupted the analysis); classifications below cover only
+  // these.
+  int graded = 0;
   int syndrome_testable = 0;
   std::vector<Fault> untestable;  // syndrome-untestable faults
+  guard::RunStatus status = guard::RunStatus::Completed;
   double fraction_testable() const {
     return total_faults == 0
                ? 1.0
@@ -38,10 +44,12 @@ struct SyndromeAnalysis {
 // Classifies every fault by comparing good/faulty ones-counts across all
 // outputs. Faults are independent, so `threads` > 1 (0 = hardware
 // concurrency) grades them in parallel; the analysis (including the order
-// of `untestable`) is identical at any thread count.
-SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
-                                              const std::vector<Fault>& faults,
-                                              int threads = 1);
+// of `untestable`) is identical at any thread count. The budget (optional)
+// is polled between faults -- each fault is one exhaustive 2^n sweep, which
+// is the natural unit of work here.
+SyndromeAnalysis analyze_syndrome_testability(
+    const Netlist& nl, const std::vector<Fault>& faults, int threads = 1,
+    const guard::Budget* budget = nullptr);
 
 // The [116] scheme: a fault missed by the global syndrome may be exposed by
 // holding one input constant and syndrome-testing the remaining subcube

@@ -190,8 +190,9 @@ std::vector<char> DeductiveFaultSimulator::detected(
 
 FaultSimResult DeductiveFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
-    bool drop_detected) {
+    bool drop_detected, const guard::Budget* budget) {
   validate_patterns(*nl_, patterns, /*require_binary=*/true);
+  const bool guarded = budget != nullptr && budget->limited();
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
   for (std::size_t p = 0; p < patterns.size(); ++p) {
@@ -208,6 +209,15 @@ FaultSimResult DeductiveFaultSimulator::run(
       }
     }
     if (drop_detected && all_done) break;
+    // Per-pattern poll, after the pattern's detections are merged.
+    if (guarded) {
+      budget->charge_patterns(1);
+      const guard::RunStatus st = budget->poll();
+      if (st != guard::RunStatus::Completed) {
+        res.status = st;
+        break;
+      }
+    }
   }
   return res;
 }

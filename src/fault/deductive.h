@@ -32,10 +32,11 @@ class DeductiveFaultSimulator : public FaultSimEngine {
   std::vector<char> detected(const SourceVector& pattern,
                              const std::vector<Fault>& faults);
 
-  // Same contract as the other engines.
+  // Same contract as the other engines; the budget is polled per pattern.
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true) override;
+                     bool drop_detected = true,
+                     const guard::Budget* budget = nullptr) override;
 
   std::string_view name() const override { return "deductive"; }
 

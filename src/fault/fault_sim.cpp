@@ -100,14 +100,16 @@ bool SerialFaultSimulator::detects(const SourceVector& pattern,
 
 FaultSimResult SerialFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
-    bool drop_detected) {
+    bool drop_detected, const guard::Budget* budget) {
   validate_patterns(*nl_, patterns, /*require_binary=*/false);
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
+  const bool guarded = budget != nullptr && budget->limited();
   std::uint64_t pairs = 0;
   for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+    std::uint64_t fault_pairs = 0;
     for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
-      ++pairs;
+      ++fault_pairs;
       if (detects(patterns[pi], faults[fi])) {
         if (res.first_detected_by[fi] < 0) {
           res.first_detected_by[fi] = static_cast<int>(pi);
@@ -117,6 +119,17 @@ FaultSimResult SerialFaultSimulator::run(
         // first-detection result is the same either way -- the contract the
         // other engines follow.
         if (drop_detected) break;
+      }
+    }
+    pairs += fault_pairs;
+    // Poll after each fully-simulated fault: the partial result covers a
+    // clean prefix of the fault list, the rest stays -1.
+    if (guarded) {
+      budget->charge_patterns(fault_pairs);
+      const guard::RunStatus st = budget->poll();
+      if (st != guard::RunStatus::Completed) {
+        res.status = st;
+        break;
       }
     }
   }
@@ -287,10 +300,11 @@ std::size_t ParallelFaultSimulator::static_cone_size(GateId g) {
 
 FaultSimResult ParallelFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
-    bool drop_detected) {
+    bool drop_detected, const guard::Budget* budget) {
   // All validation happens before any set_word: a malformed pattern in the
   // middle of a block must not leave the simulator half-mutated.
   validate_patterns(*nl_, patterns, /*require_binary=*/true);
+  const bool guarded = budget != nullptr && budget->limited();
 
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
@@ -353,6 +367,17 @@ FaultSimResult ParallelFaultSimulator::run(
     }
     alive = std::move(still_alive);
     if (alive.empty()) break;
+    // Poll at block granularity, after the block's detections are merged:
+    // an already-exhausted budget still gets one block of real work, so a
+    // partial run is never empty.
+    if (guarded) {
+      budget->charge_patterns(blk);
+      const guard::RunStatus st = budget->poll();
+      if (st != guard::RunStatus::Completed) {
+        res.status = st;
+        break;
+      }
+    }
   }
   if (obs::enabled()) {
     // The run-loop counters keep the fault_sim.ppsfp.* names for BOTH

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "fault/fault.h"
+#include "guard/guard.h"
 #include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
@@ -65,6 +66,10 @@ struct FaultSimResult {
   // pattern, or -1 if undetected.
   std::vector<int> first_detected_by;
   int num_detected = 0;
+  // Completed unless a budget interrupted the run; on interruption the
+  // vector is still full-size and entries not yet simulated stay -1 (a
+  // valid partial result).
+  guard::RunStatus status = guard::RunStatus::Completed;
   double coverage() const {
     return first_detected_by.empty()
                ? 1.0
@@ -80,13 +85,19 @@ struct FaultSimResult {
 //    threaded engine, for every thread count;
 //  * `drop_detected` is a performance hint only: a detected fault is not
 //    simulated against later patterns. It never changes the result.
+//  * `budget` (optional) is polled cooperatively after each unit of work
+//    (a pattern block / fault / pattern, depending on the engine); on
+//    exhaustion or cancellation the engine returns the partial result with
+//    `status` set. nullptr or an unlimited budget leaves behavior -- and
+//    results -- exactly as before.
 class FaultSimEngine {
  public:
   virtual ~FaultSimEngine() = default;
 
   virtual FaultSimResult run(const std::vector<SourceVector>& patterns,
                              const std::vector<Fault>& faults,
-                             bool drop_detected = true) = 0;
+                             bool drop_detected = true,
+                             const guard::Budget* budget = nullptr) = 0;
 
   // Short stable identifier ("serial", "ppsfp", "deductive", "threaded").
   virtual std::string_view name() const = 0;
@@ -103,7 +114,8 @@ class SerialFaultSimulator : public FaultSimEngine {
 
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true) override;
+                     bool drop_detected = true,
+                     const guard::Budget* budget = nullptr) override;
 
   std::string_view name() const override { return "serial"; }
 
@@ -139,7 +151,8 @@ class ParallelFaultSimulator : public FaultSimEngine {
   // Patterns must be binary (use random_fill for X entries).
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true) override;
+                     bool drop_detected = true,
+                     const guard::Budget* budget = nullptr) override;
 
   std::string_view name() const override {
     return kernel_ == FaultSimKernel::Event ? "event" : "ppsfp";

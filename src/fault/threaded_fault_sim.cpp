@@ -41,7 +41,7 @@ void ThreadedFaultSimulator::reset_observation_points() {
 
 FaultSimResult ThreadedFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
-    bool drop_detected) {
+    bool drop_detected, const guard::Budget* budget) {
   // Validate before any worker touches its machine: the whole engine stays
   // unmutated on malformed input, like the single-threaded engines.
   validate_patterns(*nl_, patterns, /*require_binary=*/true);
@@ -61,10 +61,22 @@ FaultSimResult ThreadedFaultSimulator::run(
   std::mutex err_mu;
   std::exception_ptr first_error;
   const bool observed = obs::enabled();
+  const bool guarded = budget != nullptr && budget->limited();
   for (std::size_t w = 0; w < nw; ++w) {
     if (part[w].empty()) continue;
-    pool_.submit([&, w, observed] {
+    pool_.submit([&, w, observed, guarded] {
       try {
+        // Between-task poll: a worker whose slice has not started yet gives
+        // the whole slice back as "not simulated" when the budget is
+        // already gone, instead of burning its share of the deadline.
+        if (guarded) {
+          const guard::RunStatus st = budget->poll();
+          if (st != guard::RunStatus::Completed) {
+            sub[w].first_detected_by.assign(part[w].size(), -1);
+            sub[w].status = st;
+            return;
+          }
+        }
         if (observed) {
           // Per-worker task latency + load, attributable in the run report
           // (fault_sim.threaded.worker.<w>.*) next to the pool's queue
@@ -74,9 +86,9 @@ FaultSimResult ThreadedFaultSimulator::run(
               "fault_sim.threaded.worker." + std::to_string(w);
           reg.counter(prefix + ".faults").add(part[w].size());
           obs::ScopedTimer timer(reg.timer(prefix + ".task"));
-          sub[w] = machines_[w]->run(patterns, part[w], drop_detected);
+          sub[w] = machines_[w]->run(patterns, part[w], drop_detected, budget);
         } else {
-          sub[w] = machines_[w]->run(patterns, part[w], drop_detected);
+          sub[w] = machines_[w]->run(patterns, part[w], drop_detected, budget);
         }
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);
@@ -103,6 +115,7 @@ FaultSimResult ThreadedFaultSimulator::run(
       res.first_detected_by[origin[w][k]] = sub[w].first_detected_by[k];
     }
     res.num_detected += sub[w].num_detected;
+    res.status = guard::worst(res.status, sub[w].status);
   }
   return res;
 }

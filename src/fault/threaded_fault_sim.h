@@ -38,9 +38,14 @@ class ThreadedFaultSimulator : public FaultSimEngine {
       Netlist&&, int = 0, FaultSimKernel = FaultSimKernel::StaticCone) =
       delete;  // dangle
 
+  // Budgets are polled by every worker between pattern blocks, and once
+  // more before a worker starts its slice (cancellation between tasks).
+  // The merged partial is still deterministic for the faults that were
+  // simulated; statuses merge by guard::worst.
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
-                     bool drop_detected = true) override;
+                     bool drop_detected = true,
+                     const guard::Budget* budget = nullptr) override;
 
   std::string_view name() const override {
     return kernel_ == FaultSimKernel::Event ? "threaded-event" : "threaded";

@@ -1,0 +1,125 @@
+#include "guard/guard.h"
+
+#include "obs/obs.h"
+
+namespace dft::guard {
+
+std::string_view to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::Completed: return "completed";
+    case RunStatus::Degraded: return "degraded";
+    case RunStatus::DeadlineExpired: return "deadline-expired";
+    case RunStatus::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+struct Budget::State {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+  std::uint64_t decision_limit = 0;
+  bool has_decision_limit = false;
+  std::uint64_t pattern_limit = 0;
+  bool has_pattern_limit = false;
+  std::atomic<std::uint64_t> decisions{0};
+  std::atomic<std::uint64_t> patterns{0};
+  // First-exhaustion latch so guard.deadline_hits counts budgets, not polls.
+  std::atomic<bool> exhaustion_reported{false};
+  std::shared_ptr<CancelToken> token;
+};
+
+Budget::State& Budget::state() {
+  if (!state_) state_ = std::make_shared<State>();
+  return *state_;
+}
+
+Budget Budget::deadline_ms(long long ms) {
+  Budget b;
+  b.set_deadline_ms(ms);
+  return b;
+}
+
+void Budget::set_deadline_ms(long long ms) {
+  State& s = state();
+  s.deadline = State::Clock::now() + std::chrono::milliseconds(ms);
+  s.has_deadline = true;
+}
+
+void Budget::set_decision_limit(std::uint64_t n) {
+  State& s = state();
+  s.decision_limit = n;
+  s.has_decision_limit = true;
+}
+
+void Budget::set_pattern_limit(std::uint64_t n) {
+  State& s = state();
+  s.pattern_limit = n;
+  s.has_pattern_limit = true;
+}
+
+void Budget::set_cancel_token(std::shared_ptr<CancelToken> token) {
+  state().token = std::move(token);
+}
+
+std::shared_ptr<CancelToken> Budget::cancel_token() const {
+  return state_ ? state_->token : nullptr;
+}
+
+void Budget::charge_decisions(std::uint64_t n) const {
+  if (state_) state_->decisions.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Budget::charge_patterns(std::uint64_t n) const {
+  if (state_) state_->patterns.fetch_add(n, std::memory_order_relaxed);
+}
+
+namespace {
+
+// One latch-gated count per budget; polls can come from worker threads, so
+// the counter references are interned once (thread-safe local statics).
+void report_exhaustion(std::atomic<bool>& latch) {
+  if (obs::enabled() && !latch.exchange(true, std::memory_order_relaxed)) {
+    static obs::Counter& hits =
+        obs::Registry::global().counter("guard.deadline_hits");
+    hits.add(1);
+  }
+}
+
+}  // namespace
+
+RunStatus Budget::poll() const {
+  if (!state_) return RunStatus::Completed;
+  const State& s = *state_;
+  if (obs::enabled()) {
+    static obs::Counter& polls =
+        obs::Registry::global().counter("guard.cancel_polls");
+    polls.add(1);
+  }
+  if (s.token && s.token->cancelled()) return RunStatus::Cancelled;
+  if (s.has_decision_limit &&
+      s.decisions.load(std::memory_order_relaxed) >= s.decision_limit) {
+    report_exhaustion(state_->exhaustion_reported);
+    return RunStatus::DeadlineExpired;
+  }
+  if (s.has_pattern_limit &&
+      s.patterns.load(std::memory_order_relaxed) >= s.pattern_limit) {
+    report_exhaustion(state_->exhaustion_reported);
+    return RunStatus::DeadlineExpired;
+  }
+  if (s.has_deadline && State::Clock::now() >= s.deadline) {
+    report_exhaustion(state_->exhaustion_reported);
+    return RunStatus::DeadlineExpired;
+  }
+  return RunStatus::Completed;
+}
+
+long long Budget::elapsed_ms() const {
+  if (!state_) return 0;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             State::Clock::now() - state_->start)
+      .count();
+}
+
+}  // namespace dft::guard

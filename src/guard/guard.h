@@ -1,0 +1,123 @@
+// dft::guard -- budgets, cooperative cancellation, and run statuses.
+//
+// The survey frames every hard step as a budget decision: Eq. 1's T = K*N^3
+// scaling makes unbounded ATPG/fault-sim runs untenable, and PODEM's
+// backtrack abort is already a per-fault budget. This module generalizes
+// that to whole runs: a Budget carries an optional wall-clock deadline,
+// decision/pattern ceilings, and a shared CancelToken; every long-running
+// engine polls it cooperatively and, on exhaustion, returns a well-formed
+// PARTIAL result tagged with a RunStatus instead of discarding work.
+//
+// Design rules the hot loops rely on:
+//  * Zero cost when unlimited. A default-constructed Budget owns no state;
+//    poll() on it is a single pointer test. Engines additionally keep their
+//    pre-guard fast paths when handed no budget at all, so un-budgeted runs
+//    are bit-identical to the pre-guard code.
+//  * Polls are strided and happen AFTER a unit of work (a pattern block, a
+//    PODEM implication batch, a BIST session), never before the first one:
+//    an already-expired budget still yields forward progress, so a partial
+//    result is never empty for want of a single poll placement.
+//  * Thread-safe by sharing. Copies of a Budget share one state block
+//    (ceiling tallies, the token), so the options structs can carry budgets
+//    by value and workers on any thread can charge/poll the same budget.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace dft::guard {
+
+// How a run ended. Every engine-level result struct carries one.
+//  * Completed       -- ran to the end; the result is exact.
+//  * Degraded        -- ran to the end, but some work units were given up on
+//                       (e.g. ATPG faults still aborted after the retry
+//                       ladder); the result is complete but weaker.
+//  * DeadlineExpired -- the budget (deadline or a ceiling) ran out; the
+//                       result is a valid partial.
+//  * Cancelled       -- the CancelToken fired; the result is a valid partial.
+enum class RunStatus : std::uint8_t {
+  Completed = 0,
+  Degraded = 1,
+  DeadlineExpired = 2,
+  Cancelled = 3,
+};
+
+std::string_view to_string(RunStatus s);
+
+// Severity merge for composing sub-run statuses (worker slices, phases):
+// Cancelled > DeadlineExpired > Degraded > Completed.
+inline RunStatus worst(RunStatus a, RunStatus b) { return a > b ? a : b; }
+
+// True for the statuses that mean "the run was cut short" (partial result).
+inline bool interrupted(RunStatus s) {
+  return s == RunStatus::DeadlineExpired || s == RunStatus::Cancelled;
+}
+
+// Sticky, thread-safe cancellation flag. cancel() is async-signal-safe on
+// platforms where std::atomic<bool> is lock-free (dft_tool's SIGINT handler
+// relies on this).
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// A run budget: wall-clock deadline, decision/pattern ceilings, and an
+// optional CancelToken. Default-constructed budgets are unlimited and free
+// to poll. Copies share state: charging a ceiling through one copy is
+// visible to every other, which is what lets an options struct hold the
+// budget by value while worker threads poll it.
+class Budget {
+ public:
+  Budget() = default;  // unlimited
+
+  // Convenience: a budget with only a wall-clock deadline, ms from now.
+  static Budget deadline_ms(long long ms);
+
+  // Deadline = now + ms. A second call re-arms from the new now.
+  void set_deadline_ms(long long ms);
+  // Ceiling on ATPG search decisions charged via charge_decisions().
+  void set_decision_limit(std::uint64_t n);
+  // Ceiling on fault-sim pattern applications charged via charge_patterns().
+  void set_pattern_limit(std::uint64_t n);
+  void set_cancel_token(std::shared_ptr<CancelToken> token);
+  std::shared_ptr<CancelToken> cancel_token() const;
+
+  // False for a default-constructed budget: nothing to poll, nothing to
+  // charge. Engines use this to keep the unlimited path allocation- and
+  // clock-free.
+  bool limited() const { return state_ != nullptr; }
+
+  // Charge work units toward the ceilings (relaxed atomics; no-ops when
+  // unlimited). Safe from any thread.
+  void charge_decisions(std::uint64_t n) const;
+  void charge_patterns(std::uint64_t n) const;
+
+  // The cooperative poll: Cancelled if the token fired, DeadlineExpired if
+  // the deadline passed or a ceiling is exhausted, Completed otherwise.
+  // Exhaustion is sticky. Counts obs "guard.cancel_polls" per call and
+  // "guard.deadline_hits" once per budget on first observed exhaustion.
+  RunStatus poll() const;
+
+  // Milliseconds since this budget acquired state (first setter call);
+  // 0 for an unlimited budget.
+  long long elapsed_ms() const;
+
+ private:
+  struct State;
+  State& state();
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dft::guard

@@ -76,6 +76,7 @@ std::vector<std::string> split_args(const std::string& args, int line) {
 
 Netlist read_bench(std::istream& in, std::string netlist_name) {
   std::vector<std::string> input_names;
+  std::map<std::string, int> input_line;  // name -> declaring line
   std::vector<std::pair<std::string, int>> output_names;
   // Definition order is preserved so storage chains read back identically.
   std::vector<std::pair<std::string, PendingGate>> defs;
@@ -101,6 +102,22 @@ Netlist read_bench(std::istream& in, std::string netlist_name) {
       const std::string kw = upper(trim(s.substr(0, open)));
       const std::string arg = trim(s.substr(open + 1, close - open - 1));
       if (kw == "INPUT") {
+        if (arg.empty()) {
+          throw std::runtime_error("bench line " + std::to_string(line) +
+                                   ": empty INPUT name");
+        }
+        const auto [it, fresh] = input_line.emplace(arg, line);
+        if (!fresh) {
+          throw std::runtime_error(
+              "bench line " + std::to_string(line) + ": input '" + arg +
+              "' already declared at line " + std::to_string(it->second));
+        }
+        if (const auto di = def_index.find(arg); di != def_index.end()) {
+          throw std::runtime_error(
+              "bench line " + std::to_string(line) + ": net '" + arg +
+              "' declared INPUT but assigned at line " +
+              std::to_string(defs[di->second].second.line));
+        }
         input_names.push_back(arg);
       } else if (kw == "OUTPUT") {
         output_names.emplace_back(arg, line);
@@ -124,9 +141,29 @@ Netlist read_bench(std::istream& in, std::string netlist_name) {
     pg.type = parse_type(trim(rhs.substr(0, ropen)), line);
     pg.fanin_names = split_args(rhs.substr(ropen + 1, rclose - ropen - 1), line);
     pg.line = line;
-    if (def_index.count(lhs) != 0) {
+    if (const auto di = def_index.find(lhs); di != def_index.end()) {
       throw std::runtime_error("bench line " + std::to_string(line) +
-                               ": net '" + lhs + "' redefined");
+                               ": net '" + lhs + "' redefined (first "
+                               "assigned at line " +
+                               std::to_string(defs[di->second].second.line) +
+                               ")");
+    }
+    if (const auto il = input_line.find(lhs); il != input_line.end()) {
+      throw std::runtime_error(
+          "bench line " + std::to_string(line) + ": net '" + lhs +
+          "' is declared INPUT at line " + std::to_string(il->second) +
+          " and cannot also be assigned");
+    }
+    // A storage element may feed back on itself (q = DFF(q) is a hold
+    // loop); a combinational gate driving itself can never stabilize.
+    if (!is_storage(pg.type)) {
+      for (const auto& fn : pg.fanin_names) {
+        if (fn == lhs) {
+          throw std::runtime_error("bench line " + std::to_string(line) +
+                                   ": combinational net '" + lhs +
+                                   "' drives itself");
+        }
+      }
     }
     def_index[lhs] = defs.size();
     defs.emplace_back(lhs, std::move(pg));
@@ -147,33 +184,56 @@ Netlist read_bench(std::istream& in, std::string netlist_name) {
     ids[name] = nl.add_gate(pg.type, std::move(f), name);
   }
 
-  // Combinational gates: resolve recursively (input is a DAG once storage is
-  // pre-created).
+  // Combinational gates: depth-first resolution with an explicit stack (the
+  // input is a DAG once storage is pre-created). Recursion here would
+  // overflow the call stack on deep dependency chains -- a bench file that
+  // lists a long buffer chain in reverse order is legal input, and at
+  // multi-megabyte sizes its chain depth is far past any thread's stack.
   std::vector<char> visiting(defs.size(), 0);
-  auto resolve = [&](auto&& self, const std::string& name, int line0) -> GateId {
-    auto hit = ids.find(name);
-    if (hit != ids.end()) return hit->second;
-    auto di = def_index.find(name);
+  struct Frame {
+    std::size_t def;
+    std::size_t next_fanin = 0;
+  };
+  std::vector<Frame> stack;
+  // Pushes `name` if it still needs resolving; throws on undefined nets and
+  // on cycles (a def re-entered while its fanins are being resolved).
+  auto push = [&](const std::string& name, int from_line) {
+    if (ids.find(name) != ids.end()) return;
+    const auto di = def_index.find(name);
     if (di == def_index.end()) {
-      throw std::runtime_error("bench line " + std::to_string(line0) +
+      throw std::runtime_error("bench line " + std::to_string(from_line) +
                                ": undefined net '" + name + "'");
     }
     if (visiting[di->second]) {
-      throw std::runtime_error("bench: combinational cycle through net '" +
-                               name + "'");
+      throw std::runtime_error(
+          "bench line " + std::to_string(defs[di->second].second.line) +
+          ": combinational cycle through net '" + name + "'");
     }
     visiting[di->second] = 1;
-    const PendingGate& pg = defs[di->second].second;
-    std::vector<GateId> f;
-    f.reserve(pg.fanin_names.size());
-    for (const auto& fn : pg.fanin_names) f.push_back(self(self, fn, pg.line));
-    visiting[di->second] = 0;
-    const GateId id = nl.add_gate(pg.type, std::move(f), name);
-    ids[name] = id;
-    return id;
+    stack.push_back({di->second});
   };
   for (const auto& [name, pg] : defs) {
-    if (!is_storage(pg.type)) resolve(resolve, name, pg.line);
+    if (is_storage(pg.type)) continue;
+    push(name, pg.line);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const PendingGate& tg = defs[top.def].second;
+      if (top.next_fanin < tg.fanin_names.size()) {
+        // Descend into the next unresolved fanin (the reference into the
+        // stack is not used after the potential reallocation in push).
+        push(tg.fanin_names[top.next_fanin++], tg.line);
+        continue;
+      }
+      // Every fanin resolved: emit this gate in DFS postorder, exactly the
+      // order the recursive formulation produced.
+      std::vector<GateId> f;
+      f.reserve(tg.fanin_names.size());
+      for (const auto& fn : tg.fanin_names) f.push_back(ids.at(fn));
+      visiting[top.def] = 0;
+      ids[defs[top.def].first] = nl.add_gate(tg.type, std::move(f),
+                                             defs[top.def].first);
+      stack.pop_back();
+    }
   }
 
   // Rewire storage fanins from placeholders to their real drivers.

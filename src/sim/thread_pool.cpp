@@ -49,8 +49,13 @@ void ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 std::uint64_t ThreadPool::queued() const {
@@ -81,16 +86,28 @@ void ThreadPool::worker_loop(int index) {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const bool threw = err != nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --unfinished_;
       ++completed_;
+      if (err && !first_error_) first_error_ = std::move(err);
     }
     if (obs::enabled()) {
       static obs::Counter& tasks_completed =
           obs::Registry::global().counter("thread_pool.tasks_completed");
       tasks_completed.add(1);
+      if (threw) {
+        static obs::Counter& task_exceptions =
+            obs::Registry::global().counter("thread_pool.task_exceptions");
+        task_exceptions.add(1);
+      }
     }
     done_cv_.notify_all();
   }

@@ -41,11 +41,14 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues a job; jobs must not themselves call submit()/wait() on the
-  // same pool. Exceptions must be handled by the job (parallel_for_chunks
-  // does this for its bodies).
+  // same pool. A job that throws no longer takes the process down: the
+  // worker catches it, the pool stays usable, and the FIRST such exception
+  // is rethrown from the next wait(). parallel_for_chunks still catches its
+  // bodies itself, so its callers see exactly one propagation path.
   void submit(std::function<void()> job);
 
-  // Blocks until every job submitted so far has finished.
+  // Blocks until every job submitted so far has finished, then rethrows
+  // the first exception (if any) that escaped a job since the last wait().
   void wait();
 
   // Lifetime task counters: submitted vs finished. queued() - completed()
@@ -60,6 +63,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;  // guarded by mu_; drained by wait()
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -1,0 +1,156 @@
+// Robustness tests for the .bench reader: every malformed input fails with
+// a line-numbered error naming the offending net, and pathological (but
+// legal) inputs -- megabytes of gates, dependency chains deep enough to
+// overflow a recursive resolver -- parse fine.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+
+namespace dft {
+namespace {
+
+// Asserts read_bench_string(text) throws and the message contains every
+// expected fragment (typically "line N" plus the net name).
+void expect_parse_error(const std::string& text,
+                        std::initializer_list<const char*> fragments) {
+  try {
+    read_bench_string(text);
+    FAIL() << "expected a parse error for:\n" << text;
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    for (const char* frag : fragments) {
+      EXPECT_NE(msg.find(frag), std::string::npos)
+          << "missing '" << frag << "' in: " << msg;
+    }
+  }
+}
+
+TEST(BenchRobustness, TruncatedDeclaration) {
+  expect_parse_error("INPUT(a\n", {"line 1", "malformed declaration"});
+}
+
+TEST(BenchRobustness, TruncatedAssignment) {
+  expect_parse_error("INPUT(a)\nb = AND(a\n", {"line 2",
+                                               "malformed assignment"});
+}
+
+TEST(BenchRobustness, MissingLeftHandSide) {
+  expect_parse_error("INPUT(a)\n = AND(a, a)\n", {"line 2",
+                                                  "malformed assignment"});
+}
+
+TEST(BenchRobustness, UnknownGateType) {
+  expect_parse_error("INPUT(a)\nb = FROB(a)\n",
+                     {"line 2", "unknown gate type", "FROB"});
+}
+
+TEST(BenchRobustness, UnknownKeyword) {
+  expect_parse_error("WIBBLE(a)\n", {"line 1", "unknown keyword"});
+}
+
+TEST(BenchRobustness, EmptyOperand) {
+  expect_parse_error("INPUT(a)\nINPUT(c)\nb = AND(a,,c)\n",
+                     {"line 3", "empty operand"});
+}
+
+TEST(BenchRobustness, EmptyInputName) {
+  expect_parse_error("INPUT()\n", {"line 1", "empty INPUT name"});
+}
+
+TEST(BenchRobustness, UndefinedNetIsNamedWithReferencingLine) {
+  expect_parse_error("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n",
+                     {"line 3", "undefined net", "ghost"});
+}
+
+TEST(BenchRobustness, UndefinedOutputNet) {
+  expect_parse_error("INPUT(a)\nOUTPUT(nowhere)\nb = BUF(a)\n",
+                     {"line 2", "undefined output net", "nowhere"});
+}
+
+TEST(BenchRobustness, DuplicateGateDefinitionPointsAtFirst) {
+  expect_parse_error(
+      "INPUT(a)\nOUTPUT(b)\nb = BUF(a)\nb = NOT(a)\n",
+      {"line 4", "redefined", "first assigned at line 3"});
+}
+
+TEST(BenchRobustness, DuplicateInputDeclaration) {
+  expect_parse_error("INPUT(a)\nINPUT(a)\n",
+                     {"line 2", "already declared at line 1"});
+}
+
+TEST(BenchRobustness, InputThenAssignmentConflict) {
+  expect_parse_error("INPUT(a)\nINPUT(b)\nb = BUF(a)\n",
+                     {"line 3", "declared INPUT at line 2"});
+}
+
+TEST(BenchRobustness, AssignmentThenInputConflict) {
+  expect_parse_error("INPUT(a)\nb = BUF(a)\nINPUT(b)\n",
+                     {"line 3", "assigned at line 2"});
+}
+
+TEST(BenchRobustness, CombinationalSelfAssignmentRejected) {
+  expect_parse_error("INPUT(a)\nOUTPUT(b)\nb = AND(a, b)\n",
+                     {"line 3", "drives itself", "b"});
+}
+
+TEST(BenchRobustness, CombinationalCycleIsLineNumbered) {
+  expect_parse_error(
+      "INPUT(a)\nOUTPUT(b)\nb = AND(a, c)\nc = NOT(b)\n",
+      {"combinational cycle", "line"});
+}
+
+TEST(BenchRobustness, StorageSelfLoopIsLegal) {
+  // q = DFF(q) is a hold loop, not a combinational cycle.
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(b)\nq = DFF(q)\nb = AND(a, q)\n");
+  EXPECT_EQ(nl.storage().size(), 1u);
+}
+
+TEST(BenchRobustness, ReaderErrorsOnEveryLineAreOneBased) {
+  // A comment and a blank line still advance the line counter.
+  expect_parse_error("# header comment\n\nINPUT(a)\nb = FROB(a)\n",
+                     {"line 4"});
+}
+
+TEST(BenchRobustness, MegabytesOfReversedChainParseWithoutOverflow) {
+  // ~10 MB of BUF chain listed leaf-last: resolving n0 needs the full chain,
+  // so a recursive reader would recurse 400k frames deep and die. The
+  // iterative resolver must parse it and preserve the chain length.
+  constexpr int kDepth = 400000;
+  std::string text;
+  text.reserve(static_cast<std::size_t>(kDepth) * 26 + 64);
+  text += "INPUT(n" + std::to_string(kDepth) + ")\n";
+  text += "OUTPUT(n0)\n";
+  for (int i = 0; i < kDepth; ++i) {
+    text += "n" + std::to_string(i) + " = BUF(n" + std::to_string(i + 1) +
+            ")\n";
+  }
+  ASSERT_GT(text.size(), 8u * 1024 * 1024);
+  const Netlist nl = read_bench_string(text, "deep_chain");
+  // One input + kDepth buffers + one output marker gate.
+  EXPECT_EQ(nl.size(), static_cast<std::size_t>(kDepth) + 2);
+
+  // Round-trip: writing and re-reading preserves the structure.
+  const Netlist again = read_bench_string(write_bench_string(nl), "again");
+  EXPECT_EQ(again.size(), nl.size());
+}
+
+TEST(BenchRobustness, RoundTripPreservesGateIds) {
+  const std::string text =
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "u = NAND(a, b)\nv = XOR(a, u)\ny = OR(v, u)\n";
+  const Netlist one = read_bench_string(text);
+  const Netlist two = read_bench_string(write_bench_string(one));
+  ASSERT_EQ(one.size(), two.size());
+  for (GateId g = 0; g < one.size(); ++g) {
+    EXPECT_EQ(one.type(g), two.type(g)) << "gate " << g;
+    EXPECT_EQ(one.fanin(g), two.fanin(g)) << "gate " << g;
+  }
+}
+
+}  // namespace
+}  // namespace dft

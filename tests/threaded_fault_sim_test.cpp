@@ -50,6 +50,33 @@ TEST(ThreadPool, WaitWithNoJobsReturns) {
   pool.wait();
 }
 
+TEST(ThreadPool, FirstTaskExceptionRethrownFromWait) {
+  ThreadPool pool(4);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+  // The error is drained: the pool stays usable and wait() is clean again.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, OnlyFirstOfManyExceptionsSurfaces) {
+  ThreadPool pool(2);
+  // Every task throws; the workers must swallow the rest, finish the queue,
+  // and deliver exactly one error at the next wait().
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  pool.wait();  // nothing pending, nothing left to rethrow
+}
+
 TEST(ThreadPool, ParallelForChunksCoversRangeExactlyOnce) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(100);
