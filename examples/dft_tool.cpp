@@ -26,6 +26,15 @@
 //   dft_tool lint    <file.bench> [--json] [--scan-first]
 //                                          design-rule check; exits 1 on any
 //                                          error-severity violation
+//   dft_tool sta     <file.bench> [--no-learn] [--faults]
+//                    [--time-budget-ms M]   static structural analysis:
+//                                          proven-constant lines,
+//                                          unobservable gates, and the
+//                                          statically untestable share of
+//                                          the collapsed fault universe
+//                                          (--faults lists each one); the
+//                                          sta.* counters land in the obs
+//                                          report
 //   dft_tool export  <name> <out.bench>    dump a built-in circuit
 //
 // Observability flags, accepted by every command:
@@ -66,6 +75,7 @@
 #include "obs/trace.h"
 #include "scan/scan_insert.h"
 #include "sim/comb_sim.h"
+#include "sta/sta.h"
 
 using namespace dft;
 
@@ -87,7 +97,10 @@ int usage() {
                "[--threads N] [--engine E]\n"
                "                     [--time-budget-ms M]\n"
                "       dft_tool lint <file.bench> [--json] "
-               "[--scan-first]\n       dft_tool export <name> <out.bench>\n"
+               "[--scan-first]\n"
+               "       dft_tool sta <file.bench> [--no-learn] [--faults] "
+               "[--time-budget-ms M]\n"
+               "       dft_tool export <name> <out.bench>\n"
                "observability (any command): [--stats] "
                "[--report-json <file>] [--trace-json <file>]\n");
   return kExitUsage;
@@ -412,6 +425,58 @@ int run_tool(const std::vector<std::string>& args,
                 sim_result.num_detected,
                 guard::to_string(sim_result.status).data());
     return guard::interrupted(sim_result.status) ? kExitInterrupted : kExitOk;
+  }
+  if (cmd == "sta") {
+    sta::StaOptions opt;
+    bool list_faults = false;
+    long long budget_ms = -1;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--no-learn") {
+        opt.learn = false;
+      } else if (args[i] == "--faults") {
+        list_faults = true;
+      } else if (args[i] == "--time-budget-ms" && i + 1 < args.size()) {
+        int ms = 0;
+        if (!parse_int(args[++i].c_str(), ms) || ms < 0) return usage();
+        budget_ms = ms;
+      } else {
+        return usage();
+      }
+    }
+    const auto faults = [&] {
+      obs::Phase phase("collapse");
+      return collapse_faults(nl).representatives;
+    }();
+    if (budget_ms >= 0) opt.budget.set_deadline_ms(budget_ms);
+    opt.budget.set_cancel_token(sigint_token_ref());
+    obs::Phase phase("sta");
+    const sta::StaticAnalyzer analyzer(nl, opt);
+    const std::vector<Fault> untestable = analyzer.untestable_faults(faults);
+    const sta::StaStats& s = analyzer.stats();
+    context["status"] = std::string(guard::to_string(s.status));
+    context["elapsed_ms"] = std::to_string(s.elapsed_ms);
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .counter("sta.untestable_faults")
+          .add(static_cast<std::uint64_t>(untestable.size()));
+    }
+    std::printf("%zu gates: %d constant line(s), %d unobservable gate(s), "
+                "%lld learned implication(s) in %d round(s)\n",
+                nl.size(), s.constants_found, s.unobservable_gates,
+                s.implications_learned, s.fixpoint_iterations);
+    std::printf("%zu collapsed faults: %zu statically untestable (%.2f%%), "
+                "status %s after %lld ms\n",
+                faults.size(), untestable.size(),
+                faults.empty() ? 0.0
+                               : 100.0 * static_cast<double>(untestable.size()) /
+                                     static_cast<double>(faults.size()),
+                guard::to_string(s.status).data(), s.elapsed_ms);
+    if (list_faults) {
+      for (const Fault& f : untestable) {
+        std::printf("  untestable: %s\n", fault_name(nl, f).c_str());
+      }
+    }
+    return guard::interrupted(s.status) ? kExitInterrupted : kExitOk;
   }
   if (cmd == "scan") {
     Netlist copy = nl;

@@ -1,0 +1,214 @@
+// lint_report_check -- validates a lint JSON document (dft_tool lint
+// --json / render_json) against the checked-in schema
+// (data/lint_report_schema_v1.json).
+//
+//   lint_report_check <schema.json> <report.json> [--min-diagnostics N]
+//
+// Unlike the generic report_check, this validator descends into the
+// document: every diagnostic must carry exactly the keys the schema lists
+// (with the listed types), every severity must come from the schema's
+// whitelist, every gate reference must be an {id,label} pair, and the
+// summary block must agree with the diagnostics it summarizes (recounted
+// here, plus passed == (errors == 0)). Exit 0 when the report conforms,
+// 1 otherwise with one diagnostic per problem, 2 on usage errors. CI runs
+// this on fresh `dft_tool lint --json` output, so any drift in the lint
+// JSON shape fails the build until kLintJsonVersion and the schema file
+// are bumped together.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using dft::obs::Json;
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool type_matches(const Json& v, const std::string& type) {
+  if (type == "number") return v.is_number();
+  if (type == "string") return v.is_string();
+  if (type == "bool") return v.is_bool();
+  if (type == "array") return v.is_array();
+  if (type == "object") return v.is_object();
+  return false;
+}
+
+// Checks that `obj` carries exactly the keys of `spec` (a name -> type-name
+// object), each with the right type. `where` names the object in messages.
+void check_keys(const Json& obj, const Json& spec, const std::string& where,
+                std::vector<std::string>& problems) {
+  for (const auto& [key, type] : spec.as_object()) {
+    const Json* v = obj.find(key);
+    if (v == nullptr) {
+      problems.push_back(where + ": missing required key '" + key + "'");
+    } else if (!type_matches(*v, type.as_string())) {
+      problems.push_back(where + ": key '" + key + "' is not of type " +
+                         type.as_string());
+    }
+  }
+  for (const auto& [key, v] : obj.as_object()) {
+    (void)v;
+    if (spec.find(key) == nullptr) {
+      problems.push_back(where + ": unexpected key '" + key + "'");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: lint_report_check <schema.json> <report.json> "
+                 "[--min-diagnostics N]\n");
+    return 2;
+  }
+  long min_diagnostics = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-diagnostics") == 0 && i + 1 < argc) {
+      min_diagnostics = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::string schema_text, report_text;
+  if (!read_file(argv[1], schema_text)) {
+    std::fprintf(stderr, "cannot read schema %s\n", argv[1]);
+    return 1;
+  }
+  if (!read_file(argv[2], report_text)) {
+    std::fprintf(stderr, "cannot read report %s\n", argv[2]);
+    return 1;
+  }
+
+  try {
+    const Json schema = dft::obs::parse_json(schema_text);
+    const Json report = dft::obs::parse_json(report_text);
+    std::vector<std::string> problems;
+
+    // Top level: exactly the required keys, with the required types.
+    check_keys(report, *schema.find("required"), "report", problems);
+
+    // expect: pinned literal values (the schema version lives here).
+    if (const Json* expect = schema.find("expect")) {
+      for (const auto& [key, want] : expect->as_object()) {
+        const Json* got = report.find(key);
+        if (got != nullptr && got->is_number() && want.is_number() &&
+            got->as_number() != want.as_number()) {
+          problems.push_back("report: key '" + key + "' expected " +
+                             std::to_string(want.as_number()) + ", got " +
+                             std::to_string(got->as_number()));
+        }
+      }
+    }
+
+    // summary block.
+    const Json* summary = report.find("summary");
+    if (summary != nullptr && summary->is_object()) {
+      check_keys(*summary, *schema.find("summary_required"), "summary",
+                 problems);
+    }
+
+    // diagnostics: per-entry keys, severity whitelist, gate references.
+    long errors = 0, warnings = 0, infos = 0, n_diags = 0;
+    const Json* diags = report.find("diagnostics");
+    if (diags != nullptr && diags->is_array()) {
+      const Json& sevs = *schema.find("severities");
+      std::size_t i = 0;
+      for (const Json& d : diags->as_array()) {
+        const std::string where = "diagnostics[" + std::to_string(i++) + "]";
+        ++n_diags;
+        if (!d.is_object()) {
+          problems.push_back(where + ": not an object");
+          continue;
+        }
+        check_keys(d, *schema.find("diagnostic_required"), where, problems);
+        if (const Json* sev = d.find("severity");
+            sev != nullptr && sev->is_string()) {
+          const std::string& s = sev->as_string();
+          bool known = false;
+          for (const Json& allowed : sevs.as_array()) {
+            known = known || allowed.as_string() == s;
+          }
+          if (!known) {
+            problems.push_back(where + ": unknown severity '" + s + "'");
+          }
+          if (s == "error") ++errors;
+          if (s == "warning") ++warnings;
+          if (s == "info") ++infos;
+        }
+        const Json* gates = d.find("gates");
+        if (gates == nullptr || !gates->is_array()) continue;
+        if (gates->as_array().empty()) {
+          problems.push_back(where + ": no gates named");
+        }
+        std::size_t j = 0;
+        for (const Json& g : gates->as_array()) {
+          const std::string gwhere =
+              where + ".gates[" + std::to_string(j++) + "]";
+          if (!g.is_object()) {
+            problems.push_back(gwhere + ": not an object");
+            continue;
+          }
+          check_keys(g, *schema.find("gate_required"), gwhere, problems);
+        }
+      }
+    }
+
+    // The summary must agree with the diagnostics it summarizes.
+    if (summary != nullptr && summary->is_object()) {
+      const auto want = [&](const char* key, long n) {
+        const Json* v = summary->find(key);
+        if (v != nullptr && v->is_number() &&
+            static_cast<long>(v->as_number()) != n) {
+          problems.push_back("summary." + std::string(key) + " says " +
+                             std::to_string(static_cast<long>(v->as_number())) +
+                             " but diagnostics contain " + std::to_string(n));
+        }
+      };
+      want("errors", errors);
+      want("warnings", warnings);
+      want("infos", infos);
+      const Json* passed = summary->find("passed");
+      if (passed != nullptr && passed->is_bool() &&
+          passed->as_bool() != (errors == 0)) {
+        problems.push_back("summary.passed contradicts the error count");
+      }
+    }
+
+    if (n_diags < min_diagnostics) {
+      problems.push_back("expected at least " +
+                         std::to_string(min_diagnostics) +
+                         " diagnostics, found " + std::to_string(n_diags));
+    }
+
+    if (problems.empty()) {
+      std::printf("%s: ok (%ld diagnostics: %ld errors, %ld warnings, "
+                  "%ld infos)\n",
+                  argv[2], n_diags, errors, warnings, infos);
+      return 0;
+    }
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "%s: %s\n", argv[2], p.c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -14,6 +14,7 @@
 #include "fault/threaded_fault_sim.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "sta/sta.h"
 
 namespace dft {
 
@@ -89,6 +90,44 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
   std::vector<char> closed(faults.size(), 0);
   for (std::size_t i : redundant_idx) closed[i] = 1;
   for (std::size_t i : aborted_pool) closed[i] = 1;
+
+  // Phase 0: static pruning (dft::sta). Faults whose untestability follows
+  // from structure alone are classified redundant without search -- the
+  // "analyze, don't enumerate" leverage the survey argues for. Soundness
+  // makes the ordering free: a statically untestable fault is undetectable
+  // by any pattern and would come back Redundant from PODEM, so every
+  // downstream phase sees the same world it would have discovered itself.
+  // On budget expiry the partial prune is kept (any subset is still sound)
+  // and the later phases notice the expired budget at their own polls.
+  if (options.static_prune) {
+    obs::Phase prune_phase("atpg.sta_prune");
+    try {
+      sta::StaOptions sopt;
+      sopt.budget = options.budget;
+      const sta::StaticAnalyzer analyzer(nl, sopt);
+      int since_poll = 0;
+      for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+        if (detected[fi] || closed[fi]) continue;
+        if (guarded && ++since_poll >= 256) {
+          since_poll = 0;
+          if (options.budget.poll() != guard::RunStatus::Completed) break;
+        }
+        if (analyzer.untestable(faults[fi])) {
+          redundant_idx.push_back(fi);
+          closed[fi] = 1;
+          ++run.statically_pruned;
+        }
+      }
+    } catch (const std::runtime_error&) {
+      // Combinational cycle: no static analysis; the fault simulator will
+      // report the cycle exactly as an un-pruned run would.
+    }
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .counter("sta.faults_pruned")
+          .add(static_cast<std::uint64_t>(run.statically_pruned));
+    }
+  }
 
   // Phase 1: (weighted) random patterns with fault dropping.
   if (run_random_phase && options.random_patterns > 0) {

@@ -29,6 +29,13 @@ struct AtpgOptions {
   bool deterministic_phase = true;  // run PODEM on the random-phase remainder
   int backtrack_limit = 20000;
   bool compact = true;
+  // Static-analysis pre-pass (dft::sta): classify statically-provable
+  // untestable faults as redundant before any search. Sound by
+  // construction -- a pruned fault is exactly one an unbounded PODEM would
+  // prove Redundant -- so the final detected/redundant classification and
+  // the test set are bit-identical with the pre-pass on or off; only the
+  // search statistics (decisions, backtracks) shrink.
+  bool static_prune = true;
   std::uint64_t seed = 1;
   // Fault-simulation workers for grading/dropping (1 = single-threaded,
   // 0 = hardware concurrency). The result is identical at any value.
@@ -70,6 +77,9 @@ struct AtpgRun {
   // Retry-ladder accounting (zero unless AtpgOptions::retry_aborted).
   int retry_attempts = 0;
   int retry_rescued = 0;  // previously-aborted faults proven or tested
+  // Faults classified redundant by the dft::sta pre-pass without search
+  // (zero when AtpgOptions::static_prune is off; a subset of `redundant`).
+  int statically_pruned = 0;
 
   int num_faults = 0;
   int detected = 0;

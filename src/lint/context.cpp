@@ -107,4 +107,14 @@ const CopResult* LintContext::cop() {
   return cop_ ? &*cop_ : nullptr;
 }
 
+const sta::StaticAnalyzer* LintContext::sta() {
+  if (!sta_tried_) {
+    sta_tried_ = true;
+    if (!has_comb_cycle()) {
+      sta_ = std::make_unique<sta::StaticAnalyzer>(nl);
+    }
+  }
+  return sta_.get();
+}
+
 }  // namespace dft

@@ -26,7 +26,7 @@ std::string_view severity_name(Severity s);  // "info" / "warning" / "error"
 struct Diagnostic {
   std::string rule;      // rule id, e.g. "SCAN-001"
   Severity severity = Severity::Warning;
-  std::string category;  // "scan" | "structural" | "testability"
+  std::string category;  // "scan" | "structural" | "testability" | "redundancy"
   std::string paper;     // section the rule enforces, e.g. "Sec. IV-A rule 1"
   std::string message;   // human sentence naming the offending gates
   std::string fix;       // one-line fix hint

@@ -12,6 +12,7 @@ LintEngine::LintEngine() {
   install(make_scan_rules());
   install(make_structural_rules());
   install(make_testability_rules());
+  install(make_redundancy_rules());
 }
 
 void LintEngine::add_rule(std::unique_ptr<LintRule> rule) {
@@ -93,14 +94,19 @@ LintReport LintEngine::run(const Netlist& nl) const {
       report.diagnostics.push_back(std::move(d));
     }
   }
-  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.severity != b.severity) return a.severity > b.severity;
-              if (a.rule != b.rule) return a.rule < b.rule;
-              const GateId ga = a.gates.empty() ? kNoGate : a.gates[0];
-              const GateId gb = b.gates.empty() ? kNoGate : b.gates[0];
-              return ga < gb;
-            });
+  // Deterministic total order: severity (errors first), rule id, offending
+  // gates, message. stable_sort keeps a rule's own emission order for
+  // diagnostics the key cannot distinguish, so reports are byte-identical
+  // across runs and platforms -- diffable in CI.
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return a.severity > b.severity;
+                     }
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     if (a.gates != b.gates) return a.gates < b.gates;
+                     return a.message < b.message;
+                   });
   return report;
 }
 
@@ -110,6 +116,7 @@ LintReport lint_scan_rules(const Netlist& nl, bool require_all_scanned) {
   LintEngine engine;
   engine.set_category_enabled("structural", false);
   engine.set_category_enabled("testability", false);
+  engine.set_category_enabled("redundancy", false);
   if (!require_all_scanned) engine.set_enabled("SCAN-001", false);
   return engine.run(nl);
 }

@@ -17,6 +17,7 @@
 #include "measure/cop.h"
 #include "measure/scoap.h"
 #include "netlist/netlist.h"
+#include "sta/sta.h"
 
 namespace dft {
 
@@ -51,13 +52,20 @@ class LintContext {
   const ScoapResult* scoap();
   const CopResult* cop();
 
+  // Static structural analysis (dft::sta) for the redundancy rules;
+  // nullptr when the netlist is cyclic. Computed on first use -- netlists
+  // that only run the cheap rule families never pay for it.
+  const sta::StaticAnalyzer* sta();
+
  private:
   std::vector<std::vector<GateId>> fanouts_;
   std::optional<std::vector<std::vector<GateId>>> cycles_;
   std::optional<ScoapResult> scoap_;
   std::optional<CopResult> cop_;
+  std::unique_ptr<sta::StaticAnalyzer> sta_;
   bool scoap_tried_ = false;
   bool cop_tried_ = false;
+  bool sta_tried_ = false;
 };
 
 // One design rule. Implementations live in rules_*.cpp; the engine stamps
@@ -80,5 +88,6 @@ class LintRule {
 std::vector<std::unique_ptr<LintRule>> make_scan_rules();
 std::vector<std::unique_ptr<LintRule>> make_structural_rules();
 std::vector<std::unique_ptr<LintRule>> make_testability_rules();
+std::vector<std::unique_ptr<LintRule>> make_redundancy_rules();
 
 }  // namespace dft

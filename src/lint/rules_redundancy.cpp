@@ -1,0 +1,186 @@
+// Redundancy lint: statically-proven dead logic (Secs. II, IV-A).
+//
+// The survey's design rules exist to keep untestable structures out of a
+// design; these rules point at the structures themselves, using the
+// dft::sta implication engine instead of simulation or search. Everything
+// flagged here is a *proof*, not a heuristic score: a constant line really
+// cannot toggle, an unobservable gate really cannot influence any
+// observation point, an untestable fault site really will come back
+// Redundant from an unbounded PODEM run. All rules stay silent on cyclic
+// netlists (STRUCT-001 already reports those as errors).
+#include <algorithm>
+#include <string>
+
+#include "fault/fault.h"
+#include "lint/rules_util.h"
+
+namespace dft {
+
+namespace {
+
+// Gates whose output net carries real logic: sources (inputs, constants)
+// and storage are free variables of the combinational test model, and an
+// Output gate mirrors its driver (reporting both would say everything
+// twice).
+bool carries_logic(GateType t) {
+  return is_combinational(t) && t != GateType::Output;
+}
+
+// REDUN-001 — constant line: the implication engine proved the net can
+// never leave one value, so the logic computing it is dead weight and every
+// fault needing the other value is untestable (Sec. II: redundancy is the
+// canonical source of untestable faults).
+class ConstantLineRule final : public RuleBase {
+ public:
+  ConstantLineRule()
+      : RuleBase("REDUN-001", "constant-line", Severity::Warning,
+                 "redundancy", "Sec. II / Sec. IV-A") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const sta::StaticAnalyzer* an = ctx.sta();
+    if (!an) return;
+    const Netlist& nl = ctx.nl;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (!carries_logic(nl.type(g))) continue;
+      const sta::LineConst c = an->constant(g);
+      if (c == sta::LineConst::Free) continue;
+      const char* v = c == sta::LineConst::Zero
+                          ? "0"
+                          : (c == sta::LineConst::One ? "1" : "contradictory");
+      Diagnostic d;
+      d.message = "net '" + nl.label(g) + "' is provably constant " + v +
+                  ": the logic driving it can never toggle";
+      d.fix = "fold the constant and delete the dead logic, or fix the "
+              "reconvergence that pins it";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// REDUN-002 — unobservable gate: no sensitizable path from the gate's
+// output to any primary output or scan capture point survives the proven
+// constants. The gate can compute anything; nobody can ever see it.
+class UnobservableGateRule final : public RuleBase {
+ public:
+  UnobservableGateRule()
+      : RuleBase("REDUN-002", "unobservable-gate", Severity::Warning,
+                 "redundancy", "Sec. II (observability)") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const sta::StaticAnalyzer* an = ctx.sta();
+    if (!an) return;
+    const Netlist& nl = ctx.nl;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (!carries_logic(nl.type(g)) || an->observable(g)) continue;
+      Diagnostic d;
+      d.message = "gate '" + nl.label(g) +
+                  "' is unobservable: no sensitizable path to any output or "
+                  "scan capture point";
+      d.fix = "delete the dead cone or add an observation point (Sec. III-B)";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// REDUN-003 — statically untestable fault site: some (but not all) of the
+// gate's stuck-at faults are provably untestable -- local blocking like a
+// constant side input or a duplicate-driver conflict. Sites that are
+// already constant or unobservable are skipped; REDUN-001/002 explain
+// those wholesale.
+class UntestableFaultSiteRule final : public RuleBase {
+ public:
+  UntestableFaultSiteRule()
+      : RuleBase("REDUN-003", "untestable-fault-site", Severity::Warning,
+                 "redundancy", "Sec. II / Sec. IV-B") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const sta::StaticAnalyzer* an = ctx.sta();
+    if (!an) return;
+    const Netlist& nl = ctx.nl;
+    std::vector<int> untestable(nl.size(), 0), total(nl.size(), 0);
+    for (const Fault& f : enumerate_faults(nl)) {
+      ++total[f.gate];
+      if (an->untestable(f)) ++untestable[f.gate];
+    }
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (untestable[g] == 0) continue;
+      if (!carries_logic(nl.type(g))) continue;
+      if (an->constant(g) != sta::LineConst::Free || !an->observable(g)) {
+        continue;  // REDUN-001/002 already explain every fault here
+      }
+      Diagnostic d;
+      d.message = "gate '" + nl.label(g) + "': " +
+                  std::to_string(untestable[g]) + " of " +
+                  std::to_string(total[g]) +
+                  " stuck-at faults are statically untestable (redundant "
+                  "logic around this site)";
+      d.fix = "remove the redundancy, or accept the undetectable faults and "
+              "exclude them from coverage targets";
+      d.gates = {g};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+// REDUN-004 — proven bus contention: two drivers of one bus are, by
+// implication over the whole netlist, simultaneously driving constant and
+// conflicting values. Unlike the heuristic wired-logic warnings, this is an
+// unconditional electrical conflict, so it is an error (Sec. IV-A: bus
+// rules are the classic "enforced by software" example).
+class BusContentionRule final : public RuleBase {
+ public:
+  BusContentionRule()
+      : RuleBase("REDUN-004", "proven-bus-contention", Severity::Error,
+                 "redundancy", "Sec. IV-A (bus rules)") {}
+
+  void check(LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    const sta::StaticAnalyzer* an = ctx.sta();
+    if (!an) return;
+    const Netlist& nl = ctx.nl;
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (nl.type(g) != GateType::Bus || nl.fanin(g).size() < 2) continue;
+      // A driver contributes a proven value when it can never let go of the
+      // bus: a non-tristate driver always drives its (constant) value; a
+      // tristate drives its constant data only when its enable is stuck on.
+      GateId low = kNoGate, high = kNoGate;
+      for (GateId w : nl.fanin(g)) {
+        sta::LineConst v = sta::LineConst::Free;
+        if (nl.type(w) == GateType::Tristate) {
+          const auto& tfi = nl.fanin(w);
+          if (an->constant(tfi[kTristatePinEnable]) != sta::LineConst::One) {
+            continue;  // can release the bus; no proof
+          }
+          v = an->constant(tfi[kTristatePinData]);
+        } else {
+          v = an->constant(w);
+        }
+        if (v == sta::LineConst::Zero) low = w;
+        if (v == sta::LineConst::One) high = w;
+      }
+      if (low == kNoGate || high == kNoGate) continue;
+      Diagnostic d;
+      d.message = "bus '" + nl.label(g) + "': drivers '" + nl.label(low) +
+                  "' (always 0) and '" + nl.label(high) +
+                  "' (always 1) are provably in contention";
+      d.fix = "fix the enable logic so at most one driver owns the bus in "
+              "every state (Sec. IV-A)";
+      d.gates = {g, low, high};
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<LintRule>> make_redundancy_rules() {
+  std::vector<std::unique_ptr<LintRule>> rules;
+  rules.push_back(std::make_unique<ConstantLineRule>());
+  rules.push_back(std::make_unique<UnobservableGateRule>());
+  rules.push_back(std::make_unique<UntestableFaultSiteRule>());
+  rules.push_back(std::make_unique<BusContentionRule>());
+  return rules;
+}
+
+}  // namespace dft

@@ -414,6 +414,134 @@ TEST(LintEngineApi, CustomRulesRegisterAndRejectDuplicates) {
   EXPECT_TRUE(report.passed());  // infos never fail a netlist
 }
 
+// --- Redundancy rules (dft::sta-backed) -----------------------------------
+
+// The classic redundancy: z = AND(a, OR(b, NOT b)). The OR is provably
+// constant 1, which makes z's side-input faults untestable.
+Netlist make_redundant_and() {
+  Netlist nl("classic_redundant");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId nb = nl.add_gate(G::Not, {b}, "nb");
+  const GateId t = nl.add_gate(G::Or, {b, nb}, "t");
+  const GateId z = nl.add_gate(G::And, {a, t}, "z");
+  nl.add_output(z, "po");
+  return nl;
+}
+
+TEST(LintRedundancy, ConstantLineIsFlagged) {
+  const Netlist nl = make_redundant_and();
+  const LintReport report = lint_netlist(nl);
+  const auto diags = rule_diags(report, "REDUN-001");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(mentions_gate(diags[0], *nl.find("t")));
+  EXPECT_NE(diags[0].message.find("constant 1"), std::string::npos);
+  EXPECT_EQ(diags[0].severity, Severity::Warning);
+  EXPECT_TRUE(report.passed());  // redundancy is advisory, not fatal
+  // Irredundant circuits are silent.
+  EXPECT_TRUE(rule_diags(lint_netlist(make_c17()), "REDUN-001").empty());
+}
+
+TEST(LintRedundancy, UnobservableGateIsFlagged) {
+  // g's only sink is AND-gated by a provable constant 0.
+  Netlist nl("blocked");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId nb = nl.add_gate(G::Not, {b}, "nb");
+  const GateId zero = nl.add_gate(G::And, {b, nb}, "zero");
+  const GateId g = nl.add_gate(G::Or, {a, b}, "g");
+  const GateId s = nl.add_gate(G::And, {g, zero}, "sink");
+  nl.add_output(s, "po");
+  const LintReport report = lint_netlist(nl);
+  const auto diags = rule_diags(report, "REDUN-002");
+  ASSERT_GE(diags.size(), 1u);
+  EXPECT_TRUE(std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return mentions_gate(d, g);
+  }));
+}
+
+TEST(LintRedundancy, UntestableFaultSiteSkipsConstantAndUnobservableSites) {
+  const Netlist nl = make_redundant_and();
+  const LintReport report = lint_netlist(nl);
+  // z has untestable side-input faults but is neither constant nor
+  // unobservable, so it is the REDUN-003 site; t is REDUN-001's finding
+  // and must not be re-reported here.
+  const auto diags = rule_diags(report, "REDUN-003");
+  ASSERT_GE(diags.size(), 1u);
+  const GateId z = *nl.find("z");
+  const GateId t = *nl.find("t");
+  EXPECT_TRUE(std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return mentions_gate(d, z);
+  }));
+  for (const Diagnostic& d : diags) EXPECT_FALSE(mentions_gate(d, t));
+}
+
+TEST(LintRedundancy, ProvenBusContentionIsAnError) {
+  Netlist nl("contention");
+  const GateId d = nl.add_input("d");
+  const GateId one = nl.add_gate(G::Const1, {}, "one");
+  const GateId zero = nl.add_gate(G::Const0, {}, "zero");
+  const GateId t0 = nl.add_gate(G::Tristate, {zero, one}, "drv0");
+  const GateId t1 = nl.add_gate(G::Tristate, {one, one}, "drv1");
+  const GateId bus = nl.add_gate(G::Bus, {t0, t1}, "bus");
+  const GateId keep = nl.add_gate(G::And, {bus, d}, "keep");
+  nl.add_output(keep, "po");
+  const LintReport report = lint_netlist(nl);
+  const auto diags = rule_diags(report, "REDUN-004");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, Severity::Error);
+  EXPECT_TRUE(mentions_gate(diags[0], bus));
+  EXPECT_FALSE(report.passed());
+
+  // Free the enable of one driver: contention is no longer provable.
+  Netlist ok("no_contention");
+  const GateId en = ok.add_input("en");
+  const GateId one2 = ok.add_gate(G::Const1, {}, "one");
+  const GateId zero2 = ok.add_gate(G::Const0, {}, "zero");
+  const GateId u0 = ok.add_gate(G::Tristate, {zero2, en}, "drv0");
+  const GateId u1 = ok.add_gate(G::Tristate, {one2, one2}, "drv1");
+  const GateId bus2 = ok.add_gate(G::Bus, {u0, u1}, "bus");
+  ok.add_output(bus2, "po");
+  EXPECT_TRUE(rule_diags(lint_netlist(ok), "REDUN-004").empty());
+}
+
+TEST(LintRedundancy, SilentOnCyclicNetlists) {
+  Netlist nl("cyc3");
+  const GateId x = nl.add_input("x");
+  const GateId a = nl.add_gate(G::And, {x, x}, "a");
+  const GateId b = nl.add_gate(G::Or, {a, x}, "b");
+  nl.add_output(b, "ob");
+  nl.set_fanin(a, 1, b);
+  const LintReport report = lint_netlist(nl);
+  for (const char* id : {"REDUN-001", "REDUN-002", "REDUN-003", "REDUN-004"}) {
+    EXPECT_TRUE(rule_diags(report, id).empty()) << id;
+  }
+  EXPECT_FALSE(rule_diags(report, "STRUCT-001").empty());
+}
+
+// --- Deterministic report ordering ----------------------------------------
+
+TEST(LintReportOrdering, DiagnosticsAreTotallyOrderedAndStable) {
+  // A netlist that trips several rules at several severities.
+  const Netlist frozen = make_counter(4);
+  const LintReport r1 = lint_netlist(frozen);
+  const LintReport r2 = lint_netlist(frozen);
+  ASSERT_GE(r1.diagnostics.size(), 2u);
+  // Byte-identical across runs.
+  EXPECT_EQ(render_json(frozen, r1), render_json(frozen, r2));
+  // Sorted by (severity desc, rule, gates, message).
+  for (std::size_t i = 1; i < r1.diagnostics.size(); ++i) {
+    const Diagnostic& p = r1.diagnostics[i - 1];
+    const Diagnostic& q = r1.diagnostics[i];
+    const auto key = [](const Diagnostic& d) {
+      return std::tuple<int, const std::string&, const std::vector<GateId>&,
+                        const std::string&>(-static_cast<int>(d.severity),
+                                            d.rule, d.gates, d.message);
+    };
+    EXPECT_LE(key(p), key(q)) << "diagnostics out of order at index " << i;
+  }
+}
+
 // --- Rendering ------------------------------------------------------------
 
 TEST(LintRender, JsonSchemaIsStable) {

@@ -1,0 +1,351 @@
+// dft::sta -- static implication / untestability analysis.
+//
+// The load-bearing property is SOUNDNESS: sta may miss redundancies, but a
+// fault it calls untestable must be one an unbounded PODEM search proves
+// Redundant. The differential fuzzer checks exactly that on random DAGs,
+// and the run_atpg pre-pass test checks the end-to-end contract: identical
+// detected/redundant classification and identical tests with the pre-pass
+// on or off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "atpg/engine.h"
+#include "atpg/podem.h"
+#include "circuits/basic.h"
+#include "circuits/random_circuit.h"
+#include "circuits/sn74181.h"
+#include "fault/fault.h"
+#include "sta/sta.h"
+
+namespace dft {
+namespace {
+
+using sta::LineConst;
+using sta::StaOptions;
+using sta::StaticAnalyzer;
+
+// The pre-pass proves redundancies in fault order before PODEM finds the
+// rest, so `redundant` can be a permutation of the un-pruned run's -- the
+// contract is set equality.
+std::vector<Fault> sorted(std::vector<Fault> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// --- hand-built redundancy shapes ------------------------------------------
+
+// The classic redundant circuit: z = AND(a, OR(b, NOT b)). The OR is
+// constant 1 (provable only by phase probing: OR=0 forces b=0 and b=1),
+// so the AND's second pin is untestable for s-a-1.
+Netlist make_classic_redundant() {
+  Netlist nl("classic_redundant");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId nb = nl.add_gate(GateType::Not, {b}, "nb");
+  const GateId t = nl.add_gate(GateType::Or, {b, nb}, "t");
+  const GateId z = nl.add_gate(GateType::And, {a, t}, "z");
+  nl.add_output(z, "po");
+  (void)a;
+  return nl;
+}
+
+TEST(Sta, ClassicRedundantConstantAndPrunes) {
+  const Netlist nl = make_classic_redundant();
+  const StaticAnalyzer an(nl);
+  ASSERT_TRUE(nl.find("t").has_value());
+  const GateId t = *nl.find("t");
+  const GateId z = *nl.find("z");
+  EXPECT_EQ(an.constant(t), LineConst::One);
+  EXPECT_EQ(an.constant(z), LineConst::Free);
+  EXPECT_GT(an.stats().constants_found, 0);
+  EXPECT_EQ(an.stats().status, guard::RunStatus::Completed);
+
+  // t/1 is undetectable everywhere it appears; t/0 is testable.
+  EXPECT_TRUE(an.untestable(Fault{t, -1, true}));
+  EXPECT_FALSE(an.untestable(Fault{t, -1, false}));
+  EXPECT_TRUE(an.untestable(Fault{z, 1, true}));   // AND pin fed by t, s-a-1
+  EXPECT_FALSE(an.untestable(Fault{z, 1, false}));
+  EXPECT_FALSE(an.untestable(Fault{z, 0, true}));  // the a pin is testable
+
+  // PODEM agrees on every verdict.
+  Podem podem(nl, 1000000000);
+  for (const Fault& f : enumerate_faults(nl)) {
+    const AtpgOutcome out = podem.generate(f);
+    ASSERT_NE(out.status, AtpgStatus::Aborted);
+    if (an.untestable(f)) {
+      EXPECT_EQ(out.status, AtpgStatus::Redundant) << fault_name(nl, f);
+    }
+  }
+}
+
+TEST(Sta, XorOfSameLineIsConstantZero) {
+  Netlist nl("xor_same");
+  const GateId a = nl.add_input("a");
+  const GateId x = nl.add_gate(GateType::Xor, {a, a}, "x");
+  const GateId y = nl.add_gate(GateType::Or, {x, nl.add_input("b")}, "y");
+  nl.add_output(y, "po");
+  const StaticAnalyzer an(nl);
+  EXPECT_EQ(an.constant(x), LineConst::Zero);
+  EXPECT_TRUE(an.untestable(Fault{x, -1, false}));  // stuck at its value
+  EXPECT_FALSE(an.untestable(Fault{x, -1, true}));
+  // An XNOR of the same line is constant 1 likewise.
+  Netlist nl2("xnor_same");
+  const GateId c = nl2.add_input("c");
+  const GateId x2 = nl2.add_gate(GateType::Xnor, {c, c}, "x2");
+  nl2.add_output(x2, "po");
+  const StaticAnalyzer an2(nl2);
+  EXPECT_EQ(an2.constant(x2), LineConst::One);
+}
+
+TEST(Sta, ConstantGatePropagation) {
+  Netlist nl("const_prop");
+  const GateId a = nl.add_input("a");
+  const GateId c0 = nl.add_gate(GateType::Const0, {}, "c0");
+  const GateId inv = nl.add_gate(GateType::Not, {c0}, "inv");     // 1
+  const GateId o = nl.add_gate(GateType::Or, {a, inv}, "o");      // 1
+  const GateId n = nl.add_gate(GateType::Nand, {o, a}, "n");      // ~a
+  nl.add_output(n, "z");
+  const StaticAnalyzer an(nl);
+  EXPECT_EQ(an.constant(c0), LineConst::Zero);
+  EXPECT_EQ(an.constant(inv), LineConst::One);
+  EXPECT_EQ(an.constant(o), LineConst::One);
+  EXPECT_EQ(an.constant(n), LineConst::Free);
+  EXPECT_EQ(an.constant(a), LineConst::Free);
+}
+
+TEST(Sta, ConstantBlockedConeIsUnobservable) {
+  // g feeds only AND(g, 0): nothing g does can reach the output.
+  Netlist nl("blocked");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c0 = nl.add_gate(GateType::Const0, {}, "c0");
+  const GateId g = nl.add_gate(GateType::Xor, {a, b}, "g");
+  const GateId blocked = nl.add_gate(GateType::And, {g, c0}, "dead");
+  const GateId z = nl.add_gate(GateType::Or, {blocked, a}, "z");
+  nl.add_output(z, "po");
+  const StaticAnalyzer an(nl);
+  EXPECT_FALSE(an.observable(g));
+  EXPECT_TRUE(an.observable(a));
+  EXPECT_TRUE(an.untestable(Fault{g, -1, true}));
+  EXPECT_TRUE(an.untestable(Fault{g, -1, false}));
+  EXPECT_GT(an.stats().unobservable_gates, 0);
+}
+
+TEST(Sta, ReconvergentConstantDoesNotBlockItsOwnCone) {
+  // u = AND(a, NOT a) is constant 0, but u itself is in the fanout cone of
+  // a -- a fault on `a` flips u, so the constant must NOT block paths for
+  // origins inside its cone. All of a's faults are genuinely testable here
+  // (z = OR(u, a) behaves as `a`; a fault on `a` propagates via the OR's
+  // second pin), and soundness says sta must not claim otherwise.
+  Netlist nl("reconv");
+  const GateId a = nl.add_input("a");
+  const GateId na = nl.add_gate(GateType::Not, {a}, "na");
+  const GateId u = nl.add_gate(GateType::And, {a, na}, "u");
+  const GateId z = nl.add_gate(GateType::Or, {u, a}, "z");
+  nl.add_output(z, "po");
+  (void)z;
+  const StaticAnalyzer an(nl);
+  EXPECT_EQ(an.constant(u), LineConst::Zero);
+  EXPECT_FALSE(an.untestable(Fault{a, -1, true}));
+  EXPECT_FALSE(an.untestable(Fault{a, -1, false}));
+  Podem podem(nl, 1000000000);
+  EXPECT_EQ(podem.generate(Fault{a, -1, true}).status, AtpgStatus::TestFound);
+  EXPECT_EQ(podem.generate(Fault{a, -1, false}).status,
+            AtpgStatus::TestFound);
+}
+
+TEST(Sta, MuxWithConstantSelect) {
+  Netlist nl("mux_const_sel");
+  const GateId a = nl.add_input("a");
+  const GateId b = nl.add_input("b");
+  const GateId c1 = nl.add_gate(GateType::Const1, {}, "c1");
+  const GateId m = nl.add_gate(GateType::Mux, {a, b, c1}, "m");
+  nl.add_output(m, "z");
+  const StaticAnalyzer an(nl);
+  // sel const 1: the a-input path is dead, b passes through.
+  EXPECT_TRUE(an.untestable(Fault{m, kMuxPinA, true}));
+  EXPECT_TRUE(an.untestable(Fault{m, kMuxPinA, false}));
+  EXPECT_FALSE(an.untestable(Fault{m, kMuxPinB, true}));
+  EXPECT_FALSE(an.observable(a));
+  EXPECT_TRUE(an.observable(b));
+}
+
+TEST(Sta, TristateWithConstantEnable) {
+  Netlist nl("tri_const_en");
+  const GateId d = nl.add_input("d");
+  const GateId c0 = nl.add_gate(GateType::Const0, {}, "c0");
+  const GateId t = nl.add_gate(GateType::Tristate, {d, c0}, "t");
+  const GateId bus = nl.add_gate(GateType::Bus, {t}, "bus");
+  nl.add_output(bus, "z");
+  const StaticAnalyzer an(nl);
+  // enable const 0: the data pin can never reach the bus.
+  EXPECT_TRUE(an.untestable(Fault{t, kTristatePinData, true}));
+  EXPECT_FALSE(an.observable(d));
+}
+
+TEST(Sta, UntestableFaultsFilterMatchesPerFaultQueries) {
+  const Netlist nl = make_classic_redundant();
+  const StaticAnalyzer an(nl);
+  const auto faults = enumerate_faults(nl);
+  const auto untestable = an.untestable_faults(faults);
+  EXPECT_FALSE(untestable.empty());
+  std::size_t count = 0;
+  for (const Fault& f : faults) count += an.untestable(f) ? 1 : 0;
+  EXPECT_EQ(untestable.size(), count);
+}
+
+TEST(Sta, FullyTestableCircuitsPruneNothing) {
+  for (const Netlist& nl : {make_c17(), make_ripple_adder(4)}) {
+    const StaticAnalyzer an(nl);
+    EXPECT_TRUE(an.untestable_faults(enumerate_faults(nl)).empty())
+        << nl.name();
+  }
+}
+
+// --- the soundness fuzzer ---------------------------------------------------
+
+// Every fault sta calls untestable must come back Redundant from a PODEM
+// search deep enough to be exhaustive. Random DAGs grow redundancies
+// naturally (duplicate pins, reconvergence); the generator's parameters
+// match the event-kernel fuzzer's.
+TEST(StaFuzz, UntestableImpliesPodemRedundant) {
+  std::mt19937_64 meta(2024);
+  int total_untestable = 0;
+  for (int round = 0; round < 50; ++round) {
+    RandomCircuitSpec spec;
+    spec.num_inputs = 6 + static_cast<int>(meta() % 10);
+    spec.num_outputs = 3 + static_cast<int>(meta() % 6);
+    spec.num_gates = 40 + static_cast<int>(meta() % 80);
+    spec.max_fanin = 2 + static_cast<int>(meta() % 3);
+    spec.seed = meta();
+    const Netlist nl = make_random_combinational(spec);
+    SCOPED_TRACE("round " + std::to_string(round) + " (" + nl.name() + ")");
+
+    const StaticAnalyzer an(nl);
+    ASSERT_EQ(an.stats().status, guard::RunStatus::Completed);
+    Podem podem(nl, 1000000000);  // effectively unlimited: verdicts exact
+    for (const Fault& f : an.untestable_faults(enumerate_faults(nl))) {
+      ++total_untestable;
+      const AtpgOutcome out = podem.generate(f);
+      ASSERT_EQ(out.status, AtpgStatus::Redundant)
+          << fault_name(nl, f) << " claimed untestable but PODEM says "
+          << (out.status == AtpgStatus::TestFound ? "TestFound" : "Aborted");
+    }
+  }
+  // The corpus is only a meaningful soundness probe if it exercises the
+  // claim; random DAGs with duplicate pins reliably produce redundancies.
+  EXPECT_GT(total_untestable, 0);
+}
+
+// run_atpg classification must be bit-identical with the pre-pass on/off:
+// same detected count, same redundant set, same tests. Backtracks are
+// effectively unlimited so PODEM's own verdicts are exact (no aborts).
+TEST(StaFuzz, AtpgPrePassPreservesClassification) {
+  std::mt19937_64 meta(77);
+  for (int round = 0; round < 8; ++round) {
+    RandomCircuitSpec spec;
+    spec.num_inputs = 8 + static_cast<int>(meta() % 8);
+    spec.num_outputs = 4 + static_cast<int>(meta() % 4);
+    spec.num_gates = 60 + static_cast<int>(meta() % 120);
+    spec.max_fanin = 2 + static_cast<int>(meta() % 3);
+    spec.seed = meta();
+    const Netlist nl = make_random_combinational(spec);
+    SCOPED_TRACE("round " + std::to_string(round) + " (" + nl.name() + ")");
+    const auto faults = enumerate_faults(nl);
+
+    AtpgOptions opt;
+    opt.backtrack_limit = 1000000000;
+    opt.random_patterns = 128;
+    opt.static_prune = false;
+    const AtpgRun off = run_atpg(nl, faults, opt);
+    opt.static_prune = true;
+    const AtpgRun on = run_atpg(nl, faults, opt);
+
+    ASSERT_TRUE(off.aborted.empty());
+    ASSERT_TRUE(on.aborted.empty());
+    EXPECT_EQ(off.detected, on.detected);
+    EXPECT_EQ(sorted(off.redundant), sorted(on.redundant));
+    EXPECT_EQ(off.tests, on.tests);
+    EXPECT_EQ(off.fault_coverage(), on.fault_coverage());
+    EXPECT_GE(on.statically_pruned, 0);
+    EXPECT_EQ(off.statically_pruned, 0);
+    // Pruning never increases search effort.
+    EXPECT_LE(on.total_decisions, off.total_decisions);
+  }
+}
+
+TEST(StaFuzz, Sn74181PrePassAgreesWithProvenRedundancies) {
+  const Netlist nl = make_sn74181();
+  const auto faults = collapse_faults(nl).representatives;
+  AtpgOptions opt;
+  opt.backtrack_limit = 100000;
+  opt.static_prune = false;
+  const AtpgRun off = run_atpg(nl, faults, opt);
+  opt.static_prune = true;
+  const AtpgRun on = run_atpg(nl, faults, opt);
+  EXPECT_EQ(sorted(off.redundant), sorted(on.redundant));
+  EXPECT_EQ(off.detected, on.detected);
+  EXPECT_EQ(off.tests, on.tests);
+}
+
+// An expired budget must yield a sound partial: whatever was classified
+// before the cutoff would also be claimed by the unbudgeted analyzer.
+TEST(Sta, BudgetExpiryYieldsSoundPartial) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 12;
+  spec.num_gates = 1500;
+  spec.seed = 5;
+  const Netlist nl = make_random_combinational(spec);
+  const StaticAnalyzer full(nl);
+
+  StaOptions tight;
+  tight.budget.set_deadline_ms(0);  // expires immediately
+  const StaticAnalyzer partial(nl, tight);
+  for (const Fault& f : enumerate_faults(nl)) {
+    if (partial.untestable(f)) {
+      EXPECT_TRUE(full.untestable(f)) << fault_name(nl, f);
+    }
+  }
+}
+
+TEST(Sta, LearningFindsMoreOrEqualConstants) {
+  std::mt19937_64 meta(99);
+  for (int round = 0; round < 10; ++round) {
+    RandomCircuitSpec spec;
+    spec.num_inputs = 6 + static_cast<int>(meta() % 6);
+    spec.num_outputs = 4;
+    spec.num_gates = 80;
+    spec.max_fanin = 2 + static_cast<int>(meta() % 3);
+    spec.seed = meta();
+    const Netlist nl = make_random_combinational(spec);
+    StaOptions no_learn;
+    no_learn.learn = false;
+    const StaticAnalyzer plain(nl, no_learn);
+    const StaticAnalyzer learned(nl);
+    EXPECT_GE(learned.stats().constants_found, plain.stats().constants_found)
+        << nl.name();
+    // Everything probing alone found, learning keeps.
+    for (GateId g = 0; g < nl.size(); ++g) {
+      if (plain.constant(g) != LineConst::Free) {
+        EXPECT_EQ(learned.constant(g), plain.constant(g)) << g;
+      }
+    }
+  }
+}
+
+TEST(Sta, RejectsCyclicNetlists) {
+  Netlist nl("cyclic");
+  const GateId a = nl.add_input("a");
+  const GateId g1 = nl.add_gate(GateType::And, {a, a}, "g1");
+  const GateId g2 = nl.add_gate(GateType::Or, {g1, a}, "g2");
+  nl.set_fanin(g1, 1, g2);
+  nl.add_output(g2, "z");
+  EXPECT_THROW(StaticAnalyzer{nl}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dft
