@@ -27,6 +27,7 @@
 
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "sim/thread_pool.h"
 
 namespace dft::bench {
 
@@ -38,7 +39,10 @@ struct BenchArgs {
 };
 
 // Parses [--threads N] [--json <file>] and honors DFT_OBS=0/1 in the
-// environment. Unknown flags print usage and set status.
+// environment. Unknown flags print usage and set status. The thread count
+// is resolved to a concrete worker count (0 = one per hardware thread)
+// before the bench sees it, so factory calls downstream -- which require
+// >= 1 -- always get a valid value.
 inline BenchArgs parse_args(int argc, char** argv, int default_threads) {
   obs::init_from_env();
   BenchArgs a;
@@ -46,6 +50,11 @@ inline BenchArgs parse_args(int argc, char** argv, int default_threads) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       a.threads = std::atoi(argv[++i]);
+      if (a.threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+        a.status = 2;
+        return a;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       a.json_path = argv[++i];
     } else {
@@ -55,6 +64,7 @@ inline BenchArgs parse_args(int argc, char** argv, int default_threads) {
       return a;
     }
   }
+  a.threads = resolve_thread_count(a.threads);
   return a;
 }
 

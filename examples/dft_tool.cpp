@@ -6,8 +6,8 @@
 //   dft_tool atpg    <file.bench> [--threads N] [--engine E]
 //                    [--time-budget-ms M] [--retry-aborted]
 //                                          full ATPG run + test vectors;
-//                                          N fault-sim workers (0 = all
-//                                          hardware threads, default 1);
+//                                          N >= 1 fault-sim workers
+//                                          (default 1);
 //                                          E = serial|ppsfp|deductive|event
 //                                          (default event; every engine
 //                                          gives identical results);
@@ -275,7 +275,11 @@ int run_tool(const std::vector<std::string>& args,
     long long budget_ms = -1;
     for (std::size_t i = 2; i < args.size(); ++i) {
       if (args[i] == "--threads" && i + 1 < args.size()) {
-        if (!parse_int(args[++i].c_str(), opt.threads)) return usage();
+        if (!parse_int(args[++i].c_str(), opt.threads) || opt.threads < 1) {
+          std::fprintf(stderr, "--threads must be >= 1 (got %s)\n",
+                       args[i].c_str());
+          return usage();
+        }
       } else if (args[i] == "--engine" && i + 1 < args.size()) {
         opt.engine = args[++i];
       } else if (args[i] == "--time-budget-ms" && i + 1 < args.size()) {
@@ -339,7 +343,11 @@ int run_tool(const std::vector<std::string>& args,
           return usage();
         }
       } else if (args[i] == "--threads" && i + 1 < args.size()) {
-        if (!parse_int(args[++i].c_str(), threads)) return usage();
+        if (!parse_int(args[++i].c_str(), threads) || threads < 1) {
+          std::fprintf(stderr, "--threads must be >= 1 (got %s)\n",
+                       args[i].c_str());
+          return usage();
+        }
       } else if (args[i] == "--engine" && i + 1 < args.size()) {
         engine = args[++i];
       } else if (args[i] == "--time-budget-ms" && i + 1 < args.size()) {

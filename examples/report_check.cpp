@@ -3,13 +3,19 @@
 // asserts that named counters came out nonzero.
 //
 //   report_check <schema.json> <report.json> [--nonzero-counter NAME]...
+//                [--value-at-least A B RATIO]...
 //
-// Exit 0 when the report conforms (and every asserted counter is > 0),
-// 1 otherwise with one diagnostic per problem. CI runs this on a fresh
-// `dft_tool atpg --report-json` output, so any schema drift -- a key
-// added, removed, or renamed without bumping kReportJsonVersion and the
-// schema file together -- fails the build.
+// --value-at-least asserts value A >= RATIO * value B (both must exist):
+// the regression gate for recorded bench ratios, e.g. the event kernel's
+// threaded speedup staying at or above the single-threaded one.
+//
+// Exit 0 when the report conforms (and every asserted counter is > 0 and
+// every value comparison holds), 1 otherwise with one diagnostic per
+// problem. CI runs this on a fresh `dft_tool atpg --report-json` output,
+// so any schema drift -- a key added, removed, or renamed without bumping
+// kReportJsonVersion and the schema file together -- fails the build.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -36,13 +42,25 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: report_check <schema.json> <report.json> "
-                 "[--nonzero-counter NAME]...\n");
+                 "[--nonzero-counter NAME]... "
+                 "[--value-at-least A B RATIO]...\n");
     return 2;
   }
   std::vector<std::string> nonzero;
+  struct ValueAtLeast {
+    std::string a, b;
+    double ratio;
+  };
+  std::vector<ValueAtLeast> at_least;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nonzero-counter") == 0 && i + 1 < argc) {
       nonzero.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--value-at-least") == 0 && i + 3 < argc) {
+      ValueAtLeast v;
+      v.a = argv[++i];
+      v.b = argv[++i];
+      v.ratio = std::atof(argv[++i]);
+      at_least.push_back(std::move(v));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -74,6 +92,27 @@ int main(int argc, char** argv) {
         problems.push_back("required counter '" + name + "' is absent");
       } else if (!c->is_number() || c->as_number() <= 0) {
         problems.push_back("required counter '" + name + "' is zero");
+      }
+    }
+
+    const dft::obs::Json* values = report.find("values");
+    auto find_value = [&](const std::string& name) {
+      return values != nullptr && values->is_object() ? values->find(name)
+                                                      : nullptr;
+    };
+    for (const auto& cmp : at_least) {
+      const dft::obs::Json* a = find_value(cmp.a);
+      const dft::obs::Json* b = find_value(cmp.b);
+      if (a == nullptr || !a->is_number()) {
+        problems.push_back("required value '" + cmp.a + "' is absent");
+      } else if (b == nullptr || !b->is_number()) {
+        problems.push_back("required value '" + cmp.b + "' is absent");
+      } else if (a->as_number() < cmp.ratio * b->as_number()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g < %g * %g", a->as_number(),
+                      cmp.ratio, b->as_number());
+        problems.push_back("value '" + cmp.a + "' regressed vs '" + cmp.b +
+                           "': " + buf);
       }
     }
 

@@ -14,6 +14,7 @@
 #include "fault/threaded_fault_sim.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "sim/thread_pool.h"
 #include "sta/sta.h"
 
 namespace dft {
@@ -152,7 +153,8 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
   // undetected faults.
   Podem podem(nl, options.backtrack_limit);
   if (guarded) podem.set_budget(&options.budget);
-  const auto fsim = make_fault_sim_engine(nl, options.engine, options.threads);
+  const auto fsim = make_fault_sim_engine(nl, options.engine,
+                                          resolve_thread_count(options.threads));
   std::vector<SourceVector> cubes;
   {
     obs::Phase deterministic_phase("atpg.deterministic");
@@ -398,8 +400,8 @@ AtpgRun resume_atpg(const Netlist& nl, const std::vector<Fault>& faults,
   // paid for, and self-verifying -- no trust in the partial's flags).
   std::vector<char> detected(faults.size(), 0);
   if (!partial.tests.empty()) {
-    const auto fsim =
-        make_fault_sim_engine(nl, options.engine, options.threads);
+    const auto fsim = make_fault_sim_engine(
+        nl, options.engine, resolve_thread_count(options.threads));
     const FaultSimResult s = fsim->run(partial.tests, faults);
     for (std::size_t i = 0; i < faults.size(); ++i) {
       detected[i] = s.first_detected_by[i] >= 0 ? 1 : 0;

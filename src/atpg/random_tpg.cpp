@@ -6,6 +6,7 @@
 
 #include "fault/threaded_fault_sim.h"
 #include "obs/obs.h"
+#include "sim/thread_pool.h"
 
 namespace dft {
 
@@ -56,7 +57,8 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
   RandomTpgResult res;
   res.detected.assign(faults.size(), 0);
   std::mt19937_64 rng(options.seed);
-  const auto fsim = make_fault_sim_engine(nl, options.engine, options.threads);
+  const auto fsim = make_fault_sim_engine(
+      nl, options.engine, resolve_thread_count(options.threads));
 
   // Weight profiles for the adaptive mode: balanced, 1-heavy, 0-heavy, and
   // per-source random weights redrawn each round.

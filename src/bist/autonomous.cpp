@@ -7,6 +7,7 @@
 #include "fault/threaded_fault_sim.h"
 #include "sim/comb_sim.h"
 #include "sim/parallel_sim.h"
+#include "sim/thread_pool.h"
 
 namespace dft {
 
@@ -35,7 +36,7 @@ bool exhaustive_detects(const Netlist& nl, const Fault& f) {
 
 double exhaustive_coverage(const Netlist& nl, const std::vector<Fault>& faults,
                            int threads) {
-  return make_fault_sim_engine(nl, threads)
+  return make_fault_sim_engine(nl, resolve_thread_count(threads))
       ->run(all_patterns(nl), faults)
       .coverage();
 }
@@ -250,7 +251,7 @@ SensitizedPartitionResult sensitized_partition_74181(int threads) {
   res.session_patterns = res.patterns.size();
   res.exhaustive_patterns = 1ull << n;
 
-  const auto fsim = make_fault_sim_engine(nl, threads);
+  const auto fsim = make_fault_sim_engine(nl, resolve_thread_count(threads));
   res.session_coverage = fsim->run(res.patterns, faults).coverage();
   res.exhaustive_coverage = exhaustive_coverage(nl, faults, threads);
   return res;

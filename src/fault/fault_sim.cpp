@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstdio>
 #include <stdexcept>
 
@@ -298,6 +299,26 @@ std::size_t ParallelFaultSimulator::static_cone_size(GateId g) {
   return static_cast<std::size_t>(sz);
 }
 
+void ParallelFaultSimulator::pack_block(
+    const std::vector<SourceVector>& patterns, std::size_t base,
+    std::size_t count) {
+  const auto& pis = nl_->inputs();
+  const auto& ffs = nl_->storage();
+  const std::size_t ns = pis.size() + ffs.size();
+  for (std::size_t s = 0; s < ns; ++s) {
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < count; ++b) {
+      if (patterns[base + b][s] == Logic::One) w |= 1ull << b;
+    }
+    const GateId src = s < pis.size() ? pis[s] : ffs[s - pis.size()];
+    if (event_) {
+      event_->set_source_word(src, w);
+    } else {
+      sim_.set_word(src, w);
+    }
+  }
+}
+
 FaultSimResult ParallelFaultSimulator::run(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
     bool drop_detected, const guard::Budget* budget) {
@@ -306,12 +327,14 @@ FaultSimResult ParallelFaultSimulator::run(
   validate_patterns(*nl_, patterns, /*require_binary=*/true);
   const bool guarded = budget != nullptr && budget->limited();
 
+  // Block-scoped calls since the last flush would otherwise bleed into this
+  // run's deltas.
+  if (tally_blocks_ != 0 || tally_faults_ != 0 || tally_dropped_ != 0) {
+    flush_block_obs();
+  }
+
   FaultSimResult res;
   res.first_detected_by.assign(faults.size(), -1);
-
-  const auto& pis = nl_->inputs();
-  const auto& ffs = nl_->storage();
-  const std::size_t ns = pis.size() + ffs.size();
 
   std::vector<std::size_t> alive(faults.size());
   for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
@@ -325,23 +348,11 @@ FaultSimResult ParallelFaultSimulator::run(
 
   // Per-run event-kernel tallies (flushed to obs below, never per fault).
   event_stats_ = EventStats{};
-  const std::uint64_t scheduled_before =
-      event_ ? event_->events_scheduled() : 0;
+  if (event_) events_flushed_ = event_->events_scheduled();
 
   for (std::size_t base = 0; base < patterns.size(); base += 64) {
     const std::size_t blk = std::min<std::size_t>(64, patterns.size() - base);
-    for (std::size_t s = 0; s < ns; ++s) {
-      std::uint64_t w = 0;
-      for (std::size_t b = 0; b < blk; ++b) {
-        if (patterns[base + b][s] == Logic::One) w |= 1ull << b;
-      }
-      const GateId src = s < pis.size() ? pis[s] : ffs[s - pis.size()];
-      if (event_) {
-        event_->set_source_word(src, w);
-      } else {
-        sim_.set_word(src, w);
-      }
-    }
+    pack_block(patterns, base, blk);
     if (event_) {
       event_->evaluate_good();
     } else {
@@ -393,30 +404,116 @@ FaultSimResult ParallelFaultSimulator::run(
         .add(static_cast<std::uint64_t>(res.num_detected));
     if (event_) {
       reg.counter("fault_sim.event.runs").add(1);
-      reg.counter("fault_sim.event.events_scheduled")
-          .add(event_->events_scheduled() - scheduled_before);
-      reg.counter("fault_sim.event.gates_evaluated")
-          .add(event_stats_.gates_evaluated);
-      reg.counter("fault_sim.event.gates_skipped_vs_cone")
-          .add(event_stats_.gates_skipped_vs_cone);
-      // Frontier-death histogram: bucket d = fault words whose difference
-      // frontier died d levels past the fault site (d=0 includes faults
-      // never activated in the block). Flushed as counters so the whole
-      // run's distribution lands in one report.
-      for (int d = 0; d < EventStats::kDeathDepthBuckets; ++d) {
-        if (event_stats_.death_depth[static_cast<std::size_t>(d)] == 0) {
-          continue;
-        }
-        char name[48];
-        std::snprintf(name, sizeof(name),
-                      "fault_sim.event.death_depth.%02d%s", d,
-                      d == EventStats::kDeathDepthBuckets - 1 ? "_plus" : "");
-        reg.counter(name).add(
-            event_stats_.death_depth[static_cast<std::size_t>(d)]);
-      }
+      flush_event_obs();
     }
   }
   return res;
+}
+
+// Flushes the accumulated event-kernel tallies (events-scheduled delta
+// since the watermark, gates evaluated/skipped, the frontier-death
+// histogram) and resets them. Callers hold obs::enabled().
+void ParallelFaultSimulator::flush_event_obs() {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("fault_sim.event.events_scheduled")
+      .add(event_->events_scheduled() - events_flushed_);
+  events_flushed_ = event_->events_scheduled();
+  reg.counter("fault_sim.event.gates_evaluated")
+      .add(event_stats_.gates_evaluated);
+  reg.counter("fault_sim.event.gates_skipped_vs_cone")
+      .add(event_stats_.gates_skipped_vs_cone);
+  // Frontier-death histogram: bucket d = fault words whose difference
+  // frontier died d levels past the fault site (d=0 includes faults
+  // never activated in the block). Flushed as counters so the whole
+  // run's distribution lands in one report.
+  for (int d = 0; d < EventStats::kDeathDepthBuckets; ++d) {
+    if (event_stats_.death_depth[static_cast<std::size_t>(d)] == 0) {
+      continue;
+    }
+    char name[48];
+    std::snprintf(name, sizeof(name), "fault_sim.event.death_depth.%02d%s", d,
+                  d == EventStats::kDeathDepthBuckets - 1 ? "_plus" : "");
+    reg.counter(name).add(
+        event_stats_.death_depth[static_cast<std::size_t>(d)]);
+  }
+  event_stats_ = EventStats{};
+}
+
+// --- Block-scoped entry points (threaded decomposition) --------------------
+
+void ParallelFaultSimulator::load_block(
+    const std::vector<SourceVector>& patterns, std::size_t base,
+    std::size_t count) {
+  pack_block(patterns, base, count);
+  if (event_) {
+    event_->evaluate_good();
+  } else {
+    sim_.evaluate();
+    good_ = sim_.words();
+  }
+  block_base_ = base;
+  block_valid_ = count == 64 ? ~0ull : ((1ull << count) - 1);
+  ++tally_blocks_;
+}
+
+void ParallelFaultSimulator::adopt_block_from(
+    const ParallelFaultSimulator& other) {
+  assert(nl_ == other.nl_ && kernel_ == other.kernel_);
+  if (event_) {
+    event_->copy_good_from(*other.event_);
+  } else {
+    sim_.restore_words(other.sim_.words());
+    good_ = other.good_;
+  }
+  block_base_ = other.block_base_;
+  block_valid_ = other.block_valid_;
+}
+
+std::size_t ParallelFaultSimulator::run_block_faults(
+    const std::vector<Fault>& faults, std::size_t begin, std::size_t end,
+    bool drop_detected, std::atomic<std::int32_t>* shared_first) {
+  const std::int32_t base = static_cast<std::int32_t>(block_base_);
+  std::size_t simulated = 0;
+  for (std::size_t fi = begin; fi < end; ++fi) {
+    // Soundness of the drop: an entry below `base` is a detection at a
+    // strictly earlier pattern than anything this block could contribute,
+    // so the serial first detection cannot be in this block. An entry at or
+    // past `base` (some concurrently-simulated later block won the race
+    // first) must still be simulated -- this block might hold an earlier
+    // bit -- and the CAS-min below restores the global minimum. Relaxed
+    // ordering suffices: any value read is a real detection index, and the
+    // final merge happens after the pool barrier.
+    if (drop_detected &&
+        shared_first[fi].load(std::memory_order_relaxed) < base) {
+      ++tally_dropped_;
+      continue;
+    }
+    ++simulated;
+    const std::uint64_t det = detect_word(faults[fi]) & block_valid_;
+    if (det == 0) continue;
+    const std::int32_t at = base + std::countr_zero(det);
+    std::int32_t cur = shared_first[fi].load(std::memory_order_relaxed);
+    while (at < cur && !shared_first[fi].compare_exchange_weak(
+                           cur, at, std::memory_order_relaxed)) {
+    }
+  }
+  tally_faults_ += simulated;
+  return simulated;
+}
+
+void ParallelFaultSimulator::flush_block_obs() {
+  if (!obs::enabled()) {
+    tally_blocks_ = tally_faults_ = tally_dropped_ = 0;
+    event_stats_ = EventStats{};
+    if (event_) events_flushed_ = event_->events_scheduled();
+    return;
+  }
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("fault_sim.ppsfp.pattern_blocks").add(tally_blocks_);
+  reg.counter("fault_sim.ppsfp.faults_simulated").add(tally_faults_);
+  reg.counter("fault_sim.ppsfp.faults_dropped").add(tally_dropped_);
+  tally_blocks_ = tally_faults_ = tally_dropped_ = 0;
+  if (event_) flush_event_obs();
 }
 
 }  // namespace dft

@@ -14,8 +14,9 @@
 //    touches the difference frontier (see sim/event_sim.h).
 //  * DeductiveFaultSimulator (deductive.h) -- Armstrong-style fault-list
 //    propagation, the independent cross-check.
-//  * ThreadedFaultSimulator (threaded_fault_sim.h) -- the fault-partitioned
-//    multi-threaded engine: one PPSFP machine per worker (either kernel),
+//  * ThreadedFaultSimulator (threaded_fault_sim.h) -- the multi-threaded
+//    engine: one PPSFP machine per worker (either kernel), pattern-block or
+//    fault-chunk decomposition with an earliest-pattern-wins merge,
 //    bit-identical results at any thread count.
 //
 // All use the combinational test model: primary inputs and storage outputs
@@ -25,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -165,6 +167,45 @@ class ParallelFaultSimulator : public FaultSimEngine {
   void set_observation_points(const std::vector<GateId>& observed);
   void reset_observation_points();
 
+  // --- Block-scoped entry points (ThreadedFaultSimulator's decomposition) --
+  //
+  // run() above is a loop over 64-pattern blocks; these expose one block at
+  // a time so the threaded engine can parallelize across blocks (each
+  // worker machine loads its own) or across faults within a block (one
+  // machine loads, siblings adopt_block_from() the result). Precondition:
+  // the pattern set has already passed validate_patterns(require_binary) --
+  // the threaded engine validates once up front, before any machine is
+  // touched.
+
+  // Packs patterns[base, base + count) into the source words (count <= 64)
+  // and runs the good-machine pass; remembers the block window for
+  // run_block_faults.
+  void load_block(const std::vector<SourceVector>& patterns, std::size_t base,
+                  std::size_t count);
+
+  // Copies `other`'s loaded block -- good-machine words plus the block
+  // window -- instead of re-simulating it. Both machines must be built over
+  // the same netlist with the same kernel.
+  void adopt_block_from(const ParallelFaultSimulator& other);
+
+  // Simulates faults[begin, end) against the loaded block. A detection at
+  // in-block bit b lowers shared_first[fault index] to base + b with a
+  // CAS-min, so concurrent blocks merge earliest-pattern-wins. With
+  // drop_detected, a fault is skipped only when its shared entry already
+  // holds a detection from a STRICTLY earlier block -- a same-or-later
+  // entry could still be beaten by a bit in this block, so skipping then
+  // would change the result. Returns the number of faults actually
+  // simulated (skips excluded).
+  std::size_t run_block_faults(const std::vector<Fault>& faults,
+                               std::size_t begin, std::size_t end,
+                               bool drop_detected,
+                               std::atomic<std::int32_t>* shared_first);
+
+  // Flushes tallies accumulated by the block-scoped calls into dft::obs
+  // (fault_sim.ppsfp.* / fault_sim.event.*). Called by the merging thread
+  // after the pool barrier, never concurrently with the calls above.
+  void flush_block_obs();
+
  private:
   struct Site {
     std::vector<GateId> cone;  // combinational cone in evaluation order
@@ -174,6 +215,9 @@ class ParallelFaultSimulator : public FaultSimEngine {
   std::uint64_t detect_word_static(const Fault& f);
   std::uint64_t detect_word_event(const Fault& f);
   std::size_t static_cone_size(GateId g);
+  void pack_block(const std::vector<SourceVector>& patterns, std::size_t base,
+                  std::size_t count);
+  void flush_event_obs();
 
   const Netlist* nl_;
   FaultSimKernel kernel_;
@@ -200,6 +244,18 @@ class ParallelFaultSimulator : public FaultSimEngine {
   };
   EventStats event_stats_;
   std::vector<std::int32_t> cone_sizes_;  // lazy, obs-only: |static cone|
+
+  // Block-scoped state: the window load_block/adopt_block_from installed...
+  std::size_t block_base_ = 0;
+  std::uint64_t block_valid_ = 0;
+  // ...and the tallies the block-scoped calls accumulate until
+  // flush_block_obs() (run() keeps its own local tallies, as before).
+  std::uint64_t tally_blocks_ = 0;
+  std::uint64_t tally_faults_ = 0;
+  std::uint64_t tally_dropped_ = 0;
+  // events_scheduled() watermark at the last obs flush, so run() and the
+  // block-scoped API flush deltas against the same running total.
+  std::uint64_t events_flushed_ = 0;
 };
 
 }  // namespace dft

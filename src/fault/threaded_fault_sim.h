@@ -1,19 +1,26 @@
-// Multi-threaded fault-partitioned fault simulation.
+// Multi-threaded fault simulation over per-worker PPSFP machines.
 //
 // The survey's Eq. 1 (T = K*N^3) makes fault simulation the inner-loop cost
 // of everything downstream -- ATPG dropping, random-TPG grading, BIST
-// coverage measurement. Faults are embarrassingly parallel under PPSFP: a
-// fault's first-detecting pattern depends only on the good machine and that
-// fault's own cone, never on other faults. ThreadedFaultSimulator therefore
-// partitions the fault list round-robin across workers, each owning a full
-// ParallelFaultSimulator (its own good/faulty 64-bit machines), and
-// scatters the per-worker first_detected_by slices back by original index.
+// coverage measurement. The parallel unit here is the 64-pattern block, not
+// the fault list: partitioning faults across workers re-executes the
+// fault-free good-machine pass -- the dominant cost the event kernel's
+// selective trace exists to amortize -- once per worker. Instead each
+// worker machine loads a whole pattern block (one good pass) and simulates
+// EVERY fault against it, and workers steal blocks from a shared counter so
+// the last block never straggles. When there are too few blocks to go
+// around, the roles flip: blocks run in sequence, one machine evaluates the
+// good pass, its siblings adopt the snapshot, and the workers split the
+// fault list in chunks (fault-chunk decomposition).
 //
 // Determinism guarantee: the merged FaultSimResult is bit-identical to
-// ParallelFaultSimulator::run on the same inputs for ANY thread count --
-// the partition only reorders which worker computes a fault's (independent)
-// result, and the merge is by fault index, not completion order. The
-// differential tests assert this at 1, 2, and 8 threads.
+// ParallelFaultSimulator::run on the same inputs for ANY thread count and
+// ANY block schedule. Detections meet in a shared per-fault array merged
+// earliest-pattern-wins (CAS-min on the global pattern index), and
+// cross-block fault dropping only skips a fault when a STRICTLY earlier
+// block already detected it -- so the first-detection minimum is always
+// preserved. The differential tests assert this at 1, 2, and 8 threads
+// under both decompositions.
 #pragma once
 
 #include <memory>
@@ -25,6 +32,19 @@
 #include "sim/thread_pool.h"
 
 namespace dft {
+
+// How ThreadedFaultSimulator::run splits a run across the pool. Auto picks
+// per run from the workload shape (see run()); the forced values exist for
+// tests and A/B measurement and are honored even where Auto would not pick
+// them.
+enum class MtDecomposition {
+  Auto,
+  Sequential,    // inline on one machine: no dispatch, no merge
+  PatternBlock,  // workers steal 64-pattern blocks, all faults per block
+  FaultChunk,    // blocks in sequence, workers split the fault list
+};
+
+std::string_view to_string(MtDecomposition d);
 
 class ThreadedFaultSimulator : public FaultSimEngine {
  public:
@@ -38,10 +58,14 @@ class ThreadedFaultSimulator : public FaultSimEngine {
       Netlist&&, int = 0, FaultSimKernel = FaultSimKernel::StaticCone) =
       delete;  // dangle
 
-  // Budgets are polled by every worker between pattern blocks, and once
-  // more before a worker starts its slice (cancellation between tasks).
-  // The merged partial is still deterministic for the faults that were
-  // simulated; statuses merge by guard::worst.
+  // Budgets are polled cooperatively: between stolen blocks in
+  // pattern-block mode, between sequential blocks in fault-chunk mode. The
+  // partial result is always sound -- every non-(-1) entry is a pattern
+  // that really detects its fault -- but in pattern-block mode blocks
+  // complete out of order, so a partial entry may name a detecting pattern
+  // that is not the earliest one (a completed run is always exact).
+  // Fault-chunk and sequential partials keep the clean prefix semantics of
+  // the single-machine engine.
   FaultSimResult run(const std::vector<SourceVector>& patterns,
                      const std::vector<Fault>& faults,
                      bool drop_detected = true,
@@ -54,21 +78,50 @@ class ThreadedFaultSimulator : public FaultSimEngine {
 
   int threads() const { return pool_.size(); }
 
+  // Workloads below this many (patterns x faults) products run inline on
+  // one machine: dispatch and merge overhead beats any parallel win at this
+  // size, so multi-threading is never a pessimization. ~sn74181 scale.
+  static constexpr std::uint64_t kSequentialCutoff = 1ull << 18;
+
+  // Forces a decomposition (default Auto). Tests use this to drive every
+  // code path regardless of the cutoff and the machine's core count.
+  void set_decomposition(MtDecomposition d) { mode_ = d; }
+  MtDecomposition decomposition() const { return mode_; }
+  // What the last run() actually executed -- the Auto decision or the
+  // forced mode. Also echoed in the obs run report
+  // (fault_sim.threaded.decomposition.*).
+  MtDecomposition last_decomposition() const { return last_; }
+
   // Same observability override as ParallelFaultSimulator, forwarded to
   // every worker machine.
   void set_observation_points(const std::vector<GateId>& observed);
   void reset_observation_points();
 
  private:
+  void run_pattern_block(const std::vector<SourceVector>& patterns,
+                         const std::vector<Fault>& faults, bool drop_detected,
+                         const guard::Budget* budget,
+                         std::atomic<std::int32_t>* shared, int workers,
+                         std::vector<guard::RunStatus>& status);
+  void run_fault_chunk(const std::vector<SourceVector>& patterns,
+                       const std::vector<Fault>& faults, bool drop_detected,
+                       const guard::Budget* budget,
+                       std::atomic<std::int32_t>* shared, int workers,
+                       std::vector<guard::RunStatus>& status);
+
   const Netlist* nl_;
   FaultSimKernel kernel_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<ParallelFaultSimulator>> machines_;
+  MtDecomposition mode_ = MtDecomposition::Auto;
+  MtDecomposition last_ = MtDecomposition::Sequential;
 };
 
-// Engine factory for the hot callers: threads <= 1 yields a single PPSFP
-// machine (no pool, no synchronization), anything else the threaded engine
-// (0 = hardware concurrency). Results are identical either way. The kernel
+// Engine factory for the hot callers: threads == 1 yields a single PPSFP
+// machine (no pool, no synchronization), anything larger the threaded
+// engine. Results are identical either way. threads < 1 throws
+// std::invalid_argument -- callers resolve "one per core" themselves via
+// resolve_thread_count(0) rather than passing 0 through. The kernel
 // defaults to Event -- the compiled selective-trace path -- which is
 // bit-identical to StaticCone; pass FaultSimKernel::StaticCone for A/B.
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
@@ -79,10 +132,10 @@ std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
 
 // Name-based factory behind dft_tool's --engine flag and the options
 // structs: "serial", "ppsfp", "deductive", "event" (or "" for the default,
-// event). "ppsfp" and "event" honor threads (>1 or 0 wraps the kernel in
+// event). "ppsfp" and "event" honor threads (> 1 wraps the kernel in
 // ThreadedFaultSimulator); "serial" and "deductive" are inherently
 // single-machine and throw std::invalid_argument when threads != 1, like an
-// unknown engine name does.
+// unknown engine name or a thread count < 1 does.
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
     const Netlist& nl, std::string_view engine, int threads = 1);
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(Netlist&&,

@@ -27,6 +27,14 @@ void EventSim::evaluate_good() {
   good_ = words_;
 }
 
+void EventSim::copy_good_from(const EventSim& other) {
+  assert(cn_.get() == other.cn_.get());
+  good_ = other.good_;
+  // propagate() assumes words_ == good_ between calls (the restore
+  // baseline), so the working state is copied too.
+  words_ = good_;
+}
+
 std::uint64_t EventSim::eval_with_forced_pin(GateId g, int pin,
                                              std::uint64_t forced) const {
   const auto fin = cn_->fanin(g);

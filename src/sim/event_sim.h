@@ -43,6 +43,12 @@ class EventSim {
   // result as the restore baseline for the propagations that follow.
   void evaluate_good();
 
+  // Adopts `other`'s good-machine snapshot instead of re-simulating it --
+  // the broadcast step of the threaded engine's fault-chunk decomposition
+  // (one machine evaluates the pattern block, its siblings copy). Both
+  // machines must share the same CompiledNetlist.
+  void copy_good_from(const EventSim& other);
+
   std::uint64_t good_word(GateId g) const {
     assert(g < good_.size());
     return good_[g];

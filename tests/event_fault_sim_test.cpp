@@ -44,7 +44,9 @@ TEST(EventKernelFuzz, AllEnginesAgreeOnRandomDags) {
     spec.seed = meta();
     const Netlist nl = make_random_combinational(spec);
     const auto faults = enumerate_faults(nl);
-    const auto pats = random_patterns(nl, 64 + static_cast<int>(meta() % 65),
+    // 1-3 word blocks, so the pattern-block decomposition sees single-block,
+    // exact-multiple and ragged-tail runs across the fuzz space.
+    const auto pats = random_patterns(nl, 64 + static_cast<int>(meta() % 129),
                                       meta());
 
     ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
@@ -78,6 +80,27 @@ TEST(EventKernelFuzz, AllEnginesAgreeOnRandomDags) {
                   tsim.run(pats, faults, /*drop_detected=*/false)
                       .first_detected_by)
             << threads << " threads, no dropping";
+        // Force each parallel decomposition (Auto may fall back to
+        // sequential on small workloads or core-starved machines): the
+        // pattern-block path must merge earliest-pattern-wins and the
+        // cross-block drop must stay bit-identical on the same engine.
+        if (threads > 1) {
+          for (MtDecomposition mode : {MtDecomposition::PatternBlock,
+                                       MtDecomposition::FaultChunk}) {
+            tsim.set_decomposition(mode);
+            const auto forced = tsim.run(pats, faults);
+            ASSERT_EQ(tsim.last_decomposition(), mode);
+            ASSERT_EQ(ref.first_detected_by, forced.first_detected_by)
+                << threads << " threads, forced " << to_string(mode);
+            ASSERT_EQ(ref.num_detected, forced.num_detected);
+            ASSERT_EQ(ref.first_detected_by,
+                      tsim.run(pats, faults, /*drop_detected=*/false)
+                          .first_detected_by)
+                << threads << " threads, forced " << to_string(mode)
+                << ", no dropping";
+          }
+          tsim.set_decomposition(MtDecomposition::Auto);
+        }
       }
     }
   }
@@ -202,6 +225,13 @@ TEST(EngineFactory, RejectsBadNamesAndThreadCounts) {
   EXPECT_THROW(make_fault_sim_engine(nl, "serial", 2), std::invalid_argument);
   EXPECT_THROW(make_fault_sim_engine(nl, "deductive", 8),
                std::invalid_argument);
+  // Thread counts are validated up front: 0 no longer silently means
+  // "hardware concurrency" at the factory layer -- callers resolve that
+  // themselves (resolve_thread_count) before asking for an engine.
+  EXPECT_THROW(make_fault_sim_engine(nl, 0), std::invalid_argument);
+  EXPECT_THROW(make_fault_sim_engine(nl, -3), std::invalid_argument);
+  EXPECT_THROW(make_fault_sim_engine(nl, "event", 0), std::invalid_argument);
+  EXPECT_THROW(make_fault_sim_engine(nl, "ppsfp", -1), std::invalid_argument);
 }
 
 }  // namespace

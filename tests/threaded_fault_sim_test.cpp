@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <stdexcept>
+#include <string>
 
 #include "atpg/random_tpg.h"
 #include "circuits/basic.h"
@@ -17,6 +19,7 @@
 #include "fault/fault.h"
 #include "fault/fault_sim.h"
 #include "fault/threaded_fault_sim.h"
+#include "guard/guard.h"
 #include "sim/thread_pool.h"
 
 namespace dft {
@@ -243,6 +246,81 @@ TEST(ThreadedFaultSim, FactorySelectsEngineByThreadCount) {
   const auto r1 = one->run(pats, faults);
   const auto r4 = four->run(pats, faults);
   EXPECT_EQ(r1.first_detected_by, r4.first_detected_by);
+}
+
+// --- Decomposition choice: small workloads never pay the dispatch tax -----
+
+TEST(ThreadedFaultSim, SmallWorkloadsFallBackToSequential) {
+  // sn74181-sized work sits below kSequentialCutoff: Auto must run inline
+  // on one machine no matter how many workers were requested. (We never
+  // assert the opposite direction -- which parallel mode Auto picks above
+  // the cutoff depends on the machine's core count.)
+  const Netlist nl = make_sn74181();
+  const auto faults = collapse_faults(nl).representatives;
+  std::mt19937_64 rng(4);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 64; ++i) pats.push_back(random_source_vector(nl, rng));
+  ASSERT_LT(static_cast<std::uint64_t>(pats.size()) * faults.size(),
+            ThreadedFaultSimulator::kSequentialCutoff);
+
+  ParallelFaultSimulator psim(nl);
+  const auto ref = psim.run(pats, faults);
+  for (int threads : {2, 8}) {
+    ThreadedFaultSimulator tsim(nl, threads);
+    const auto rt = tsim.run(pats, faults);
+    EXPECT_EQ(tsim.last_decomposition(), MtDecomposition::Sequential)
+        << threads << " threads";
+    EXPECT_EQ(ref.first_detected_by, rt.first_detected_by);
+    // A forced mode overrides the cutoff -- same answer either way.
+    tsim.set_decomposition(MtDecomposition::PatternBlock);
+    const auto rf = tsim.run(pats, faults);
+    EXPECT_EQ(tsim.last_decomposition(), MtDecomposition::PatternBlock);
+    EXPECT_EQ(ref.first_detected_by, rf.first_detected_by);
+  }
+}
+
+// --- Budget expiry yields a sound partial under every decomposition -------
+
+TEST(ThreadedFaultSim, BudgetPartialIsSoundUnderEveryDecomposition) {
+  const Netlist nl = make_sn74181();
+  const auto faults = collapse_faults(nl).representatives;
+  std::mt19937_64 rng(12);
+  std::vector<SourceVector> pats;
+  for (int i = 0; i < 256; ++i) pats.push_back(random_source_vector(nl, rng));
+
+  SerialFaultSimulator oracle(nl);
+  for (MtDecomposition mode :
+       {MtDecomposition::Sequential, MtDecomposition::PatternBlock,
+        MtDecomposition::FaultChunk}) {
+    guard::Budget budget;
+    budget.set_pattern_limit(64);  // exhausted after the first block's charge
+    ThreadedFaultSimulator tsim(nl, 4);
+    tsim.set_decomposition(mode);
+    const auto r = tsim.run(pats, faults, /*drop_detected=*/true, &budget);
+    SCOPED_TRACE(std::string("mode ") + std::string(to_string(mode)));
+    EXPECT_EQ(tsim.last_decomposition(), mode);
+    EXPECT_EQ(r.status, guard::RunStatus::DeadlineExpired);
+    EXPECT_TRUE(guard::interrupted(r.status));
+    // Partial-result contract: every recorded detection is real. In
+    // pattern-block mode the entry may not be the EARLIEST detecting
+    // pattern (blocks finish out of order), but it must detect the fault.
+    ASSERT_EQ(r.first_detected_by.size(), faults.size());
+    int recorded = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const int p = r.first_detected_by[i];
+      if (p < 0) continue;
+      ++recorded;
+      ASSERT_LT(static_cast<std::size_t>(p), pats.size());
+      EXPECT_TRUE(oracle.detects(pats[static_cast<std::size_t>(p)],
+                                 faults[i]))
+          << "fault " << i << " claims pattern " << p;
+    }
+    EXPECT_EQ(recorded, r.num_detected);
+    // The engine stays usable: an unbudgeted rerun completes exactly.
+    const auto full = tsim.run(pats, faults);
+    EXPECT_EQ(full.status, guard::RunStatus::Completed);
+    EXPECT_GE(full.num_detected, r.num_detected);
+  }
 }
 
 // --- Regression: validation is hoisted before any state mutation ----------
