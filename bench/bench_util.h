@@ -5,7 +5,7 @@
 // Every bench prints its human-readable table exactly as before; with
 // --json <file> it additionally writes the same versioned
 // "dft-obs-report" document that dft_tool --report-json produces
-// (schema data/obs_report_schema_v1.json), so CI and notebooks parse one
+// (schema data/obs_report_schema_v2.json), so CI and notebooks parse one
 // format for tool runs and bench runs alike. Section times recorded via
 // timed() land in Registry timers named "bench.<section>"; scalar results
 // (coverages, fitted exponents) go through report_value() as

@@ -41,6 +41,12 @@
 //   --stats               print the dft::obs metrics table after the run
 //   --report-json <file>  write the versioned machine-readable run report
 //   --trace-json <file>   write a Chrome trace_event JSON (chrome://tracing)
+//   --progress-every-ms N stream NDJSON progress events (schema
+//                         data/obs_progress_schema_v1.json), at most one
+//                         every N ms, to stderr or --progress-file <file>;
+//                         the stream always closes with a "final":true line
+//                         carrying the run status, even on ^C / budget
+//                         expiry / error
 // DFT_OBS=0 in the environment disables all metric recording.
 //
 // Every command that reads a .bench file also accepts a built-in circuit
@@ -71,6 +77,7 @@
 #include "measure/scoap.h"
 #include "netlist/bench_io.h"
 #include "netlist/stats.h"
+#include "obs/progress.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "scan/scan_insert.h"
@@ -102,7 +109,9 @@ int usage() {
                "[--time-budget-ms M]\n"
                "       dft_tool export <name> <out.bench>\n"
                "observability (any command): [--stats] "
-               "[--report-json <file>] [--trace-json <file>]\n");
+               "[--report-json <file>] [--trace-json <file>]\n"
+               "                             [--progress-every-ms N] "
+               "[--progress-file <file>]\n");
   return kExitUsage;
 }
 
@@ -161,6 +170,8 @@ struct ObsFlags {
   bool stats = false;
   std::string trace_path;
   std::string report_path;
+  long long progress_every_ms = -1;  // -1 = progress streaming off
+  std::string progress_path;         // empty = stderr
 };
 
 bool parse_int(const char* s, int& out) {
@@ -413,6 +424,7 @@ int run_tool(const std::vector<std::string>& args,
     const FaultSimResult sim_result = [&] {
       obs::Phase phase("bist.fault_sim");
       const auto fsim = make_fault_sim_engine(nl, engine, threads);
+      fsim->set_progress_phase("bist.fault_sim");
       return fsim->run(tests, faults, true, &budget);
     }();
 
@@ -422,6 +434,8 @@ int run_tool(const std::vector<std::string>& args,
       reg.counter("bist.prpg.patterns_applied")
           .add(static_cast<std::uint64_t>(patterns));
       reg.counter("bist.prpg.signature_updates").add(signature_updates);
+      record_coverage_curve("bist.coverage_curve",
+                            sim_result.first_detected_by, tests.size());
     }
     std::printf("%d pseudo-random patterns over %zu sources, signature "
                 "%016llx (%llu updates)\n",
@@ -517,12 +531,30 @@ int main(int argc, char** argv) {
       flags.report_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
       flags.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress-every-ms") == 0 &&
+               i + 1 < argc) {
+      int ms = 0;
+      if (!parse_int(argv[++i], ms) || ms < 0) return usage();
+      flags.progress_every_ms = ms;
+    } else if (std::strcmp(argv[i], "--progress-file") == 0 && i + 1 < argc) {
+      flags.progress_path = argv[++i];
     } else {
       args.emplace_back(argv[i]);
     }
   }
   if (args.size() < 2) return usage();
   if (!flags.trace_path.empty()) obs::Tracer::global().start();
+  std::FILE* progress_out = nullptr;
+  if (flags.progress_every_ms >= 0) {
+    progress_out = flags.progress_path.empty()
+                       ? stderr
+                       : std::fopen(flags.progress_path.c_str(), "w");
+    if (progress_out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", flags.progress_path.c_str());
+      return kExitRuntimeError;
+    }
+    obs::ProgressSink::global().start(progress_out, flags.progress_every_ms);
+  }
 
   std::map<std::string, std::string> context;
   int rc;
@@ -530,8 +562,36 @@ int main(int argc, char** argv) {
     rc = run_tool(args, context);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitRuntimeError;
+    context["error"] = e.what();
+    rc = kExitRuntimeError;
   }
+
+  // Close the progress stream on EVERY exit path -- completed, budget
+  // expiry / ^C (rc 3, context["status"] carries the RunStatus), or error --
+  // so a consumer tailing the NDJSON always sees a "final":true line.
+  if (obs::ProgressSink::global().active()) {
+    obs::Progress final_event;
+    final_event.phase = args[0];
+    const auto status_it = context.find("status");
+    final_event.status = rc == kExitRuntimeError ? "error"
+                         : status_it != context.end()
+                             ? std::string_view(status_it->second)
+                         : rc == kExitOk ? "completed"
+                                         : "error";
+    // The engines publish their final ratio as an obs value; reuse it so
+    // the closing line carries the run's coverage without recomputation.
+    const auto values = obs::Registry::global().values();
+    const auto cov = values.find("fault_sim.coverage.final_pct");
+    if (cov != values.end()) final_event.coverage_pct = cov->second;
+    obs::ProgressSink::global().emit_final(final_event);
+    obs::ProgressSink::global().stop();
+  }
+  if (progress_out != nullptr && progress_out != stderr) {
+    std::fclose(progress_out);
+  }
+
+  // The obs report is flushed even for rc 1/3: an interrupted or failed run
+  // still leaves a valid partial report (the counters that did accumulate).
   const std::string tool = "dft_tool " + args[0];
   if (!emit_obs_outputs(flags, tool, context) && rc == kExitOk) {
     rc = kExitRuntimeError;

@@ -1,0 +1,171 @@
+// progress_check -- validates a dft-obs-progress NDJSON stream against the
+// checked-in schema (data/obs_progress_schema_v1.json) plus the stream
+// invariants the sink guarantees (src/obs/progress.h).
+//
+//   progress_check <schema.json> <progress.ndjson> [--min-events N]
+//                  [--require-final STATUS]
+//
+// Checks, per line: the line parses as a JSON object and conforms to the
+// schema (validate_report -- a progress line is a flat report). Across
+// lines: seq is strictly increasing from 0, elapsed_ms is non-decreasing,
+// and coverage_pct is non-decreasing per phase (ignoring -1 = unknown).
+// --min-events requires at least N lines; --require-final requires the last
+// line to carry "final":true with the given status (the interrupted-run
+// gate asserts deadline-expired here).
+//
+// Exit 0 when the stream conforms, 1 otherwise with one diagnostic per
+// problem, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+double num_field(const dft::obs::Json& line, const char* key, double fallback) {
+  const dft::obs::Json* v = line.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: progress_check <schema.json> <progress.ndjson> "
+                 "[--min-events N] [--require-final STATUS]\n");
+    return 2;
+  }
+  long min_events = 1;
+  std::string require_final;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-events") == 0 && i + 1 < argc) {
+      min_events = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--require-final") == 0 && i + 1 < argc) {
+      require_final = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::string schema_text, stream_text;
+  if (!read_file(argv[1], schema_text)) {
+    std::fprintf(stderr, "cannot read schema %s\n", argv[1]);
+    return 1;
+  }
+  if (!read_file(argv[2], stream_text)) {
+    std::fprintf(stderr, "cannot read stream %s\n", argv[2]);
+    return 1;
+  }
+
+  std::vector<std::string> problems;
+  long lines = 0;
+  try {
+    const dft::obs::Json schema = dft::obs::parse_json(schema_text);
+    double last_seq = -1.0;
+    double last_elapsed = -1.0;
+    std::map<std::string, double> last_coverage;  // per-phase high-water
+    bool last_was_final = false;
+    std::string last_status;
+
+    std::size_t pos = 0;
+    while (pos < stream_text.size()) {
+      std::size_t eol = stream_text.find('\n', pos);
+      if (eol == std::string::npos) eol = stream_text.size();
+      const std::string line_text = stream_text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line_text.empty()) continue;
+      ++lines;
+      const std::string where = "line " + std::to_string(lines);
+      dft::obs::Json line;
+      try {
+        line = dft::obs::parse_json(line_text);
+      } catch (const std::exception& e) {
+        problems.push_back(where + ": not valid JSON: " + e.what());
+        continue;
+      }
+      for (const std::string& p : dft::obs::validate_report(schema, line)) {
+        problems.push_back(where + ": " + p);
+      }
+      if (!line.is_object()) continue;
+
+      const double seq = num_field(line, "seq", -1.0);
+      if (seq <= last_seq) {
+        problems.push_back(where + ": seq not strictly increasing");
+      }
+      last_seq = seq;
+      const double elapsed = num_field(line, "elapsed_ms", -1.0);
+      if (elapsed < last_elapsed) {
+        problems.push_back(where + ": elapsed_ms decreased");
+      }
+      last_elapsed = elapsed;
+
+      const dft::obs::Json* phase = line.find("phase");
+      const double coverage = num_field(line, "coverage_pct", -1.0);
+      if (phase != nullptr && phase->is_string() && coverage >= 0.0) {
+        const auto [it, inserted] =
+            last_coverage.try_emplace(phase->as_string(), coverage);
+        if (!inserted) {
+          if (coverage < it->second) {
+            problems.push_back(where + ": coverage_pct decreased in phase '" +
+                               phase->as_string() + "'");
+          }
+          it->second = coverage;
+        }
+      }
+
+      const dft::obs::Json* final_v = line.find("final");
+      if (last_was_final) {
+        problems.push_back(where + ": line after the final event");
+      }
+      last_was_final =
+          final_v != nullptr && final_v->is_bool() && final_v->as_bool();
+      const dft::obs::Json* status = line.find("status");
+      last_status = status != nullptr && status->is_string()
+                        ? status->as_string()
+                        : "";
+    }
+
+    if (lines < min_events) {
+      problems.push_back("only " + std::to_string(lines) + " event(s), " +
+                         std::to_string(min_events) + " required");
+    }
+    if (!require_final.empty()) {
+      if (!last_was_final) {
+        problems.push_back("stream does not end with a \"final\":true event");
+      } else if (last_status != require_final) {
+        problems.push_back("final status is '" + last_status + "', '" +
+                           require_final + "' required");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (problems.empty()) {
+    std::printf("%s: ok (%ld events)\n", argv[2], lines);
+    return 0;
+  }
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], p.c_str());
+  }
+  return 1;
+}

@@ -1,5 +1,5 @@
 // report_check -- validates a dft-obs-report JSON document against the
-// checked-in schema (data/obs_report_schema_v1.json) and, optionally,
+// checked-in schema (data/obs_report_schema_v2.json) and, optionally,
 // asserts that named counters came out nonzero.
 //
 //   report_check <schema.json> <report.json> [--nonzero-counter NAME]...

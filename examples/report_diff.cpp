@@ -1,0 +1,99 @@
+// report_diff -- compares two dft-obs-report JSON documents field by field
+// and gates on ratio rules (src/obs/diff.h).
+//
+//   report_diff <base.json> <next.json>
+//               [--max-ratio SECTION:PATTERN:RATIO]...
+//               [--min-ratio SECTION:PATTERN:RATIO]...
+//               [--report-threshold R]
+//
+// --max-ratio fails when next > RATIO * base for a matching field
+// (lower-is-better: timers, counters, RSS); --min-ratio fails when
+// next < RATIO * base (higher-is-better: speedups, coverage). PATTERN
+// matches the field name after the section prefix, exactly or as a
+// prefix when it ends in '*'; SECTION may be '*'. Ungated fields whose
+// ratio drifts past --report-threshold (default 1.25) are listed as
+// informational notes.
+//
+// Exit 0 when no rule is violated, 1 on any regression (or a
+// schema/version mismatch between the two reports), 2 on usage errors.
+// CI pins the committed BENCH_fault_sim.json against each fresh bench
+// smoke with "--min-ratio values:*.speedup_1t:0.8".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/diff.h"
+#include "obs/json.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: report_diff <base.json> <next.json>\n"
+               "                   [--max-ratio SECTION:PATTERN:RATIO]...\n"
+               "                   [--min-ratio SECTION:PATTERN:RATIO]...\n"
+               "                   [--report-threshold R]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  dft::obs::DiffOptions opt;
+  try {
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--max-ratio") == 0 && i + 1 < argc) {
+        opt.rules.push_back(dft::obs::parse_diff_rule(argv[++i], true));
+      } else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc) {
+        opt.rules.push_back(dft::obs::parse_diff_rule(argv[++i], false));
+      } else if (std::strcmp(argv[i], "--report-threshold") == 0 &&
+                 i + 1 < argc) {
+        opt.report_threshold = std::atof(argv[++i]);
+        if (opt.report_threshold < 1.0) {
+          std::fprintf(stderr, "--report-threshold must be >= 1\n");
+          return 2;
+        }
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+        return usage();
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad rule: %s\n", e.what());
+    return 2;
+  }
+
+  std::string base_text, next_text;
+  if (!read_file(argv[1], base_text)) {
+    std::fprintf(stderr, "cannot read base %s\n", argv[1]);
+    return 1;
+  }
+  if (!read_file(argv[2], next_text)) {
+    std::fprintf(stderr, "cannot read next %s\n", argv[2]);
+    return 1;
+  }
+
+  try {
+    const dft::obs::Json base = dft::obs::parse_json(base_text);
+    const dft::obs::Json next = dft::obs::parse_json(next_text);
+    const dft::obs::DiffResult d = dft::obs::diff_reports(base, next, opt);
+    std::printf("%s", dft::obs::render_diff_text(d, opt).c_str());
+    return d.regressed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

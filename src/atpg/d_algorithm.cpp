@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "obs/progress.h"
 
 namespace dft {
 
@@ -197,6 +198,15 @@ bool DAlgorithm::propagate_frontier_and_justify(int depth) {
     return false;
   }
   ++implications_;
+  // Progress on the 32-pass stride, like PODEM: decision counters only
+  // (no coverage inside one fault's search).
+  if ((implications_ & 31) == 0 && obs::ProgressSink::global().active()) {
+    obs::Progress prog;
+    prog.phase = "d_algorithm";
+    prog.decisions = static_cast<std::uint64_t>(decisions_ + backtracks_);
+    if (budget_ != nullptr) prog.budget_remaining_ms = budget_->remaining_ms();
+    obs::ProgressSink::global().maybe_emit(prog);
+  }
   // Same stride as PODEM: one budget poll per 32 implication passes. A
   // budget hit unwinds the whole recursion through the aborted_ flag.
   if (budget_ != nullptr && budget_->limited() &&

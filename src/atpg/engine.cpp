@@ -13,6 +13,7 @@
 #include "atpg/random_tpg.h"
 #include "fault/threaded_fault_sim.h"
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "sim/thread_pool.h"
 #include "sta/sta.h"
@@ -112,6 +113,14 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
         if (guarded && ++since_poll >= 256) {
           since_poll = 0;
           if (options.budget.poll() != guard::RunStatus::Completed) break;
+        }
+        if (obs::ProgressSink::global().active()) {
+          obs::Progress prog;
+          prog.phase = "atpg.sta_prune";
+          prog.items_done = fi + 1;
+          prog.items_total = faults.size();
+          prog.budget_remaining_ms = options.budget.remaining_ms();
+          obs::ProgressSink::global().maybe_emit(prog);
         }
         if (analyzer.untestable(faults[fi])) {
           redundant_idx.push_back(fi);
@@ -214,6 +223,28 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
         const guard::RunStatus st = options.budget.poll();
         if (st != guard::RunStatus::Completed) istatus = st;
       }
+      if (obs::ProgressSink::global().active()) {
+        // Run-level progress: cumulative coverage across the random and
+        // deterministic phases (cross-drops included), so the curve a
+        // consumer plots from this phase continues the random one.
+        obs::Progress prog;
+        prog.phase = "atpg.deterministic";
+        prog.coverage_pct =
+            faults.empty()
+                ? 100.0
+                : 100.0 *
+                      static_cast<double>(run.random_phase_detected +
+                                          run.deterministic_detected) /
+                      static_cast<double>(faults.size());
+        prog.patterns = random_tests.size() + cubes.size();
+        prog.decisions =
+            static_cast<std::uint64_t>(run.total_decisions +
+                                       run.total_backtracks);
+        prog.items_done = fi + 1;
+        prog.items_total = faults.size();
+        prog.budget_remaining_ms = options.budget.remaining_ms();
+        obs::ProgressSink::global().maybe_emit(prog);
+      }
     }
   }
 
@@ -282,6 +313,26 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
         if (guarded && istatus == guard::RunStatus::Completed) {
           const guard::RunStatus st = options.budget.poll();
           if (st != guard::RunStatus::Completed) istatus = st;
+        }
+        if (obs::ProgressSink::global().active()) {
+          // Retried faults are few and each retry is an expensive search,
+          // so an exact recount of the census per event is in the noise.
+          obs::Progress prog;
+          prog.phase = "atpg.retry";
+          prog.coverage_pct =
+              faults.empty()
+                  ? 100.0
+                  : 100.0 *
+                        static_cast<double>(std::count(
+                            detected.begin(), detected.end(),
+                            static_cast<char>(1))) /
+                        static_cast<double>(faults.size());
+          prog.decisions =
+              static_cast<std::uint64_t>(run.total_decisions +
+                                         run.total_backtracks);
+          prog.items_done = static_cast<std::uint64_t>(run.retry_attempts);
+          prog.budget_remaining_ms = options.budget.remaining_ms();
+          obs::ProgressSink::global().maybe_emit(prog);
         }
       }
       return still;
@@ -361,8 +412,19 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
       }
     }
     obs::Phase final_sim_phase("atpg.final_sim");
+    // The verification sim is the one run whose first_detected_by is exact
+    // for the final test set, so it both streams progress under its own
+    // phase label and yields the report's coverage-vs-pattern curve. The
+    // cross-drop sub-runs above kept the default (empty) phase and stayed
+    // silent.
+    fsim->set_progress_phase("atpg.final_sim");
     const FaultSimResult final_sim = fsim->run(run.tests, faults);
+    fsim->set_progress_phase({});
     run.detected = final_sim.num_detected;
+    if (obs::enabled()) {
+      record_coverage_curve("atpg.coverage_curve",
+                            final_sim.first_detected_by, run.tests.size());
+    }
     run.status = run.aborted.empty() ? guard::RunStatus::Completed
                                      : guard::RunStatus::Degraded;
   }

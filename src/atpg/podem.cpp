@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "obs/progress.h"
 
 namespace dft {
 
@@ -364,6 +365,20 @@ AtpgOutcome Podem::generate(const Fault& fault) {
   for (;;) {
     simulate(fault);
     ++out.implications;
+    // Progress on the same 32-pass stride as the budget poll below: one
+    // relaxed load when the sink is off. Coverage is unknown inside a
+    // single fault's search, so only the decision counters stream.
+    if ((out.implications & 31) == 0 &&
+        obs::ProgressSink::global().active()) {
+      obs::Progress prog;
+      prog.phase = "podem";
+      prog.decisions =
+          static_cast<std::uint64_t>(out.decisions + out.backtracks);
+      if (budget_ != nullptr) {
+        prog.budget_remaining_ms = budget_->remaining_ms();
+      }
+      obs::ProgressSink::global().maybe_emit(prog);
+    }
     // Budget poll every 32 implication passes: each pass is a full-netlist
     // simulation, so the stride keeps poll overhead invisible while still
     // bounding overshoot to ~32 simulations past the deadline.

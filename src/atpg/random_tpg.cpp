@@ -6,6 +6,7 @@
 
 #include "fault/threaded_fault_sim.h"
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "sim/thread_pool.h"
 
 namespace dft {
@@ -113,6 +114,21 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
         if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
       }
       alive = std::move(next_alive);
+    }
+    if (obs::ProgressSink::global().active()) {
+      // Run-level progress: real cumulative coverage over the full fault
+      // list, ETA against the pattern ceiling (a stall exit lands early).
+      obs::Progress prog;
+      prog.phase = "random_tpg";
+      prog.coverage_pct =
+          faults.empty() ? 100.0
+                         : 100.0 * static_cast<double>(res.num_detected) /
+                               static_cast<double>(faults.size());
+      prog.patterns = static_cast<std::uint64_t>(res.patterns_tried);
+      prog.items_done = static_cast<std::uint64_t>(res.patterns_tried);
+      prog.items_total = static_cast<std::uint64_t>(options.max_patterns);
+      prog.budget_remaining_ms = options.budget.remaining_ms();
+      obs::ProgressSink::global().maybe_emit(prog);
     }
     // Per-block budget poll, after the block's detections are merged: even
     // an already-expired budget yields one graded block of patterns.

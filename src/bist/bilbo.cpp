@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "sim/thread_pool.h"
 
 namespace dft {
@@ -173,11 +174,35 @@ BilboBist::GradeResult BilboBist::signature_coverage_run(
   std::vector<char> graded(faults.size(), 0);
   // Worst interrupted status seen by any worker; doubles as the stop flag.
   std::atomic<int> stop{0};
+  // Progress counters are separate relaxed atomics: the caught/graded
+  // bitmaps are plain chars workers write disjointly, so an emitter must
+  // not scan them mid-run.
+  const bool progressing = obs::ProgressSink::global().active();
+  std::atomic<std::uint64_t> n_graded{0};
+  std::atomic<std::uint64_t> n_caught{0};
   auto grade = [&](std::size_t i) {
     const Session bad = run_faulty(which_cln, faults[i], patterns_per_phase);
     graded[i] = 1;
     caught[i] = bad.signature_cln1 != good.signature_cln1 ||
                 bad.signature_cln2 != good.signature_cln2;
+    if (progressing) {
+      const std::uint64_t done =
+          n_graded.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::uint64_t hit =
+          n_caught.fetch_add(caught[i] ? 1 : 0, std::memory_order_relaxed) +
+          (caught[i] ? 1 : 0);
+      obs::Progress prog;
+      prog.phase = "bist.signature";
+      // Coverage over the FIXED total, so the stream is non-decreasing
+      // even while the caught/graded ratio fluctuates.
+      prog.coverage_pct = 100.0 * static_cast<double>(hit) /
+                          static_cast<double>(faults.size());
+      prog.patterns = done * static_cast<std::uint64_t>(bad.patterns);
+      prog.items_done = done;
+      prog.items_total = faults.size();
+      if (budget != nullptr) prog.budget_remaining_ms = budget->remaining_ms();
+      obs::ProgressSink::global().maybe_emit(prog);
+    }
     // Poll after the session: even an expired budget grades one fault.
     if (guarded) {
       budget->charge_patterns(static_cast<std::uint64_t>(bad.patterns));

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "obs/progress.h"
 #include "sim/parallel_sim.h"
 #include "sim/thread_pool.h"
 
@@ -106,9 +107,32 @@ SyndromeAnalysis analyze_syndrome_testability(const Netlist& nl,
   std::vector<char> graded(faults.size(), 0);
   // Worst interrupted status seen by any worker; doubles as the stop flag.
   std::atomic<int> stop{0};
+  // Separate relaxed atomics for progress: the testable/graded bitmaps are
+  // plain chars written disjointly, so an emitter must not scan them mid-run.
+  const bool progressing = obs::ProgressSink::global().active();
+  std::atomic<std::uint64_t> n_graded{0};
+  std::atomic<std::uint64_t> n_testable{0};
   auto grade = [&](std::size_t i) {
     testable[i] = minterm_counts_faulty(nl, faults[i]) != good;
     graded[i] = 1;
+    if (progressing) {
+      const std::uint64_t done =
+          n_graded.fetch_add(1, std::memory_order_relaxed) + 1;
+      const std::uint64_t hit =
+          n_testable.fetch_add(testable[i] ? 1 : 0,
+                               std::memory_order_relaxed) +
+          (testable[i] ? 1 : 0);
+      obs::Progress prog;
+      prog.phase = "bist.syndrome";
+      // Over the FIXED total so the stream is non-decreasing.
+      prog.coverage_pct = 100.0 * static_cast<double>(hit) /
+                          static_cast<double>(faults.size());
+      prog.patterns = done << nl.inputs().size();
+      prog.items_done = done;
+      prog.items_total = faults.size();
+      if (budget != nullptr) prog.budget_remaining_ms = budget->remaining_ms();
+      obs::ProgressSink::global().maybe_emit(prog);
+    }
     // Poll after the sweep: each fault is one exhaustive 2^n application.
     if (guarded) {
       budget->charge_patterns(1ull << nl.inputs().size());

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "sim/eval.h"
 
 namespace dft {
@@ -208,6 +209,10 @@ FaultSimResult DeductiveFaultSimulator::run(
         }
       }
     }
+    if (progress_on()) {
+      emit_progress(p + 1, res.num_detected, faults.size(), p + 1,
+                    patterns.size(), budget);
+    }
     if (drop_detected && all_done) break;
     // Per-pattern poll, after the pattern's detections are merged.
     if (guarded) {
@@ -219,6 +224,7 @@ FaultSimResult DeductiveFaultSimulator::run(
       }
     }
   }
+  if (obs::enabled()) record_final_coverage(res);
   return res;
 }
 

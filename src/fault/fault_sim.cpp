@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/obs.h"
@@ -47,6 +48,55 @@ void validate_patterns(const Netlist& nl,
         }
       }
     }
+  }
+}
+
+// --- Progress / coverage reporting ---------------------------------------
+
+void FaultSimEngine::emit_progress(std::uint64_t patterns, int detected,
+                                   std::size_t total, std::uint64_t items_done,
+                                   std::uint64_t items_total,
+                                   const guard::Budget* budget) const {
+  obs::Progress p;
+  p.phase = progress_phase_;
+  if (total > 0) {
+    p.coverage_pct =
+        100.0 * static_cast<double>(detected) / static_cast<double>(total);
+  }
+  p.patterns = patterns;
+  p.items_done = items_done;
+  p.items_total = items_total;
+  if (budget != nullptr) p.budget_remaining_ms = budget->remaining_ms();
+  obs::ProgressSink::global().maybe_emit(p);
+}
+
+void record_final_coverage(const FaultSimResult& res) {
+  obs::Registry::global()
+      .value("fault_sim.coverage.final_pct")
+      .set(100.0 * res.coverage());
+}
+
+void record_coverage_curve(std::string_view name,
+                           const std::vector<int>& first_detected_by,
+                           std::size_t num_patterns) {
+  obs::Curve& curve = obs::Registry::global().curve(name);
+  curve.reset();
+  if (num_patterns == 0) return;
+  const std::size_t nblocks = (num_patterns + 63) / 64;
+  std::vector<std::uint64_t> per_block(nblocks, 0);
+  for (const int fd : first_detected_by) {
+    if (fd >= 0 && static_cast<std::size_t>(fd) < num_patterns) {
+      ++per_block[static_cast<std::size_t>(fd) / 64];
+    }
+  }
+  const double total = static_cast<double>(first_detected_by.size());
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    cum += per_block[b];
+    const std::size_t last = std::min(num_patterns, (b + 1) * 64) - 1;
+    curve.add(static_cast<double>(last),
+              total == 0.0 ? 100.0
+                           : 100.0 * static_cast<double>(cum) / total);
   }
 }
 
@@ -123,6 +173,10 @@ FaultSimResult SerialFaultSimulator::run(
       }
     }
     pairs += fault_pairs;
+    if (progress_on()) {
+      emit_progress(pairs, res.num_detected, faults.size(), fi + 1,
+                    faults.size(), budget);
+    }
     // Poll after each fully-simulated fault: the partial result covers a
     // clean prefix of the fault list, the rest stays -1.
     if (guarded) {
@@ -140,6 +194,7 @@ FaultSimResult SerialFaultSimulator::run(
     reg.counter("fault_sim.serial.pairs_simulated").add(pairs);
     reg.counter("fault_sim.serial.detections")
         .add(static_cast<std::uint64_t>(res.num_detected));
+    record_final_coverage(res);
   }
   return res;
 }
@@ -377,6 +432,11 @@ FaultSimResult ParallelFaultSimulator::run(
       else ++faults_dropped;
     }
     alive = std::move(still_alive);
+    if (progress_on()) {
+      emit_progress(static_cast<std::uint64_t>(base + blk), res.num_detected,
+                    faults.size(), blocks, (patterns.size() + 63) / 64,
+                    budget);
+    }
     if (alive.empty()) break;
     // Poll at block granularity, after the block's detections are merged:
     // an already-exhausted budget still gets one block of real work, so a
@@ -402,6 +462,7 @@ FaultSimResult ParallelFaultSimulator::run(
     reg.counter("fault_sim.ppsfp.faults_dropped").add(faults_dropped);
     reg.counter("fault_sim.ppsfp.detections")
         .add(static_cast<std::uint64_t>(res.num_detected));
+    record_final_coverage(res);
     if (event_) {
       reg.counter("fault_sim.event.runs").add(1);
       flush_event_obs();
@@ -471,8 +532,11 @@ void ParallelFaultSimulator::adopt_block_from(
 
 std::size_t ParallelFaultSimulator::run_block_faults(
     const std::vector<Fault>& faults, std::size_t begin, std::size_t end,
-    bool drop_detected, std::atomic<std::int32_t>* shared_first) {
+    bool drop_detected, std::atomic<std::int32_t>* shared_first,
+    std::atomic<std::uint64_t>* new_detections) {
   const std::int32_t base = static_cast<std::int32_t>(block_base_);
+  constexpr std::int32_t kUndetected =
+      std::numeric_limits<std::int32_t>::max();
   std::size_t simulated = 0;
   for (std::size_t fi = begin; fi < end; ++fi) {
     // Soundness of the drop: an entry below `base` is a detection at a
@@ -493,8 +557,16 @@ std::size_t ParallelFaultSimulator::run_block_faults(
     if (det == 0) continue;
     const std::int32_t at = base + std::countr_zero(det);
     std::int32_t cur = shared_first[fi].load(std::memory_order_relaxed);
-    while (at < cur && !shared_first[fi].compare_exchange_weak(
-                           cur, at, std::memory_order_relaxed)) {
+    while (at < cur) {
+      if (shared_first[fi].compare_exchange_weak(cur, at,
+                                                 std::memory_order_relaxed)) {
+        // Exactly one CAS ever replaces the sentinel, so the count is a
+        // race-free detected-fault total (not a per-pattern tally).
+        if (cur == kUndetected && new_detections != nullptr) {
+          new_detections->fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
     }
   }
   tally_faults_ += simulated;

@@ -38,6 +38,7 @@
 #include "netlist/compiled.h"
 #include "netlist/logic.h"
 #include "netlist/netlist.h"
+#include "obs/progress.h"
 #include "sim/comb_sim.h"
 #include "sim/event_sim.h"
 #include "sim/parallel_sim.h"
@@ -103,7 +104,49 @@ class FaultSimEngine {
 
   // Short stable identifier ("serial", "ppsfp", "deductive", "threaded").
   virtual std::string_view name() const = 0;
+
+  // Progress streaming (obs::ProgressSink). With a phase label set, run()
+  // emits throttled progress events from its budget-poll sites under that
+  // label; unset (the default), even long runs stay silent -- so
+  // subordinate runs (ATPG's one-pattern cross-drop sims, retry-ladder
+  // re-sims) never pollute the stream of the driver that owns run-level
+  // progress. Emission cost when the global sink is off: one relaxed load
+  // per poll site.
+  void set_progress_phase(std::string phase) {
+    progress_phase_ = std::move(phase);
+  }
+  const std::string& progress_phase() const { return progress_phase_; }
+
+ protected:
+  bool progress_on() const {
+    return !progress_phase_.empty() && obs::ProgressSink::global().active();
+  }
+  // One throttled event: cumulative detections over the full fault list,
+  // pattern applications consumed, and block-granular ETA inputs.
+  void emit_progress(std::uint64_t patterns, int detected, std::size_t total,
+                     std::uint64_t items_done, std::uint64_t items_total,
+                     const guard::Budget* budget) const;
+
+ private:
+  std::string progress_phase_;
 };
+
+// Records the fault_sim.coverage.final_pct obs value (100 * detected /
+// total; 100 for an empty fault list, matching FaultSimResult::coverage).
+// Every engine calls it at the end of run(), so the report's gauge always
+// matches the returned ratio.
+void record_final_coverage(const FaultSimResult& res);
+
+// Records the true fault-coverage-vs-pattern curve of a finished run into
+// obs Curve `name` (shown under "curves" in the v2 report): one point per
+// 64-pattern block, x = index of the block's last pattern applied (capped
+// by num_patterns), y = cumulative percent of faults first-detected at or
+// before x. Derived post-hoc from first_detected_by, so it is exact under
+// every engine and thread count (earliest-pattern-wins). Replaces any
+// previous points under the same name.
+void record_coverage_curve(std::string_view name,
+                           const std::vector<int>& first_detected_by,
+                           std::size_t num_patterns);
 
 class SerialFaultSimulator : public FaultSimEngine {
  public:
@@ -195,11 +238,16 @@ class ParallelFaultSimulator : public FaultSimEngine {
   // holds a detection from a STRICTLY earlier block -- a same-or-later
   // entry could still be beaten by a bit in this block, so skipping then
   // would change the result. Returns the number of faults actually
-  // simulated (skips excluded).
+  // simulated (skips excluded). `new_detections` (optional) is incremented
+  // once per fault whose shared entry left the INT32_MAX "undetected"
+  // sentinel under this call's CAS -- a live coverage numerator for the
+  // threaded engine's progress events.
   std::size_t run_block_faults(const std::vector<Fault>& faults,
                                std::size_t begin, std::size_t end,
                                bool drop_detected,
-                               std::atomic<std::int32_t>* shared_first);
+                               std::atomic<std::int32_t>* shared_first,
+                               std::atomic<std::uint64_t>* new_detections =
+                                   nullptr);
 
   // Flushes tallies accumulated by the block-scoped calls into dft::obs
   // (fault_sim.ppsfp.* / fault_sim.event.*). Called by the merging thread

@@ -74,11 +74,14 @@ void ThreadedFaultSimulator::run_pattern_block(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
     bool drop_detected, const guard::Budget* budget,
     std::atomic<std::int32_t>* shared, int workers,
-    std::vector<guard::RunStatus>& status) {
+    std::vector<guard::RunStatus>& status,
+    std::atomic<std::uint64_t>& detected) {
   const std::size_t nblocks = (patterns.size() + 63) / 64;
   const bool guarded = budget != nullptr && budget->limited();
   const bool observed = obs::enabled();
+  const bool progressing = progress_on();
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> blocks_done{0};
   std::mutex err_mu;
   std::exception_ptr first_error;
   for (int w = 0; w < workers; ++w) {
@@ -110,8 +113,19 @@ void ThreadedFaultSimulator::run_pattern_block(
           m.load_block(patterns, base, cnt);
           simulated +=
               m.run_block_faults(faults, 0, faults.size(), drop_detected,
-                                 shared);
+                                 shared, &detected);
           if (guarded) budget->charge_patterns(cnt);
+          if (progressing) {
+            // Block boundary: the sink's CAS ticker picks one of the racing
+            // workers per interval; the counters are relaxed running
+            // totals, so coverage/patterns are both non-decreasing.
+            const std::uint64_t done =
+                blocks_done.fetch_add(1, std::memory_order_relaxed) + 1;
+            emit_progress(
+                std::min<std::uint64_t>(done * 64, patterns.size()),
+                static_cast<int>(detected.load(std::memory_order_relaxed)),
+                faults.size(), done, nblocks, budget);
+          }
         }
         if (observed && simulated != 0) {
           obs::Registry::global()
@@ -140,11 +154,13 @@ void ThreadedFaultSimulator::run_fault_chunk(
     const std::vector<SourceVector>& patterns, const std::vector<Fault>& faults,
     bool drop_detected, const guard::Budget* budget,
     std::atomic<std::int32_t>* shared, int workers,
-    std::vector<guard::RunStatus>& status) {
+    std::vector<guard::RunStatus>& status,
+    std::atomic<std::uint64_t>& detected) {
   const std::size_t nf = faults.size();
   const std::size_t nblocks = (patterns.size() + 63) / 64;
   const bool guarded = budget != nullptr && budget->limited();
   const bool observed = obs::enabled();
+  const bool progressing = progress_on();
   const std::size_t chunk = std::max<std::size_t>(
       64, nf / (8 * static_cast<std::size_t>(workers)));
   const std::size_t nchunks = (nf + chunk - 1) / chunk;
@@ -171,7 +187,7 @@ void ThreadedFaultSimulator::run_fault_chunk(
           auto run_chunk = [&](std::size_t c) {
             simulated += m.run_block_faults(
                 faults, c * chunk, std::min(nf, (c + 1) * chunk),
-                drop_detected, shared);
+                drop_detected, shared, &detected);
           };
           if (kernel_ == FaultSimKernel::Event) {
             for (;;) {
@@ -200,6 +216,15 @@ void ThreadedFaultSimulator::run_fault_chunk(
     }
     pool_.wait();
     if (first_error) std::rethrow_exception(first_error);
+    if (progressing) {
+      // Blocks are sequential here, so emitting once per block from the
+      // merging thread gives the same clean-prefix view as the
+      // single-machine engine.
+      emit_progress(
+          static_cast<std::uint64_t>(base + cnt),
+          static_cast<int>(detected.load(std::memory_order_relaxed)), nf,
+          b + 1, nblocks, budget);
+    }
     // Poll at block granularity, after the block's detections are merged:
     // blocks are sequential here, so a partial covers a clean pattern
     // prefix, exactly like the single-machine engine.
@@ -270,7 +295,9 @@ FaultSimResult ThreadedFaultSimulator::run(
 
   if (chosen == MtDecomposition::Sequential) {
     // Inline on machine 0: no dispatch, no shared array, no merge. The
-    // single-machine run() flushes its own obs tallies.
+    // single-machine run() flushes its own obs tallies and emits the
+    // progress events (under this engine's phase label).
+    machines_[0]->set_progress_phase(progress_phase());
     return machines_[0]->run(patterns, faults, drop_detected, budget);
   }
 
@@ -287,12 +314,13 @@ FaultSimResult ThreadedFaultSimulator::run(
   std::vector<guard::RunStatus> status(
       static_cast<std::size_t>(std::max(workers, 1)),
       guard::RunStatus::Completed);
+  std::atomic<std::uint64_t> detected{0};
   if (chosen == MtDecomposition::PatternBlock) {
     run_pattern_block(patterns, faults, drop_detected, budget, shared.get(),
-                      workers, status);
+                      workers, status, detected);
   } else {
     run_fault_chunk(patterns, faults, drop_detected, budget, shared.get(),
-                    workers, status);
+                    workers, status, detected);
   }
 
   FaultSimResult res;
@@ -319,6 +347,7 @@ FaultSimResult ThreadedFaultSimulator::run(
     reg.counter("fault_sim.ppsfp.runs").add(1);
     reg.counter("fault_sim.ppsfp.detections")
         .add(static_cast<std::uint64_t>(res.num_detected));
+    record_final_coverage(res);
     reg.gauge("thread_pool.max_queue_depth")
         .set_max(static_cast<std::int64_t>(pool_.max_queue_depth()));
   }

@@ -98,16 +98,21 @@ class ThreadedFaultSimulator : public FaultSimEngine {
   void reset_observation_points();
 
  private:
+  // `detected` accumulates sentinel-leaving CAS wins across every worker
+  // (see run_block_faults) -- the live coverage numerator for the progress
+  // events emitted at block boundaries.
   void run_pattern_block(const std::vector<SourceVector>& patterns,
                          const std::vector<Fault>& faults, bool drop_detected,
                          const guard::Budget* budget,
                          std::atomic<std::int32_t>* shared, int workers,
-                         std::vector<guard::RunStatus>& status);
+                         std::vector<guard::RunStatus>& status,
+                         std::atomic<std::uint64_t>& detected);
   void run_fault_chunk(const std::vector<SourceVector>& patterns,
                        const std::vector<Fault>& faults, bool drop_detected,
                        const guard::Budget* budget,
                        std::atomic<std::int32_t>* shared, int workers,
-                       std::vector<guard::RunStatus>& status);
+                       std::vector<guard::RunStatus>& status,
+                       std::atomic<std::uint64_t>& detected);
 
   const Netlist* nl_;
   FaultSimKernel kernel_;

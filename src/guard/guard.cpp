@@ -122,4 +122,12 @@ long long Budget::elapsed_ms() const {
       .count();
 }
 
+long long Budget::remaining_ms() const {
+  if (!state_ || !state_->has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        state_->deadline - State::Clock::now())
+                        .count();
+  return left < 0 ? 0 : left;
+}
+
 }  // namespace dft::guard

@@ -114,6 +114,11 @@ class Budget {
   // 0 for an unlimited budget.
   long long elapsed_ms() const;
 
+  // Milliseconds of wall clock left before the deadline (clamped at 0), or
+  // -1 when there is no deadline. Progress emitters forward this into
+  // obs::Progress::budget_remaining_ms (obs cannot depend on guard).
+  long long remaining_ms() const;
+
  private:
   struct State;
   State& state();

@@ -1,0 +1,239 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace dft::obs {
+
+namespace {
+
+// Collects the flattened numeric fields of one report, keyed by
+// "section.rest" (see diff.h for the full list).
+std::map<std::string, double> flatten(const Json& report) {
+  std::map<std::string, double> out;
+  for (const char* section : {"counters", "gauges", "values"}) {
+    const Json* sec = report.find(section);
+    if (sec == nullptr || !sec->is_object()) continue;
+    for (const auto& [k, v] : sec->as_object()) {
+      if (v.is_number()) out[std::string(section) + "." + k] = v.as_number();
+    }
+  }
+  if (const Json* timers = report.find("timers");
+      timers != nullptr && timers->is_object()) {
+    for (const auto& [k, stats] : timers->as_object()) {
+      if (!stats.is_object()) continue;
+      for (const char* stat : {"total_us", "mean_us", "count"}) {
+        const Json* v = stats.find(stat);
+        if (v != nullptr && v->is_number()) {
+          out["timers." + k + "." + stat] = v->as_number();
+        }
+      }
+    }
+  }
+  if (const Json* curves = report.find("curves");
+      curves != nullptr && curves->is_object()) {
+    for (const auto& [k, pts] : curves->as_object()) {
+      if (!pts.is_array()) continue;
+      out["curves." + k + ".points"] = static_cast<double>(pts.as_array().size());
+      if (!pts.as_array().empty()) {
+        const Json& last = pts.as_array().back();
+        if (last.is_array() && last.as_array().size() == 2 &&
+            last.as_array()[1].is_number()) {
+          out["curves." + k + ".final_y"] = last.as_array()[1].as_number();
+        }
+      }
+    }
+  }
+  if (const Json* rss = report.find("peak_rss_bytes");
+      rss != nullptr && rss->is_number()) {
+    out["peak_rss_bytes"] = rss->as_number();
+  }
+  return out;
+}
+
+bool pattern_matches(const std::string& pattern, const std::string& name) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return name.compare(0, pattern.size() - 1, pattern, 0,
+                        pattern.size() - 1) == 0;
+  }
+  return name == pattern;
+}
+
+// Splits "section.rest" at the first dot; "peak_rss_bytes" has no section.
+bool rule_matches(const DiffRule& r, const std::string& field) {
+  const std::size_t dot = field.find('.');
+  const std::string section = dot == std::string::npos ? field
+                                                       : field.substr(0, dot);
+  const std::string rest = dot == std::string::npos ? field
+                                                    : field.substr(dot + 1);
+  if (r.section != "*" && r.section != section) return false;
+  return pattern_matches(r.pattern, rest) || pattern_matches(r.pattern, field);
+}
+
+std::string render_rule(const DiffRule& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s:%s:%s%g", r.section.c_str(),
+                r.pattern.c_str(), r.max_ratio > 0 ? "max " : "min ",
+                r.max_ratio > 0 ? r.max_ratio : r.min_ratio);
+  return buf;
+}
+
+}  // namespace
+
+DiffRule parse_diff_rule(const std::string& spec, bool is_max) {
+  const std::size_t c1 = spec.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                 : spec.find(':', c1 + 1);
+  if (c2 == std::string::npos || c2 + 1 >= spec.size()) {
+    throw std::invalid_argument("bad rule '" + spec +
+                                "', want SECTION:PATTERN:RATIO");
+  }
+  DiffRule r;
+  r.section = spec.substr(0, c1);
+  r.pattern = spec.substr(c1 + 1, c2 - c1 - 1);
+  char* end = nullptr;
+  const double ratio = std::strtod(spec.c_str() + c2 + 1, &end);
+  if (end == nullptr || *end != '\0' || !(ratio > 0.0)) {
+    throw std::invalid_argument("bad ratio in rule '" + spec + "'");
+  }
+  if (r.section.empty() || r.pattern.empty()) {
+    throw std::invalid_argument("empty section/pattern in rule '" + spec +
+                                "'");
+  }
+  (is_max ? r.max_ratio : r.min_ratio) = ratio;
+  return r;
+}
+
+DiffResult diff_reports(const Json& base, const Json& next,
+                        const DiffOptions& opt) {
+  DiffResult d;
+  if (!base.is_object() || !next.is_object()) {
+    d.problems.push_back("both inputs must be JSON objects");
+    d.regressed = true;
+    return d;
+  }
+  // Same document family and version, or the field comparison is
+  // meaningless.
+  for (const char* key : {"schema", "version"}) {
+    const Json* a = base.find(key);
+    const Json* b = next.find(key);
+    const bool same =
+        a != nullptr && b != nullptr &&
+        ((a->is_string() && b->is_string() && a->as_string() == b->as_string()) ||
+         (a->is_number() && b->is_number() && a->as_number() == b->as_number()));
+    if (!same) {
+      d.problems.push_back(std::string("'") + key +
+                           "' differs between the two reports");
+      d.regressed = true;
+    }
+  }
+  if (d.regressed) return d;
+
+  const Json* tool_a = base.find("tool");
+  const Json* tool_b = next.find("tool");
+  if (tool_a != nullptr && tool_b != nullptr && tool_a->is_string() &&
+      tool_b->is_string() && tool_a->as_string() != tool_b->as_string()) {
+    d.notes.push_back("tool differs: '" + tool_a->as_string() + "' vs '" +
+                      tool_b->as_string() + "'");
+  }
+  const Json* ctx_a = base.find("context");
+  const Json* ctx_b = next.find("context");
+  if (ctx_a != nullptr && ctx_b != nullptr && ctx_a->is_object() &&
+      ctx_b->is_object()) {
+    for (const auto& [k, va] : ctx_a->as_object()) {
+      const Json* vb = ctx_b->find(k);
+      if (vb != nullptr && va.is_string() && vb->is_string() &&
+          va.as_string() != vb->as_string()) {
+        d.notes.push_back("context." + k + ": '" + va.as_string() + "' vs '" +
+                          vb->as_string() + "'");
+      }
+    }
+  }
+
+  const auto flat_base = flatten(base);
+  const auto flat_next = flatten(next);
+  for (const auto& [field, vb] : flat_base) {
+    const auto it = flat_next.find(field);
+    if (it == flat_next.end()) {
+      d.notes.push_back("only in base: " + field);
+      continue;
+    }
+    const double vn = it->second;
+    FieldDiff f;
+    f.field = field;
+    f.base = vb;
+    f.next = vn;
+    if (vb == 0.0) {
+      f.ratio = vn == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+    } else {
+      f.ratio = vn / vb;
+    }
+    for (const DiffRule& r : opt.rules) {
+      if (!rule_matches(r, field)) continue;
+      f.gated = true;
+      const bool too_high = r.max_ratio > 0.0 && f.ratio > r.max_ratio;
+      const bool too_low = r.min_ratio > 0.0 && f.ratio < r.min_ratio;
+      if (too_high || too_low) {
+        f.regression = true;
+        f.rule = render_rule(r);
+        char buf[320];
+        std::snprintf(buf, sizeof buf,
+                      "regression: %s %.6g -> %.6g (ratio %.4g violates %s)",
+                      field.c_str(), vb, vn, f.ratio, f.rule.c_str());
+        d.problems.push_back(buf);
+        d.regressed = true;
+        break;  // first violated rule wins the message
+      }
+    }
+    d.fields.push_back(std::move(f));
+  }
+  for (const auto& [field, vn] : flat_next) {
+    if (flat_base.find(field) == flat_base.end()) {
+      d.notes.push_back("only in next: " + field);
+    }
+  }
+  return d;
+}
+
+std::string render_diff_text(const DiffResult& d, const DiffOptions& opt) {
+  std::string out;
+  char buf[320];
+  for (const std::string& p : d.problems) {
+    out += "FAIL ";
+    out += p;
+    out += '\n';
+  }
+  std::size_t gated_ok = 0;
+  std::size_t drift = 0;
+  for (const FieldDiff& f : d.fields) {
+    if (f.regression) continue;  // already rendered via problems
+    const bool drifted = opt.report_threshold > 1.0 &&
+                         (f.ratio > opt.report_threshold ||
+                          f.ratio < 1.0 / opt.report_threshold);
+    if (f.gated || drifted) {
+      std::snprintf(buf, sizeof buf, "%s %-44s %14.6g -> %14.6g  x%.4g\n",
+                    f.gated ? "ok   " : "drift", f.field.c_str(), f.base,
+                    f.next, f.ratio);
+      out += buf;
+      ++(f.gated ? gated_ok : drift);
+    }
+  }
+  for (const std::string& n : d.notes) {
+    out += "note  ";
+    out += n;
+    out += '\n';
+  }
+  std::snprintf(buf, sizeof buf,
+                "%zu fields compared, %zu gated ok, %zu drifted, %zu "
+                "regression(s)\n",
+                d.fields.size(), gated_ok, drift, d.problems.size());
+  out += buf;
+  return out;
+}
+
+}  // namespace dft::obs

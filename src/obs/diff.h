@@ -1,0 +1,80 @@
+// Field-by-field comparison of two dft-obs-report documents.
+//
+// The missing half of the perf-trend story: render_report_json gives every
+// run (dft_tool, the benches, CI smokes) one comparable document, and
+// diff_reports turns two of them into a ratio table plus a pass/fail
+// verdict. Gating is by ratio rules, not absolute values, so the same gate
+// works across machines: "timers:bench.*:1.5" fails when any matching
+// timer grew past 1.5x the baseline, "values:*.speedup_mt:0.8" fails when
+// a speedup fell below 0.8x. The report_diff CLI (examples/) wraps this
+// for CI; the 0.8 bench self-gate pins the committed BENCH_fault_sim.json
+// against each fresh smoke run.
+//
+// Flattened numeric fields compared (intersection of the two reports):
+//   counters.<name>               counter value
+//   gauges.<name>                 gauge value
+//   values.<name>                 value slot
+//   timers.<name>.total_us        also .mean_us and .count
+//   curves.<name>.final_y         last point's y (final coverage pct)
+//   curves.<name>.points          number of samples
+//   peak_rss_bytes                process peak RSS
+// Fields present on only one side are reported as structural notes, never
+// failures (engines come and go between runs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dft::obs {
+
+// One gating rule. `section` is the flat-field prefix ("counters",
+// "gauges", "values", "timers", "curves", or "*"); `pattern` matches the
+// rest of the field name, either exactly or as a prefix when it ends in
+// '*'. Ratios compare next/base:
+//   max_ratio > 0: fail when next > max_ratio * base  (lower-is-better)
+//   min_ratio > 0: fail when next < min_ratio * base  (higher-is-better)
+struct DiffRule {
+  std::string section;
+  std::string pattern;
+  double max_ratio = 0.0;
+  double min_ratio = 0.0;
+};
+
+struct DiffOptions {
+  std::vector<DiffRule> rules;
+  // Ungated fields whose ratio leaves [1/report_threshold, report_threshold]
+  // are listed as drift notes (informational only).
+  double report_threshold = 1.25;
+};
+
+struct FieldDiff {
+  std::string field;   // flattened name, e.g. "timers.phase.atpg.total_us"
+  double base = 0.0;
+  double next = 0.0;
+  double ratio = 1.0;  // next/base; 1.0 when both are 0
+  bool gated = false;       // some rule matched this field
+  bool regression = false;  // and the ratio violated it
+  std::string rule;         // the violated rule, rendered for humans
+};
+
+struct DiffResult {
+  std::vector<FieldDiff> fields;       // every compared field, sorted
+  std::vector<std::string> notes;      // one-sided fields, context drift
+  std::vector<std::string> problems;   // schema mismatches + regressions
+  bool regressed = false;              // any rule violated
+};
+
+DiffResult diff_reports(const Json& base, const Json& next,
+                        const DiffOptions& opt);
+
+// Human-readable rendering of a diff (regressions, then gated-ok fields,
+// then drift notes past the report threshold).
+std::string render_diff_text(const DiffResult& d, const DiffOptions& opt);
+
+// Parses "SECTION:PATTERN:RATIO" (as taken by report_diff --max-ratio /
+// --min-ratio) into a rule; throws std::invalid_argument on bad input.
+DiffRule parse_diff_rule(const std::string& spec, bool is_max);
+
+}  // namespace dft::obs

@@ -81,6 +81,22 @@ void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
+void Curve::add(double x, double y) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  pts_.emplace_back(x, y);
+}
+
+std::vector<Curve::Point> Curve::points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pts_;
+}
+
+void Curve::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pts_.clear();
+}
+
 void ScopedTimer::stop() {
   if (h_ == nullptr) return;
   const auto end = std::chrono::steady_clock::now();
@@ -98,7 +114,7 @@ Registry& Registry::global() {
 namespace {
 
 // Interns `name` in `m`, enforcing the one-kind-per-name rule against the
-// other three maps.
+// other maps.
 template <typename T, typename... Others>
 T& intern(std::string_view name, std::map<std::string, std::unique_ptr<T>,
                                           std::less<>>& m,
@@ -115,22 +131,27 @@ T& intern(std::string_view name, std::map<std::string, std::unique_ptr<T>,
 
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return intern(name, counters_, gauges_, values_, timers_);
+  return intern(name, counters_, gauges_, values_, timers_, curves_);
 }
 
 Gauge& Registry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return intern(name, gauges_, counters_, values_, timers_);
+  return intern(name, gauges_, counters_, values_, timers_, curves_);
 }
 
 Value& Registry::value(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return intern(name, values_, counters_, gauges_, timers_);
+  return intern(name, values_, counters_, gauges_, timers_, curves_);
 }
 
 Histogram& Registry::timer(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
-  return intern(name, timers_, counters_, gauges_, values_);
+  return intern(name, timers_, counters_, gauges_, values_, curves_);
+}
+
+Curve& Registry::curve(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return intern(name, curves_, counters_, gauges_, values_, timers_);
 }
 
 void Registry::reset() {
@@ -139,6 +160,7 @@ void Registry::reset() {
   for (auto& [k, v] : gauges_) v->reset();
   for (auto& [k, v] : values_) v->reset();
   for (auto& [k, v] : timers_) v->reset();
+  for (auto& [k, v] : curves_) v->reset();
 }
 
 std::map<std::string, std::uint64_t> Registry::counters() const {
@@ -159,6 +181,13 @@ std::map<std::string, double> Registry::values() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::map<std::string, double> out;
   for (const auto& [k, v] : values_) out.emplace(k, v->value());
+  return out;
+}
+
+std::map<std::string, std::vector<Curve::Point>> Registry::curves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::vector<Curve::Point>> out;
+  for (const auto& [k, v] : curves_) out.emplace(k, v->points());
   return out;
 }
 

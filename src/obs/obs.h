@@ -30,6 +30,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dft::obs {
 
@@ -135,6 +137,23 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
+// Ordered (x, y) samples recorded over a run -- fault-coverage-vs-pattern
+// curves and the like. Unlike the scalar metrics, points live behind a
+// mutex: curves are appended at block granularity (dozens of points per
+// run), never from per-gate or per-fault inner loops.
+class Curve {
+ public:
+  using Point = std::pair<double, double>;
+
+  void add(double x, double y);
+  std::vector<Point> points() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Point> pts_;
+};
+
 // RAII wall-clock timer recording elapsed microseconds into a Histogram on
 // destruction. When observability is disabled at construction it becomes
 // completely inert -- no clock read on either end.
@@ -171,6 +190,7 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Value& value(std::string_view name);
   Histogram& timer(std::string_view name);
+  Curve& curve(std::string_view name);
 
   // Zeroes every metric but keeps all registrations (and thus every
   // outstanding reference) valid. Used by tests and by the CLI between
@@ -189,6 +209,7 @@ class Registry {
     double mean_us = 0.0;
   };
   std::map<std::string, TimerStats> timers() const;
+  std::map<std::string, std::vector<Curve::Point>> curves() const;
 
  private:
   mutable std::mutex mu_;
@@ -197,6 +218,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Value>, std::less<>> values_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Curve>, std::less<>> curves_;
 };
 
 }  // namespace dft::obs

@@ -1,0 +1,179 @@
+#include "obs/progress.h"
+
+#include "obs/report.h"
+
+namespace dft::obs {
+
+ProgressSink& ProgressSink::global() {
+  static ProgressSink* s = new ProgressSink();  // never destroyed: engines
+  return *s;                                    // may emit from exiting threads
+}
+
+void ProgressSink::start(std::FILE* out, long long every_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ = out;
+  every_us_ = every_ms * 1000;
+  epoch_ = std::chrono::steady_clock::now();
+  next_emit_us_.store(0, std::memory_order_relaxed);
+  seq_ = 0;
+  lines_ = 0;
+  last_coverage_.clear();
+  active_.store(out != nullptr, std::memory_order_relaxed);
+}
+
+void ProgressSink::stop() {
+  active_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fflush(out_);
+  out_ = nullptr;
+}
+
+void ProgressSink::emit_throttled(const Progress& p) {
+  const auto now = std::chrono::steady_clock::now();
+  const std::int64_t now_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count();
+  std::int64_t next = next_emit_us_.load(std::memory_order_relaxed);
+  if (now_us < next) return;
+  // One CAS decides which of the racing workers owns this tick; losers
+  // return without touching the mutex.
+  if (!next_emit_us_.compare_exchange_strong(next, now_us + every_us_,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  write_line(p, /*final_event=*/false);
+}
+
+void ProgressSink::emit_final(const Progress& p) {
+  if (!active()) return;
+  write_line(p, /*final_event=*/true);
+}
+
+std::uint64_t ProgressSink::lines_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void ProgressSink::write_line(const Progress& p, bool final_event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;  // raced with stop()
+  const auto now = std::chrono::steady_clock::now();
+  const long long elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_)
+          .count();
+  long long eta_ms = -1;
+  if (p.items_total > 0 && p.items_done > 0) {
+    eta_ms = p.items_done >= p.items_total
+                 ? 0
+                 : static_cast<long long>(
+                       static_cast<double>(elapsed_ms) *
+                       static_cast<double>(p.items_total - p.items_done) /
+                       static_cast<double>(p.items_done));
+  }
+  const double events = static_cast<double>(p.patterns + p.decisions);
+  const double events_per_sec =
+      1000.0 * events / static_cast<double>(elapsed_ms > 0 ? elapsed_ms : 1);
+  // Monotonicity clamp: a worker's counter snapshot can be overtaken
+  // between building the Progress and winning the ticker CAS; publish the
+  // per-phase high-water mark so the stream never regresses.
+  Progress clamped = p;
+  if (clamped.coverage_pct >= 0.0) {
+    const auto it = last_coverage_.find(clamped.phase);
+    if (it != last_coverage_.end() && clamped.coverage_pct < it->second) {
+      clamped.coverage_pct = it->second;
+    } else if (it != last_coverage_.end()) {
+      it->second = clamped.coverage_pct;
+    } else {
+      last_coverage_.emplace(std::string(clamped.phase),
+                             clamped.coverage_pct);
+    }
+  }
+  const std::string line = render_line(clamped, seq_, elapsed_ms, eta_ms,
+                                       events_per_sec, peak_rss_bytes(),
+                                       final_event);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);  // each line is a complete, consumable event
+  ++seq_;
+  ++lines_;
+}
+
+namespace {
+
+void json_string(std::string_view s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_num(double v, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+void append_ll(long long v, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  out += buf;
+}
+
+void append_u64(std::uint64_t v, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string ProgressSink::render_line(const Progress& p, std::uint64_t seq,
+                                      long long elapsed_ms, long long eta_ms,
+                                      double events_per_sec,
+                                      long long rss_bytes, bool final_event) {
+  std::string out = "{\"schema\":\"dft-obs-progress\",\"version\":";
+  append_ll(kProgressJsonVersion, out);
+  out += ",\"seq\":";
+  append_u64(seq, out);
+  out += ",\"phase\":";
+  json_string(p.phase, out);
+  out += ",\"status\":";
+  json_string(p.status, out);
+  out += ",\"elapsed_ms\":";
+  append_ll(elapsed_ms, out);
+  out += ",\"eta_ms\":";
+  append_ll(eta_ms, out);
+  out += ",\"coverage_pct\":";
+  append_num(p.coverage_pct, out);
+  out += ",\"patterns\":";
+  append_u64(p.patterns, out);
+  out += ",\"decisions\":";
+  append_u64(p.decisions, out);
+  out += ",\"events_per_sec\":";
+  append_num(events_per_sec, out);
+  out += ",\"peak_rss_bytes\":";
+  append_ll(rss_bytes, out);
+  out += ",\"budget_remaining_ms\":";
+  append_ll(p.budget_remaining_ms, out);
+  out += ",\"final\":";
+  out += final_event ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+}  // namespace dft::obs

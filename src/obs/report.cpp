@@ -132,6 +132,25 @@ std::string render_report_json(const Registry& reg, const ReportOptions& opt) {
     append_double(t.mean_us, out);
     out += '}';
   }
+  out += "},\"curves\":{";
+  first = true;
+  for (const auto& [k, pts] : reg.curves()) {
+    if (!first) out += ',';
+    first = false;
+    json_string(k, out);
+    out += ":[";
+    bool first_pt = true;
+    for (const auto& [x, y] : pts) {
+      if (!first_pt) out += ',';
+      first_pt = false;
+      out += '[';
+      append_double(x, out);
+      out += ',';
+      append_double(y, out);
+      out += ']';
+    }
+    out += ']';
+  }
   out += "},\"peak_rss_bytes\":";
   append_i64(peak_rss_bytes(), out);
   out += '}';
@@ -186,6 +205,21 @@ std::string render_report_text(const Registry& reg, const ReportOptions& opt) {
                     static_cast<unsigned long long>(t.total_us),
                     static_cast<unsigned long long>(t.min_us),
                     static_cast<unsigned long long>(t.max_us), t.mean_us);
+      out += buf;
+    }
+  }
+  const auto curves = reg.curves();
+  if (!curves.empty()) {
+    out += "curves:\n";
+    for (const auto& [k, pts] : curves) {
+      if (pts.empty()) {
+        std::snprintf(buf, sizeof buf, "  %-34s (empty)\n", k.c_str());
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      "  %-34s %zu points, x %.6g..%.6g, final y %.6g\n",
+                      k.c_str(), pts.size(), pts.front().first,
+                      pts.back().first, pts.back().second);
+      }
       out += buf;
     }
   }

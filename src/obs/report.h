@@ -7,13 +7,14 @@
 // (kReportJsonVersion) and CI fails on drift (see report_check and
 // validate_report).
 //
-//   {"schema":"dft-obs-report","version":1,
+//   {"schema":"dft-obs-report","version":2,
 //    "tool":"dft_tool atpg","context":{"netlist":"sn74181",...},
 //    "counters":{"podem.decisions":123,...},
 //    "gauges":{"podem.backtrack_limit":100000,...},
 //    "values":{"atpg.fault_coverage":0.98,...},
 //    "timers":{"phase.atpg.random":{"count":1,"total_us":...,"min_us":...,
 //              "max_us":...,"mean_us":...},...},
+//    "curves":{"atpg.coverage_curve":[[63,71.2],[127,80.1],...],...},
 //    "peak_rss_bytes":12345678}
 #pragma once
 
@@ -27,8 +28,10 @@
 namespace dft::obs {
 
 // Bumped whenever a key is added/removed/renamed in render_report_json
-// output. The checked-in schema (data/obs_report_schema_v1.json) pins this.
-inline constexpr int kReportJsonVersion = 1;
+// output. The checked-in schema (data/obs_report_schema_v2.json) pins this.
+// v2: added the top-level "curves" section (fault-coverage-vs-pattern
+// curves recorded by run_atpg / dft_tool bist).
+inline constexpr int kReportJsonVersion = 2;
 
 struct ReportOptions {
   std::string tool;  // e.g. "dft_tool atpg" or "bench_eq01_scaling"
@@ -47,11 +50,14 @@ std::string render_report_json(const Registry& reg, const ReportOptions& opt);
 std::string render_report_text(const Registry& reg, const ReportOptions& opt);
 
 // Validates a parsed report against a parsed schema document
-// (data/obs_report_schema_v1.json). Returns human-readable problems; empty
+// (data/obs_report_schema_v2.json). Returns human-readable problems; empty
 // means the report conforms. The schema lists required top-level keys with
 // their JSON types, required per-timer keys, and exact expected values
-// (e.g. version == 1), so adding/removing/renaming report keys fails CI
-// until the schema (and version) are updated deliberately.
+// (e.g. version == 2), so adding/removing/renaming report keys fails CI
+// until the schema (and version) are updated deliberately. The same
+// meta-format validates dft-obs-progress lines against
+// data/obs_progress_schema_v1.json (progress lines have no nested
+// sections, so only 'required'/'allow_extra_keys'/'expect' apply).
 std::vector<std::string> validate_report(const Json& schema,
                                          const Json& report);
 

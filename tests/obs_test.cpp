@@ -286,6 +286,9 @@ TEST(Report, JsonGolden) {
   Histogram& h = reg.timer("phase.atpg");
   h.record(100);
   h.record(300);
+  Curve& c = reg.curve("atpg.coverage_curve");
+  c.add(63, 87.5);
+  c.add(127, 93.75);
 
   ReportOptions opt;
   opt.tool = "obs_test";
@@ -293,13 +296,14 @@ TEST(Report, JsonGolden) {
   const std::string json = render_report_json(reg, opt);
 
   const std::string expected =
-      "{\"schema\":\"dft-obs-report\",\"version\":1,\"tool\":\"obs_test\","
+      "{\"schema\":\"dft-obs-report\",\"version\":2,\"tool\":\"obs_test\","
       "\"context\":{\"circuit\":\"c17\"},"
       "\"counters\":{\"podem.decisions\":51},"
       "\"gauges\":{\"podem.backtrack_limit\":400},"
       "\"values\":{\"coverage\":0.96875},"
       "\"timers\":{\"phase.atpg\":{\"count\":2,\"total_us\":400,"
       "\"min_us\":100,\"max_us\":300,\"mean_us\":200}},"
+      "\"curves\":{\"atpg.coverage_curve\":[[63,87.5],[127,93.75]]},"
       "\"peak_rss_bytes\":";
   ASSERT_GE(json.size(), expected.size());
   EXPECT_EQ(json.substr(0, expected.size()), expected);
@@ -315,6 +319,7 @@ TEST(Report, TextRendererMentionsEverySection) {
   reg.gauge("g").set(2);
   reg.value("v").set(3.0);
   reg.timer("t").record(4);
+  reg.curve("k").add(63, 50.0);
   ReportOptions opt;
   opt.tool = "obs_test";
   const std::string text = render_report_text(reg, opt);
@@ -322,6 +327,7 @@ TEST(Report, TextRendererMentionsEverySection) {
   EXPECT_NE(text.find("gauges:"), std::string::npos);
   EXPECT_NE(text.find("values:"), std::string::npos);
   EXPECT_NE(text.find("timers (us):"), std::string::npos);
+  EXPECT_NE(text.find("curves:"), std::string::npos);
   EXPECT_NE(text.find("peak rss:"), std::string::npos);
 }
 
@@ -331,14 +337,15 @@ class ReportValidation : public ::testing::Test {
     return parse_json(R"({
       "required": {"schema":"string","version":"number","tool":"string",
                    "context":"object","counters":"object","gauges":"object",
-                   "values":"object","timers":"object",
+                   "values":"object","timers":"object","curves":"object",
                    "peak_rss_bytes":"number"},
       "entry_types": {"context":"string","counters":"number",
-                      "gauges":"number","values":"number","timers":"object"},
+                      "gauges":"number","values":"number","timers":"object",
+                      "curves":"array"},
       "timer_required": {"count":"number","total_us":"number",
                          "min_us":"number","max_us":"number",
                          "mean_us":"number"},
-      "expect": {"schema":"dft-obs-report","version":1}
+      "expect": {"schema":"dft-obs-report","version":2}
     })");
   }
 
@@ -371,9 +378,9 @@ TEST_F(ReportValidation, DetectsDriftBothDirections) {
 
   // A pinned value changed (version bump without schema update).
   std::string old = fresh_report();
-  const auto pos = old.find("\"version\":1");
+  const auto pos = old.find("\"version\":2");
   ASSERT_NE(pos, std::string::npos);
-  old.replace(pos, 11, "\"version\":2");
+  old.replace(pos, 11, "\"version\":3");
   EXPECT_FALSE(validate_report(schema(), parse_json(old)).empty());
 }
 
@@ -394,14 +401,14 @@ TEST(ReportValidation2, CheckedInSchemaMatchesEmitter) {
   reg.counter("x").add(1);
   ReportOptions opt;
   opt.tool = "obs_test";
-  // Reparse the inline copy of data/obs_report_schema_v1.json semantics via
+  // Reparse the inline copy of data/obs_report_schema_v2.json semantics via
   // validate_report: keep this in sync with the file.
   const Json schema = parse_json(R"({
     "required": {"schema":"string","version":"number","tool":"string",
                  "context":"object","counters":"object","gauges":"object",
-                 "values":"object","timers":"object",
+                 "values":"object","timers":"object","curves":"object",
                  "peak_rss_bytes":"number"},
-    "expect": {"schema":"dft-obs-report","version":1}
+    "expect": {"schema":"dft-obs-report","version":2}
   })");
   EXPECT_TRUE(
       validate_report(schema, parse_json(render_report_json(reg, opt)))
