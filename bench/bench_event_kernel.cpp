@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -48,6 +49,7 @@
 #include "fault/fault_sim.h"
 #include "fault/threaded_fault_sim.h"
 #include "obs/obs.h"
+#include "sim/simd.h"
 
 using namespace dft;
 
@@ -222,6 +224,75 @@ CircuitTimes run_circuit(const Netlist& nl, const std::string& tag,
   return out;
 }
 
+// Pattern-word width ablation: the same block of patterns through the
+// event kernel, single-threaded, once per lane (64-bit scalar baseline
+// first, widest last). Every lane's first_detected_by vector is checked
+// bit-identical against the baseline before any ratio is reported. With
+// `all_lanes` false (smoke) only the baseline and the widest lane run.
+// Returns the widest-vs-64-bit speedup, or a negative value on divergence.
+double width_ablation(const Netlist& nl, const std::string& tag,
+                      int num_patterns, int reps, bool all_lanes) {
+  const CollapseResult col = collapse_faults(nl);
+  std::mt19937_64 rng(7);
+  std::vector<SourceVector> pats;
+  pats.reserve(static_cast<std::size_t>(num_patterns));
+  for (int i = 0; i < num_patterns; ++i) {
+    pats.push_back(random_source_vector(nl, rng));
+  }
+
+  std::vector<simd::Lane> lanes = simd::available_lanes();
+  if (!all_lanes && lanes.size() > 2) {
+    // available_lanes() is Off-first, widest-last.
+    lanes = {lanes.front(), lanes.back()};
+  }
+  std::printf("  %s width ablation: %d patterns, event kernel, 1 thread\n",
+              tag.c_str(), num_patterns);
+
+  double t_off = 0, t_wide = 0;
+  simd::Lane widest = simd::Lane::Off;
+  FaultSimResult ref;
+  bool have_ref = false;
+  for (const simd::Lane lane : lanes) {
+    const auto eng = make_fault_sim_engine(nl, 1, FaultSimKernel::Event,
+                                           lane);
+    // Untimed warmup of one full word, as in run_circuit: site cones and
+    // allocator pools stay out of the timed rows.
+    const std::vector<SourceVector> warm(
+        pats.begin(),
+        pats.begin() + std::min<std::size_t>(
+                           static_cast<std::size_t>(eng->pattern_word_bits()),
+                           pats.size()));
+    (void)eng->run(warm, col.representatives, false);
+    const std::string lt(simd::lane_tag(lane));
+    FaultSimResult r;
+    const double sec =
+        timed_min(*eng, "event_kernel." + tag + ".width." + lt + ".wall",
+                  pats, col.representatives, reps, &r);
+    if (!have_ref) {
+      ref = r;
+      have_ref = true;
+      t_off = sec;
+    } else if (r.first_detected_by != ref.first_detected_by) {
+      std::fprintf(stderr,
+                   "FAIL %s: lane %s detections diverge from 64-bit\n",
+                   tag.c_str(), lt.c_str());
+      return -1.0;
+    }
+    t_wide = sec;
+    widest = lane;
+    std::printf("      %-8s %4d bits  %8.3fs   %5.2fx vs 64-bit\n",
+                std::string(simd::lane_name(lane)).c_str(),
+                simd::lane_bits(lane), sec, t_off / std::max(1e-9, sec));
+    bench::report_value("event_kernel." + tag + ".width." + lt, sec);
+  }
+  const double ratio = t_off / std::max(1e-9, t_wide);
+  std::printf("      widest lane (%s) vs 64-bit scalar: %.2fx "
+              "(target >= 1.7x)\n",
+              std::string(simd::lane_name(widest)).c_str(), ratio);
+  bench::report_value("event_kernel." + tag + ".wide_speedup_1t", ratio);
+  return ratio;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +352,34 @@ int main(int argc, char** argv) {
     largest_tag = "rand20k";
   }
 
+  // Pattern-word width ablation: every lane this host offers on the
+  // 20k-gate circuit (full mode adds rand2k), 512 patterns so even the
+  // widest word runs full. Smoke compares just the 64-bit baseline against
+  // the widest lane -- enough for the headline ratio.
+  std::printf("\n");
+  double wide_ratio;
+  {
+    if (!smoke) {
+      RandomCircuitSpec spec;
+      spec.num_inputs = 40;
+      spec.num_outputs = 24;
+      spec.num_gates = 2000;
+      spec.max_fanin = 4;
+      spec.seed = 99;
+      const Netlist nl = make_random_combinational(spec);
+      if (width_ablation(nl, "rand2k", 512, reps, true) < 0) return 1;
+    }
+    RandomCircuitSpec spec;
+    spec.num_inputs = 64;
+    spec.num_outputs = 48;
+    spec.num_gates = 20000;
+    spec.max_fanin = 4;
+    spec.seed = 1234;
+    const Netlist nl = make_random_combinational(spec);
+    wide_ratio = width_ablation(nl, "rand20k", 512, reps, !smoke);
+    if (wide_ratio < 0) return 1;
+  }
+
   std::printf("\n  expected shape: near parity on the tiny ALU (cones are\n"
               "  the whole circuit), growing with circuit size as the\n"
               "  difference frontier dies long before the static cone ends;\n"
@@ -301,6 +400,16 @@ int main(int argc, char** argv) {
                  "FAIL %s: threaded speedup %.3fx below single-threaded "
                  "%.3fx (MT scaling inversion)\n",
                  largest_tag.c_str(), largest.sp_mt, largest.sp_1t);
+    return 1;
+  }
+  // Width self-gate: a full run fails if the widest pattern word cannot at
+  // least match the 64-bit scalar on the largest circuit -- the whole point
+  // of the wide lanes. Smoke rows only print the ratio (micro-run noise).
+  if (!smoke && wide_ratio < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL rand20k: widest lane %.3fx vs 64-bit scalar -- wide "
+                 "word slower than the classic path\n",
+                 wide_ratio);
     return 1;
   }
   return 0;

@@ -27,6 +27,7 @@
 
 #include "obs/obs.h"
 #include "obs/report.h"
+#include "sim/simd.h"
 #include "sim/thread_pool.h"
 
 namespace dft::bench {
@@ -136,6 +137,11 @@ inline bool emit_report(const BenchArgs& args, std::string tool,
                         std::map<std::string, std::string> context) {
   if (args.json_path.empty()) return true;
   context.emplace("threads", std::to_string(args.threads));
+  // Which pattern-word lane the factory-made engines dispatched to: bench
+  // numbers are not comparable across lanes, so the artifact records it.
+  const simd::Lane lane = simd::resolve_lane();
+  context.emplace("simd", std::string(simd::lane_tag(lane)));
+  context.emplace("word_bits", std::to_string(simd::lane_bits(lane)));
   obs::ReportOptions opt;
   opt.tool = std::move(tool);
   opt.context = std::move(context);

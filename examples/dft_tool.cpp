@@ -35,7 +35,17 @@
 //                                          (--faults lists each one); the
 //                                          sta.* counters land in the obs
 //                                          report
+//   dft_tool simd    [--names]             show the SIMD pattern-word lanes
+//                                          this host can run and which one
+//                                          DFT_SIMD resolves to; --names
+//                                          prints just the available lane
+//                                          names (for scripting)
 //   dft_tool export  <name> <out.bench>    dump a built-in circuit
+//
+// The pattern-word width of the PPSFP engines (64/256/512 patterns per
+// pass) is picked at runtime: DFT_SIMD=auto|off|scalar4|scalar8|avx2|avx512
+// in the environment overrides the build default (auto = widest ISA the
+// host supports). Every lane produces bit-identical detections.
 //
 // Observability flags, accepted by every command:
 //   --stats               print the dft::obs metrics table after the run
@@ -82,6 +92,7 @@
 #include "obs/trace.h"
 #include "scan/scan_insert.h"
 #include "sim/comb_sim.h"
+#include "sim/simd.h"
 #include "sta/sta.h"
 
 using namespace dft;
@@ -107,7 +118,12 @@ int usage() {
                "[--scan-first]\n"
                "       dft_tool sta <file.bench> [--no-learn] [--faults] "
                "[--time-budget-ms M]\n"
+               "       dft_tool simd [--names]\n"
                "       dft_tool export <name> <out.bench>\n"
+               "valid --engine values: event (default), ppsfp, serial, "
+               "deductive\n"
+               "DFT_SIMD=auto|off|scalar4|scalar8|avx2|avx512 selects the "
+               "PPSFP pattern-word lane\n"
                "observability (any command): [--stats] "
                "[--report-json <file>] [--trace-json <file>]\n"
                "                             [--progress-every-ms N] "
@@ -217,6 +233,41 @@ int run_tool(const std::vector<std::string>& args,
              std::map<std::string, std::string>& context) {
   const std::string& cmd = args[0];
   context["command"] = cmd;
+
+  if (cmd == "simd") {
+    // No circuit argument: this mode reports host capabilities, not a run.
+    bool names_only = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--names") names_only = true;
+      else return usage();
+    }
+    const std::vector<simd::Lane> lanes = simd::available_lanes();
+    const simd::Lane active = simd::resolve_lane();
+    if (names_only) {
+      // Space-separated, one line: `for lane in $(dft_tool simd --names)`.
+      std::string line;
+      for (const simd::Lane l : lanes) {
+        if (!line.empty()) line += ' ';
+        line += simd::lane_name(l);
+      }
+      std::printf("%s\n", line.c_str());
+    } else {
+      std::printf("available pattern-word lanes:\n");
+      for (const simd::Lane l : lanes) {
+        std::printf("  %-8s %3d patterns/word  tag=%-10s%s\n",
+                    std::string(simd::lane_name(l)).c_str(),
+                    simd::lane_bits(l),
+                    std::string(simd::lane_tag(l)).c_str(),
+                    l == active ? "  <-- active" : "");
+      }
+      std::printf("resolved lane: %s (%s)\n",
+                  std::string(simd::lane_name(active)).c_str(),
+                  std::string(simd::resolve_diagnostic()).c_str());
+    }
+    context["simd"] = std::string(simd::lane_tag(active));
+    return 0;
+  }
+
   context["circuit"] = args[1];
 
   if (cmd == "export") {
@@ -542,7 +593,9 @@ int main(int argc, char** argv) {
       args.emplace_back(argv[i]);
     }
   }
-  if (args.size() < 2) return usage();
+  // Every mode takes a circuit argument except `simd`, which only inspects
+  // the host.
+  if (args.empty() || (args.size() < 2 && args[0] != "simd")) return usage();
   if (!flags.trace_path.empty()) obs::Tracer::global().start();
   std::FILE* progress_out = nullptr;
   if (flags.progress_every_ms >= 0) {

@@ -162,8 +162,13 @@ AtpgRun run_atpg_impl(const Netlist& nl, const std::vector<Fault>& faults,
   // undetected faults.
   Podem podem(nl, options.backtrack_limit);
   if (guarded) podem.set_budget(&options.budget);
-  const auto fsim = make_fault_sim_engine(nl, options.engine,
-                                          resolve_thread_count(options.threads));
+  // Cross-drop sims are one pattern at a time, so a wide lane would burn
+  // 4-8x the work per evaluation for one useful bit; pin the classic 64-bit
+  // word (detections are lane-invariant, so results are identical).
+  const auto fsim =
+      make_fault_sim_engine(nl, options.engine,
+                            resolve_thread_count(options.threads),
+                            simd::Lane::Off);
   std::vector<SourceVector> cubes;
   {
     obs::Phase deterministic_phase("atpg.deterministic");

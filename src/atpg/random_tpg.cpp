@@ -69,52 +69,92 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
   std::vector<std::size_t> alive;
   for (std::size_t i = 0; i < faults.size(); ++i) alive.push_back(i);
 
+  // The classic 64-pattern block is the unit of every *decision* -- weight
+  // profile rotation, stall counting, the pattern ceiling, and budget polls
+  // all advance per sub-block -- while each good-machine pass grades one
+  // full engine word (64 patterns classically, 256/512 on a wide SIMD
+  // lane). A wide lane therefore changes only how many sub-blocks are
+  // simulated per pass, never the result: the RNG stream, kept patterns,
+  // and detected set are bit-identical at every lane width, which is what
+  // keeps run_atpg deterministic across engines whose words differ.
+  constexpr int kSubBlock = 64;
   int stall = 0;
-  while (res.patterns_tried < options.max_patterns && !alive.empty() &&
-         stall < options.stall_blocks) {
-    std::vector<double> weights = options.weights;
-    if (options.adaptive) {
-      weights.assign(source_count(nl), kBias[profile % kBias.size()]);
-      if (profile % kBias.size() == kBias.size() - 1) {
-        std::uniform_real_distribution<double> u(0.0625, 0.9375);
-        for (auto& w : weights) w = u(rng);
-      }
-      ++profile;
-    }
-
-    const int blk = std::min(64, options.max_patterns - res.patterns_tried);
+  bool done = false;
+  while (!done && res.patterns_tried < options.max_patterns &&
+         !alive.empty() && stall < options.stall_blocks) {
+    const int batch = std::min(fsim->pattern_word_bits(),
+                               options.max_patterns - res.patterns_tried);
     std::vector<SourceVector> block;
-    block.reserve(static_cast<std::size_t>(blk));
-    for (int i = 0; i < blk; ++i) block.push_back(draw(nl, weights, rng));
-    res.patterns_tried += blk;
+    block.reserve(static_cast<std::size_t>(batch));
+    std::vector<int> sub_len;
+    for (int off = 0; off < batch; off += kSubBlock) {
+      std::vector<double> weights = options.weights;
+      if (options.adaptive) {
+        weights.assign(source_count(nl), kBias[profile % kBias.size()]);
+        if (profile % kBias.size() == kBias.size() - 1) {
+          std::uniform_real_distribution<double> u(0.0625, 0.9375);
+          for (auto& w : weights) w = u(rng);
+        }
+        ++profile;
+      }
+      const int len = std::min(kSubBlock, batch - off);
+      for (int i = 0; i < len; ++i) block.push_back(draw(nl, weights, rng));
+      sub_len.push_back(len);
+    }
 
     std::vector<Fault> alive_faults;
     alive_faults.reserve(alive.size());
     for (std::size_t fi : alive) alive_faults.push_back(faults[fi]);
     const FaultSimResult sim = fsim->run(block, alive_faults);
 
-    if (sim.num_detected == 0) {
-      ++stall;
-    } else {
-      stall = 0;
-      // Keep only patterns that detected something new.
-      std::vector<char> keep(block.size(), 0);
-      std::vector<std::size_t> next_alive;
+    // Replay the batch sub-block by sub-block. A stall, budget, or
+    // all-detected exit mid-batch discards the remaining sub-blocks --
+    // detections falling in them stay alive, exactly as if those patterns
+    // had never been drawn (the 64-bit engine never draws them).
+    std::vector<char> keep(block.size(), 0);
+    std::vector<char> dead(alive.size(), 0);
+    std::size_t remaining = alive.size();
+    int off = 0;
+    for (int len : sub_len) {
+      bool any = false;
       for (std::size_t k = 0; k < alive.size(); ++k) {
+        if (dead[k]) continue;
         const int by = sim.first_detected_by[k];
-        if (by >= 0) {
+        if (by >= off && by < off + len) {
+          any = true;
+          dead[k] = 1;
+          --remaining;
           keep[static_cast<std::size_t>(by)] = 1;
           res.detected[alive[k]] = 1;
           ++res.num_detected;
-        } else {
-          next_alive.push_back(alive[k]);
         }
       }
-      for (std::size_t i = 0; i < block.size(); ++i) {
-        if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
+      res.patterns_tried += len;
+      off += len;
+      stall = any ? 0 : stall + 1;
+      // Per-sub-block budget poll, after the sub-block's detections are
+      // merged: even an already-expired budget yields one graded sub-block.
+      if (options.budget.limited()) {
+        options.budget.charge_patterns(static_cast<std::uint64_t>(len));
+        const guard::RunStatus st = options.budget.poll();
+        if (st != guard::RunStatus::Completed) {
+          res.status = st;
+          done = true;
+          break;
+        }
       }
-      alive = std::move(next_alive);
+      if (stall >= options.stall_blocks || remaining == 0) break;
     }
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (keep[i]) res.kept_patterns.push_back(std::move(block[i]));
+    }
+    std::vector<std::size_t> next_alive;
+    next_alive.reserve(remaining);
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+      if (!dead[k]) next_alive.push_back(alive[k]);
+    }
+    alive = std::move(next_alive);
+
     if (obs::ProgressSink::global().active()) {
       // Run-level progress: real cumulative coverage over the full fault
       // list, ETA against the pattern ceiling (a stall exit lands early).
@@ -129,16 +169,6 @@ RandomTpgResult random_tpg(const Netlist& nl, const std::vector<Fault>& faults,
       prog.items_total = static_cast<std::uint64_t>(options.max_patterns);
       prog.budget_remaining_ms = options.budget.remaining_ms();
       obs::ProgressSink::global().maybe_emit(prog);
-    }
-    // Per-block budget poll, after the block's detections are merged: even
-    // an already-expired budget yields one graded block of patterns.
-    if (options.budget.limited()) {
-      options.budget.charge_patterns(static_cast<std::uint64_t>(blk));
-      const guard::RunStatus st = options.budget.poll();
-      if (st != guard::RunStatus::Completed) {
-        res.status = st;
-        break;
-      }
     }
   }
   if (obs::enabled()) {

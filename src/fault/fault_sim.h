@@ -6,18 +6,21 @@
 //    faulty-machine simulation per (pattern, fault) pair. "Fault simulation,
 //    with respect to run time, is similar to doing 3001 good machine
 //    simulations."
-//  * ParallelFaultSimulator -- parallel-pattern single-fault propagation
-//    (PPSFP): 64 patterns per word with fault dropping, under one of two
-//    propagation kernels (FaultSimKernel): the classic static-cone
-//    resimulation ("ppsfp") or the compiled-netlist event-driven
-//    selective trace ("event"). Identical results; the event kernel only
-//    touches the difference frontier (see sim/event_sim.h).
+//  * BasicParallelFaultSimulator<EB> -- parallel-pattern single-fault
+//    propagation (PPSFP): one pattern word (64 bits classic, 256/512 on the
+//    widened SIMD lanes -- sim/eval_backend.h) per block with fault
+//    dropping, under one of two propagation kernels (FaultSimKernel): the
+//    classic static-cone resimulation ("ppsfp") or the compiled-netlist
+//    event-driven selective trace ("event"). Identical results; the event
+//    kernel only touches the difference frontier (see sim/event_sim.h).
+//    `ParallelFaultSimulator` names the classic 64-bit instantiation.
 //  * DeductiveFaultSimulator (deductive.h) -- Armstrong-style fault-list
 //    propagation, the independent cross-check.
-//  * ThreadedFaultSimulator (threaded_fault_sim.h) -- the multi-threaded
-//    engine: one PPSFP machine per worker (either kernel), pattern-block or
-//    fault-chunk decomposition with an earliest-pattern-wins merge,
-//    bit-identical results at any thread count.
+//  * BasicThreadedFaultSimulator<EB> (threaded_fault_sim.h) -- the
+//    multi-threaded engine: one PPSFP machine per worker (either kernel),
+//    pattern-block or fault-chunk decomposition with an
+//    earliest-pattern-wins merge, bit-identical results at any thread count
+//    and any word width.
 //
 // All use the combinational test model: primary inputs and storage outputs
 // are controllable (pseudo primary inputs), primary outputs and storage D
@@ -40,6 +43,7 @@
 #include "netlist/netlist.h"
 #include "obs/progress.h"
 #include "sim/comb_sim.h"
+#include "sim/eval_backend.h"
 #include "sim/event_sim.h"
 #include "sim/parallel_sim.h"
 
@@ -105,6 +109,11 @@ class FaultSimEngine {
   // Short stable identifier ("serial", "ppsfp", "deductive", "threaded").
   virtual std::string_view name() const = 0;
 
+  // Patterns per simulation block: the natural batch size for callers that
+  // generate patterns block-at-a-time (random TPG). 64 for the classic
+  // engines; the widened PPSFP lanes report 256/512.
+  virtual int pattern_word_bits() const { return 64; }
+
   // Progress streaming (obs::ProgressSink). With a phase label set, run()
   // emits throttled progress events from its budget-poll sites under that
   // label; unset (the default), even long runs stay silent -- so
@@ -139,11 +148,13 @@ void record_final_coverage(const FaultSimResult& res);
 
 // Records the true fault-coverage-vs-pattern curve of a finished run into
 // obs Curve `name` (shown under "curves" in the v2 report): one point per
-// 64-pattern block, x = index of the block's last pattern applied (capped
+// 64-pattern bucket, x = index of the bucket's last pattern applied (capped
 // by num_patterns), y = cumulative percent of faults first-detected at or
 // before x. Derived post-hoc from first_detected_by, so it is exact under
-// every engine and thread count (earliest-pattern-wins). Replaces any
-// previous points under the same name.
+// every engine, thread count, and pattern-word width (earliest-pattern-wins
+// keeps first_detected_by width-invariant; the fixed 64-pattern bucket
+// keeps curves comparable across lanes). Replaces any previous points under
+// the same name.
 void record_coverage_curve(std::string_view name,
                            const std::vector<int>& first_detected_by,
                            std::size_t num_patterns);
@@ -180,18 +191,22 @@ class SerialFaultSimulator : public FaultSimEngine {
 // Both kernels produce bit-identical FaultSimResults.
 enum class FaultSimKernel { StaticCone, Event };
 
-class ParallelFaultSimulator : public FaultSimEngine {
+template <typename EB>
+class BasicParallelFaultSimulator : public FaultSimEngine {
  public:
-  explicit ParallelFaultSimulator(
+  using Word = typename EB::Word;
+  using Traits = WordTraits<Word>;
+
+  explicit BasicParallelFaultSimulator(
       const Netlist& nl, FaultSimKernel kernel = FaultSimKernel::StaticCone);
   // Event-kernel machine over a prebuilt compiled snapshot -- the threaded
   // engine compiles once and shares the (immutable) form across workers.
-  ParallelFaultSimulator(const Netlist& nl,
-                         std::shared_ptr<const CompiledNetlist> compiled);
-  explicit ParallelFaultSimulator(
+  BasicParallelFaultSimulator(const Netlist& nl,
+                              std::shared_ptr<const CompiledNetlist> compiled);
+  explicit BasicParallelFaultSimulator(
       Netlist&&, FaultSimKernel = FaultSimKernel::StaticCone) = delete;
-  ParallelFaultSimulator(Netlist&&,
-                         std::shared_ptr<const CompiledNetlist>) = delete;
+  BasicParallelFaultSimulator(Netlist&&,
+                              std::shared_ptr<const CompiledNetlist>) = delete;
 
   // Patterns must be binary (use random_fill for X entries).
   FaultSimResult run(const std::vector<SourceVector>& patterns,
@@ -203,6 +218,7 @@ class ParallelFaultSimulator : public FaultSimEngine {
     return kernel_ == FaultSimKernel::Event ? "event" : "ppsfp";
   }
   FaultSimKernel kernel() const { return kernel_; }
+  int pattern_word_bits() const override { return Traits::kBits; }
 
   // Overrides the observation points. The default is the full-scan view
   // (primary outputs + every storage D net); restricting this models
@@ -210,38 +226,39 @@ class ParallelFaultSimulator : public FaultSimEngine {
   void set_observation_points(const std::vector<GateId>& observed);
   void reset_observation_points();
 
-  // --- Block-scoped entry points (ThreadedFaultSimulator's decomposition) --
+  // --- Block-scoped entry points (the threaded engine's decomposition) -----
   //
-  // run() above is a loop over 64-pattern blocks; these expose one block at
-  // a time so the threaded engine can parallelize across blocks (each
+  // run() above is a loop over pattern-word blocks; these expose one block
+  // at a time so the threaded engine can parallelize across blocks (each
   // worker machine loads its own) or across faults within a block (one
   // machine loads, siblings adopt_block_from() the result). Precondition:
   // the pattern set has already passed validate_patterns(require_binary) --
   // the threaded engine validates once up front, before any machine is
   // touched.
 
-  // Packs patterns[base, base + count) into the source words (count <= 64)
-  // and runs the good-machine pass; remembers the block window for
-  // run_block_faults.
+  // Packs patterns[base, base + count) into the source words
+  // (count <= Traits::kBits) and runs the good-machine pass; remembers the
+  // block window for run_block_faults.
   void load_block(const std::vector<SourceVector>& patterns, std::size_t base,
                   std::size_t count);
 
   // Copies `other`'s loaded block -- good-machine words plus the block
   // window -- instead of re-simulating it. Both machines must be built over
   // the same netlist with the same kernel.
-  void adopt_block_from(const ParallelFaultSimulator& other);
+  void adopt_block_from(const BasicParallelFaultSimulator& other);
 
   // Simulates faults[begin, end) against the loaded block. A detection at
   // in-block bit b lowers shared_first[fault index] to base + b with a
-  // CAS-min, so concurrent blocks merge earliest-pattern-wins. With
-  // drop_detected, a fault is skipped only when its shared entry already
-  // holds a detection from a STRICTLY earlier block -- a same-or-later
-  // entry could still be beaten by a bit in this block, so skipping then
-  // would change the result. Returns the number of faults actually
-  // simulated (skips excluded). `new_detections` (optional) is incremented
-  // once per fault whose shared entry left the INT32_MAX "undetected"
-  // sentinel under this call's CAS -- a live coverage numerator for the
-  // threaded engine's progress events.
+  // CAS-min, so concurrent blocks merge earliest-pattern-wins. Merge keys
+  // are global PATTERN indices at every word width, which is what keeps
+  // results bit-identical across lanes. With drop_detected, a fault is
+  // skipped only when its shared entry already holds a detection from a
+  // STRICTLY earlier block -- a same-or-later entry could still be beaten
+  // by a bit in this block, so skipping then would change the result.
+  // Returns the number of faults actually simulated (skips excluded).
+  // `new_detections` (optional) is incremented once per fault whose shared
+  // entry left the INT32_MAX "undetected" sentinel under this call's CAS --
+  // a live coverage numerator for the threaded engine's progress events.
   std::size_t run_block_faults(const std::vector<Fault>& faults,
                                std::size_t begin, std::size_t end,
                                bool drop_detected,
@@ -259,9 +276,9 @@ class ParallelFaultSimulator : public FaultSimEngine {
     std::vector<GateId> cone;  // combinational cone in evaluation order
   };
   const Site& site_for(GateId g);
-  std::uint64_t detect_word(const Fault& f);
-  std::uint64_t detect_word_static(const Fault& f);
-  std::uint64_t detect_word_event(const Fault& f);
+  Word detect_word(const Fault& f);
+  Word detect_word_static(const Fault& f);
+  Word detect_word_event(const Fault& f);
   std::size_t static_cone_size(GateId g);
   void pack_block(const std::vector<SourceVector>& patterns, std::size_t base,
                   std::size_t count);
@@ -269,19 +286,19 @@ class ParallelFaultSimulator : public FaultSimEngine {
 
   const Netlist* nl_;
   FaultSimKernel kernel_;
-  ParallelSim sim_;
-  std::vector<std::uint64_t> good_;
+  BasicParallelSim<EB> sim_;
+  std::vector<Word> good_;
   std::vector<char> observed_;
   std::vector<Site> sites_;
   std::vector<char> site_built_;
   std::vector<GateId> touched_;  // static kernel: gates force_word'd per fault
 
   // Event kernel state (null for StaticCone).
-  std::unique_ptr<EventSim> event_;
+  std::unique_ptr<BasicEventSim<EB>> event_;
 
   // Per-run event-kernel tallies, flushed to dft::obs once per run() --
   // nothing per fault touches shared state (this code runs on worker
-  // threads under ThreadedFaultSimulator).
+  // threads under the threaded engine).
   struct EventStats {
     std::uint64_t gates_evaluated = 0;
     std::uint64_t gates_skipped_vs_cone = 0;
@@ -295,7 +312,7 @@ class ParallelFaultSimulator : public FaultSimEngine {
 
   // Block-scoped state: the window load_block/adopt_block_from installed...
   std::size_t block_base_ = 0;
-  std::uint64_t block_valid_ = 0;
+  Word block_valid_ = Traits::zeros();
   // ...and the tallies the block-scoped calls accumulate until
   // flush_block_obs() (run() keeps its own local tallies, as before).
   std::uint64_t tally_blocks_ = 0;
@@ -306,4 +323,14 @@ class ParallelFaultSimulator : public FaultSimEngine {
   std::uint64_t events_flushed_ = 0;
 };
 
+// The classic 64-pattern PPSFP machine every existing consumer names.
+using ParallelFaultSimulator =
+    BasicParallelFaultSimulator<ScalarEval<std::uint64_t>>;
+
+// The 64-bit instantiation lives in fault_sim.cpp; the wide lanes are
+// instantiated in fault/simd_lanes.cpp (and by tests that name a backend).
+extern template class BasicParallelFaultSimulator<ScalarEval<std::uint64_t>>;
+
 }  // namespace dft
+
+#include "fault/fault_sim_impl.h"  // IWYU pragma: keep

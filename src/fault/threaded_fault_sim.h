@@ -2,25 +2,29 @@
 //
 // The survey's Eq. 1 (T = K*N^3) makes fault simulation the inner-loop cost
 // of everything downstream -- ATPG dropping, random-TPG grading, BIST
-// coverage measurement. The parallel unit here is the 64-pattern block, not
-// the fault list: partitioning faults across workers re-executes the
-// fault-free good-machine pass -- the dominant cost the event kernel's
-// selective trace exists to amortize -- once per worker. Instead each
-// worker machine loads a whole pattern block (one good pass) and simulates
-// EVERY fault against it, and workers steal blocks from a shared counter so
-// the last block never straggles. When there are too few blocks to go
-// around, the roles flip: blocks run in sequence, one machine evaluates the
-// good pass, its siblings adopt the snapshot, and the workers split the
-// fault list in chunks (fault-chunk decomposition).
+// coverage measurement. The parallel unit here is the pattern-word block
+// (64 patterns classic, 256/512 on the widened SIMD lanes), not the fault
+// list: partitioning faults across workers re-executes the fault-free
+// good-machine pass -- the dominant cost the event kernel's selective trace
+// exists to amortize -- once per worker. Instead each worker machine loads
+// a whole pattern block (one good pass) and simulates EVERY fault against
+// it, and workers steal blocks from a shared counter so the last block
+// never straggles. When there are too few blocks to go around, the roles
+// flip: blocks run in sequence, one machine evaluates the good pass, its
+// siblings adopt the snapshot, and the workers split the fault list in
+// chunks (fault-chunk decomposition). A wider word means proportionally
+// fewer blocks per pattern set, so the block-vs-chunk Auto decision adapts
+// with the lane.
 //
 // Determinism guarantee: the merged FaultSimResult is bit-identical to
-// ParallelFaultSimulator::run on the same inputs for ANY thread count and
-// ANY block schedule. Detections meet in a shared per-fault array merged
-// earliest-pattern-wins (CAS-min on the global pattern index), and
-// cross-block fault dropping only skips a fault when a STRICTLY earlier
+// BasicParallelFaultSimulator::run on the same inputs for ANY thread count
+// and ANY block schedule -- and across every word width, because the merge
+// keys stay global PATTERN indices. Detections meet in a shared per-fault
+// array merged earliest-pattern-wins (CAS-min on the global pattern index),
+// and cross-block fault dropping only skips a fault when a STRICTLY earlier
 // block already detected it -- so the first-detection minimum is always
 // preserved. The differential tests assert this at 1, 2, and 8 threads
-// under both decompositions.
+// under both decompositions at every compiled lane width.
 #pragma once
 
 #include <memory>
@@ -29,32 +33,36 @@
 #include "fault/fault.h"
 #include "fault/fault_sim.h"
 #include "netlist/netlist.h"
+#include "sim/simd.h"
 #include "sim/thread_pool.h"
 
 namespace dft {
 
-// How ThreadedFaultSimulator::run splits a run across the pool. Auto picks
-// per run from the workload shape (see run()); the forced values exist for
-// tests and A/B measurement and are honored even where Auto would not pick
-// them.
+// How the threaded engine splits a run across the pool. Auto picks per run
+// from the workload shape (see run()); the forced values exist for tests
+// and A/B measurement and are honored even where Auto would not pick them.
 enum class MtDecomposition {
   Auto,
   Sequential,    // inline on one machine: no dispatch, no merge
-  PatternBlock,  // workers steal 64-pattern blocks, all faults per block
+  PatternBlock,  // workers steal pattern-word blocks, all faults per block
   FaultChunk,    // blocks in sequence, workers split the fault list
 };
 
 std::string_view to_string(MtDecomposition d);
 
-class ThreadedFaultSimulator : public FaultSimEngine {
+template <typename EB>
+class BasicThreadedFaultSimulator : public FaultSimEngine {
  public:
+  using Word = typename EB::Word;
+  using Traits = WordTraits<Word>;
+
   // threads == 0 means one worker per hardware thread. With the Event
   // kernel the netlist is compiled once and the (immutable) snapshot is
   // shared by every worker machine.
-  explicit ThreadedFaultSimulator(
+  explicit BasicThreadedFaultSimulator(
       const Netlist& nl, int threads = 0,
       FaultSimKernel kernel = FaultSimKernel::StaticCone);
-  explicit ThreadedFaultSimulator(
+  explicit BasicThreadedFaultSimulator(
       Netlist&&, int = 0, FaultSimKernel = FaultSimKernel::StaticCone) =
       delete;  // dangle
 
@@ -75,12 +83,15 @@ class ThreadedFaultSimulator : public FaultSimEngine {
     return kernel_ == FaultSimKernel::Event ? "threaded-event" : "threaded";
   }
   FaultSimKernel kernel() const { return kernel_; }
+  int pattern_word_bits() const override { return Traits::kBits; }
 
   int threads() const { return pool_.size(); }
 
   // Workloads below this many (patterns x faults) products run inline on
   // one machine: dispatch and merge overhead beats any parallel win at this
   // size, so multi-threading is never a pessimization. ~sn74181 scale.
+  // Pattern-granular on purpose -- the crossover is about total work, not
+  // how many words it packs into.
   static constexpr std::uint64_t kSequentialCutoff = 1ull << 18;
 
   // Forces a decomposition (default Auto). Tests use this to drive every
@@ -92,7 +103,7 @@ class ThreadedFaultSimulator : public FaultSimEngine {
   // (fault_sim.threaded.decomposition.*).
   MtDecomposition last_decomposition() const { return last_; }
 
-  // Same observability override as ParallelFaultSimulator, forwarded to
+  // Same observability override as the single-machine engine, forwarded to
   // every worker machine.
   void set_observation_points(const std::vector<GateId>& observed);
   void reset_observation_points();
@@ -117,10 +128,18 @@ class ThreadedFaultSimulator : public FaultSimEngine {
   const Netlist* nl_;
   FaultSimKernel kernel_;
   ThreadPool pool_;
-  std::vector<std::unique_ptr<ParallelFaultSimulator>> machines_;
+  std::vector<std::unique_ptr<BasicParallelFaultSimulator<EB>>> machines_;
   MtDecomposition mode_ = MtDecomposition::Auto;
   MtDecomposition last_ = MtDecomposition::Sequential;
 };
+
+// The classic 64-pattern threaded engine every existing consumer names.
+using ThreadedFaultSimulator =
+    BasicThreadedFaultSimulator<ScalarEval<std::uint64_t>>;
+
+// The 64-bit instantiation lives in threaded_fault_sim.cpp; wide lanes in
+// fault/simd_lanes.cpp.
+extern template class BasicThreadedFaultSimulator<ScalarEval<std::uint64_t>>;
 
 // Engine factory for the hot callers: threads == 1 yields a single PPSFP
 // machine (no pool, no synchronization), anything larger the threaded
@@ -129,22 +148,40 @@ class ThreadedFaultSimulator : public FaultSimEngine {
 // resolve_thread_count(0) rather than passing 0 through. The kernel
 // defaults to Event -- the compiled selective-trace path -- which is
 // bit-identical to StaticCone; pass FaultSimKernel::StaticCone for A/B.
+// The engine's pattern-word lane comes from simd::resolve_lane() (the
+// DFT_SIMD policy); the four-argument overload pins it explicitly.
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
     const Netlist& nl, int threads = 1,
     FaultSimKernel kernel = FaultSimKernel::Event);
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
     Netlist&&, int = 1, FaultSimKernel = FaultSimKernel::Event) = delete;
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
+                                                      int threads,
+                                                      FaultSimKernel kernel,
+                                                      simd::Lane lane);
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(Netlist&&, int,
+                                                      FaultSimKernel,
+                                                      simd::Lane) = delete;
 
 // Name-based factory behind dft_tool's --engine flag and the options
-// structs: "serial", "ppsfp", "deductive", "event" (or "" for the default,
-// event). "ppsfp" and "event" honor threads (> 1 wraps the kernel in
-// ThreadedFaultSimulator); "serial" and "deductive" are inherently
-// single-machine and throw std::invalid_argument when threads != 1, like an
-// unknown engine name or a thread count < 1 does.
+// structs: "event" (the default; also ""), "ppsfp", "serial", "deductive".
+// "ppsfp" and "event" honor threads (> 1 wraps the kernel in the threaded
+// engine) and the SIMD lane; "serial" and "deductive" are inherently
+// single-machine, 64-bit engines and throw std::invalid_argument when
+// threads != 1, like an unknown engine name or a thread count < 1 does.
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(
     const Netlist& nl, std::string_view engine, int threads = 1);
 std::unique_ptr<FaultSimEngine> make_fault_sim_engine(Netlist&&,
                                                       std::string_view,
                                                       int = 1) = delete;
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(const Netlist& nl,
+                                                      std::string_view engine,
+                                                      int threads,
+                                                      simd::Lane lane);
+std::unique_ptr<FaultSimEngine> make_fault_sim_engine(Netlist&&,
+                                                      std::string_view, int,
+                                                      simd::Lane) = delete;
 
 }  // namespace dft
+
+#include "fault/threaded_fault_sim_impl.h"  // IWYU pragma: keep

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 
 #include "netlist/gate.h"
 #include "netlist/logic.h"
+#include "sim/pattern_word.h"
 
 namespace dft {
 
@@ -17,46 +19,53 @@ Logic eval_gate(GateType t, std::span<const Logic> in);
 
 namespace detail {
 
-// Two-valued 64-pattern evaluation over an arbitrary pin accessor
-// (at(i) = word of fanin pin i). Both public spellings below instantiate
-// this one switch, so the span-based and CSR-indexed paths can never drift
-// apart. Tri-state drivers contribute (data AND enable) and buses OR their
-// drivers (a pull-down bus model), which keeps bus logic meaningful without
-// a third value.
-template <typename At>
-std::uint64_t eval_word_impl(GateType t, std::size_t n, const At& at) {
+// Two-valued bit-parallel evaluation over an arbitrary pin accessor
+// (at(i) = word of fanin pin i). The word type is whatever the accessor
+// yields: the classic std::uint64_t (64 patterns) or a multi-limb
+// PatternWord (256/512 patterns; see sim/pattern_word.h). Every public
+// spelling -- and the runtime-dispatched AVX backends, which mirror this
+// switch with intrinsics -- instantiates this one function, so the scalar
+// paths can never drift apart and the differential fuzzers pin the
+// intrinsic ones to it. Tri-state drivers contribute (data AND enable) and
+// buses OR their drivers (a pull-down bus model), which keeps bus logic
+// meaningful without a third value.
+template <typename At,
+          typename Word = std::remove_cvref_t<
+              std::invoke_result_t<const At&, std::size_t>>>
+Word eval_word_impl(GateType t, std::size_t n, const At& at) {
+  using T = WordTraits<Word>;
   switch (t) {
-    case GateType::Const0: return 0;
-    case GateType::Const1: return ~0ull;
+    case GateType::Const0: return T::zeros();
+    case GateType::Const1: return T::ones();
     case GateType::Buf:
     case GateType::Output: return at(0);
     case GateType::Not: return ~at(0);
     case GateType::And:
     case GateType::Nand: {
-      std::uint64_t v = ~0ull;
+      Word v = T::ones();
       for (std::size_t i = 0; i < n; ++i) v &= at(i);
       return t == GateType::And ? v : ~v;
     }
     case GateType::Or:
     case GateType::Nor: {
-      std::uint64_t v = 0;
+      Word v = T::zeros();
       for (std::size_t i = 0; i < n; ++i) v |= at(i);
       return t == GateType::Or ? v : ~v;
     }
     case GateType::Xor:
     case GateType::Xnor: {
-      std::uint64_t v = 0;
+      Word v = T::zeros();
       for (std::size_t i = 0; i < n; ++i) v ^= at(i);
       return t == GateType::Xor ? v : ~v;
     }
     case GateType::Mux: {
-      const std::uint64_t sel = at(kMuxPinSel);
+      const Word sel = at(kMuxPinSel);
       return (at(kMuxPinA) & ~sel) | (at(kMuxPinB) & sel);
     }
     case GateType::Tristate:
       return at(kTristatePinData) & at(kTristatePinEnable);
     case GateType::Bus: {
-      std::uint64_t v = 0;
+      Word v = T::zeros();
       for (std::size_t i = 0; i < n; ++i) v |= at(i);
       return v;
     }
@@ -68,7 +77,7 @@ std::uint64_t eval_word_impl(GateType t, std::size_t n, const At& at) {
       throw std::logic_error(
           "eval_gate_word called on a non-combinational gate");
   }
-  return 0;
+  return T::zeros();
 }
 
 }  // namespace detail
@@ -81,14 +90,21 @@ inline std::uint64_t eval_gate_word(GateType t,
                                 [&](std::size_t i) { return in[i]; });
 }
 
-// Same evaluation reading fanin words through a flat id array (a CSR fanin
-// span) straight out of the value table -- no gather copy. This is the
-// compiled-netlist inner loop.
+// Evaluation reading fanin words through a flat id array (a CSR fanin span)
+// straight out of the value table -- no gather copy. This is the
+// compiled-netlist inner loop, at any pattern-word width.
+template <typename Word>
+inline Word eval_gate_word_ids_w(GateType t, const GateId* fanin,
+                                 std::size_t n, const Word* words) {
+  return detail::eval_word_impl(
+      t, n, [&](std::size_t i) { return words[fanin[i]]; });
+}
+
+// The classic 64-pattern spelling, kept for the direct callers.
 inline std::uint64_t eval_gate_word_ids(GateType t, const GateId* fanin,
                                         std::size_t n,
                                         const std::uint64_t* words) {
-  return detail::eval_word_impl(
-      t, n, [&](std::size_t i) { return words[fanin[i]]; });
+  return eval_gate_word_ids_w(t, fanin, n, words);
 }
 
 // Controlling input value for simple gates (AND/NAND/tri-state: 0;

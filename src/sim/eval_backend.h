@@ -1,0 +1,95 @@
+// Evaluation backends: the policy type the widened simulator / fault-sim
+// templates are instantiated over.
+//
+// A backend names a pattern-word type plus the two evaluation entry points
+// the inner loops need:
+//
+//   using Word = ...;                       // std::uint64_t or PatternWord<W>
+//   static constexpr std::string_view tag() // obs/report lane tag
+//   static Word eval_ids(t, fanin, n, words)
+//   static Word eval_forced(t, fanin, n, words, pin, forced)
+//
+// eval_ids reads fanin words straight out of the value table through a CSR
+// id span; eval_forced substitutes `forced` for fanin pin `pin` (stuck-pin
+// activation) without touching the table. ScalarEval<W> works at any width
+// on any host; Avx2Eval/Avx512Eval wrap the runtime-dispatched intrinsic
+// functions and must only be instantiated behind simd::host_supports()
+// checks (sim/simd.h explains the lane model).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "netlist/gate.h"
+#include "sim/eval.h"
+#include "sim/pattern_word.h"
+#include "sim/simd_eval.h"
+
+namespace dft {
+
+template <typename W>
+struct ScalarEval {
+  using Word = W;
+
+  static constexpr std::string_view tag() {
+    if constexpr (WordTraits<Word>::kBits == 64) {
+      return "scalar_x1";
+    } else if constexpr (WordTraits<Word>::kBits == 256) {
+      return "scalar_x4";
+    } else {
+      static_assert(WordTraits<Word>::kBits == 512, "unknown scalar width");
+      return "scalar_x8";
+    }
+  }
+
+  static Word eval_ids(GateType t, const GateId* fanin, std::size_t n,
+                       const Word* words) {
+    return eval_gate_word_ids_w(t, fanin, n, words);
+  }
+
+  static Word eval_forced(GateType t, const GateId* fanin, std::size_t n,
+                          const Word* words, int pin, const Word& forced) {
+    return detail::eval_word_impl(t, n, [&](std::size_t i) -> Word {
+      return static_cast<int>(i) == pin ? forced : words[fanin[i]];
+    });
+  }
+};
+
+#if DFT_SIMD_X86
+
+struct Avx2Eval {
+  using Word = PatternWord<4>;
+
+  static constexpr std::string_view tag() { return "avx2_x4"; }
+
+  static Word eval_ids(GateType t, const GateId* fanin, std::size_t n,
+                       const Word* words) {
+    return simd::avx2_eval_gate(t, fanin, n, words, -1, nullptr);
+  }
+
+  static Word eval_forced(GateType t, const GateId* fanin, std::size_t n,
+                          const Word* words, int pin, const Word& forced) {
+    return simd::avx2_eval_gate(t, fanin, n, words, pin, &forced);
+  }
+};
+
+struct Avx512Eval {
+  using Word = PatternWord<8>;
+
+  static constexpr std::string_view tag() { return "avx512_x8"; }
+
+  static Word eval_ids(GateType t, const GateId* fanin, std::size_t n,
+                       const Word* words) {
+    return simd::avx512_eval_gate(t, fanin, n, words, -1, nullptr);
+  }
+
+  static Word eval_forced(GateType t, const GateId* fanin, std::size_t n,
+                          const Word* words, int pin, const Word& forced) {
+    return simd::avx512_eval_gate(t, fanin, n, words, pin, &forced);
+  }
+};
+
+#endif  // DFT_SIMD_X86
+
+}  // namespace dft

@@ -1,105 +1,9 @@
 #include "sim/event_sim.h"
 
-#include <algorithm>
-#include <utility>
-
-#include "sim/eval.h"
-
 namespace dft {
 
-EventSim::EventSim(std::shared_ptr<const CompiledNetlist> cn)
-    : cn_(std::move(cn)),
-      words_(cn_->size(), 0),
-      good_(cn_->size(), 0),
-      wheel_(static_cast<std::size_t>(cn_->depth()) + 1),
-      stamp_(cn_->size(), 0) {
-  for (GateId g = 0; g < cn_->size(); ++g) {
-    if (cn_->type(g) == GateType::Const1) words_[g] = ~0ull;
-  }
-}
-
-void EventSim::evaluate_good() {
-  const std::uint64_t* w = words_.data();
-  for (GateId g : cn_->topo()) {
-    const auto fin = cn_->fanin(g);
-    words_[g] = eval_gate_word_ids(cn_->type(g), fin.data(), fin.size(), w);
-  }
-  good_ = words_;
-}
-
-void EventSim::copy_good_from(const EventSim& other) {
-  assert(cn_.get() == other.cn_.get());
-  good_ = other.good_;
-  // propagate() assumes words_ == good_ between calls (the restore
-  // baseline), so the working state is copied too.
-  words_ = good_;
-}
-
-std::uint64_t EventSim::eval_with_forced_pin(GateId g, int pin,
-                                             std::uint64_t forced) const {
-  const auto fin = cn_->fanin(g);
-  const std::uint64_t* w = words_.data();
-  return detail::eval_word_impl(cn_->type(g), fin.size(), [&](std::size_t i) {
-    return static_cast<int>(i) == pin ? forced : w[fin[i]];
-  });
-}
-
-EventSim::Propagation EventSim::propagate(GateId origin, std::uint64_t faulty,
-                                          const std::vector<char>& observed) {
-  Propagation out;
-  assert(faulty != good_[origin]);  // caller screens dead activations
-
-  // Fresh epoch; on wrap, clear every stamp once (stale stamps from 2^32
-  // propagations ago must not suppress scheduling).
-  if (++epoch_ == 0) {
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    epoch_ = 1;
-  }
-
-  touched_.clear();
-  words_[origin] = faulty;
-  touched_.push_back(origin);
-
-  const int origin_lvl = cn_->level(origin);
-  int hi = origin_lvl;  // highest level holding a scheduled gate
-  auto schedule_fanouts = [&](GateId g) {
-    for (GateId s : cn_->fanout(g)) {
-      if (!is_combinational(cn_->type(s)) || stamp_[s] == epoch_) continue;
-      stamp_[s] = epoch_;
-      const int lvl = cn_->level(s);
-      wheel_[static_cast<std::size_t>(lvl)].push_back(s);
-      hi = std::max(hi, lvl);
-      ++events_scheduled_;
-    }
-  };
-  schedule_fanouts(origin);
-
-  // Ascending level sweep. A gate is scheduled only by a change at a
-  // strictly lower level, so each bucket is complete when its level comes
-  // up and each gate is evaluated at most once with final fanin words. The
-  // sweep ends the moment no bucket up to `hi` remains -- the frontier died.
-  const std::uint64_t* w = words_.data();
-  for (int lvl = origin_lvl + 1; lvl <= hi; ++lvl) {
-    auto& bucket = wheel_[static_cast<std::size_t>(lvl)];
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const GateId g = bucket[i];
-      const auto fin = cn_->fanin(g);
-      const std::uint64_t nw =
-          eval_gate_word_ids(cn_->type(g), fin.data(), fin.size(), w);
-      ++out.gates_evaluated;
-      if (nw == good_[g]) continue;  // event absorbed; nothing downstream
-      words_[g] = nw;
-      touched_.push_back(g);
-      if (observed[g]) out.detect |= nw ^ good_[g];
-      out.death_depth = lvl - origin_lvl;
-      schedule_fanouts(g);
-    }
-    bucket.clear();
-  }
-
-  // Restore only what was written.
-  for (GateId g : touched_) words_[g] = good_[g];
-  return out;
-}
+// The classic 64-pattern machine, compiled once here so the header's
+// extern template keeps every consumer TU from re-instantiating it.
+template class BasicEventSim<ScalarEval<std::uint64_t>>;
 
 }  // namespace dft

@@ -1,71 +1,9 @@
 #include "sim/parallel_sim.h"
 
-#include <stdexcept>
-
-#include "obs/obs.h"
-#include "sim/eval.h"
-
 namespace dft {
 
-ParallelSim::ParallelSim(const Netlist& nl) : nl_(&nl), words_(nl.size(), 0) {
-  nl.topo_order();
-  for (GateId g = 0; g < nl.size(); ++g) {
-    if (nl.type(g) == GateType::Const1) words_[g] = ~0ull;
-  }
-}
-
-void ParallelSim::set_word(GateId source, std::uint64_t w) {
-  const GateType t = nl_->type(source);
-  if (t != GateType::Input && !is_storage(t)) {
-    throw std::invalid_argument(
-        "set_word target must be a primary input or storage output");
-  }
-  words_.at(source) = w;
-}
-
-void ParallelSim::evaluate() {
-  evaluate_gates(nl_->topo_order());
-  // Full good-machine passes only; per-fault cone resimulations are counted
-  // in bulk by the fault simulator (evaluate_gates is its inner loop).
-  // Plain members, flushed on destruction: each fault-sim worker owns its
-  // ParallelSim, so a shared atomic here would contend across threads.
-  ++obs_passes_;
-  obs_gate_evals_ += nl_->topo_order().size();
-}
-
-ParallelSim::~ParallelSim() {
-  if (obs::enabled() && obs_passes_ != 0) {
-    obs::Registry::global().counter("sim.parallel.passes").add(obs_passes_);
-    obs::Registry::global()
-        .counter("sim.parallel.gate_evals")
-        .add(obs_gate_evals_);
-  }
-}
-
-void ParallelSim::evaluate_gates(std::span<const GateId> gates) {
-  // Fanin words are read through the id list straight out of the value
-  // table (eval_gate_word_ids) -- no per-gate gather into scratch_.
-  const std::uint64_t* w = words_.data();
-  for (GateId g : gates) {
-    const auto& fin = nl_->fanin(g);
-    words_[g] = eval_gate_word_ids(nl_->type(g), fin.data(), fin.size(), w);
-  }
-}
-
-std::uint64_t ParallelSim::eval_word(GateId g) const {
-  const auto& fin = nl_->fanin(g);
-  return eval_gate_word_ids(nl_->type(g), fin.data(), fin.size(),
-                            words_.data());
-}
-
-std::uint64_t ParallelSim::eval_with_forced_pin(GateId g, int pin,
-                                                std::uint64_t forced) const {
-  const auto& fin = nl_->fanin(g);
-  scratch_.clear();
-  for (std::size_t p = 0; p < fin.size(); ++p) {
-    scratch_.push_back(static_cast<int>(p) == pin ? forced : words_[fin[p]]);
-  }
-  return eval_gate_word(nl_->type(g), scratch_);
-}
+// The classic 64-pattern machine, compiled once here so the header's
+// extern template keeps every consumer TU from re-instantiating it.
+template class BasicParallelSim<ScalarEval<std::uint64_t>>;
 
 }  // namespace dft

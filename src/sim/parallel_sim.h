@@ -1,10 +1,13 @@
-// 64-way bit-parallel two-valued combinational simulator.
+// Bit-parallel two-valued combinational simulator, templated over the
+// pattern-word backend.
 //
-// Bit i of every word is pattern i of a block of 64 patterns. This is the
-// classical "parallel simulation" the survey's fault-simulation discussion
-// assumes (Sec. I-B; see also references [102], [110]): fault simulation of
-// 3000 faults is ~3001 good-machine simulations, so good-machine simulation
-// must be as cheap as possible.
+// Bit i of every word is pattern i of a block of Traits::kBits patterns
+// (64 for the classic std::uint64_t word, 256/512 for the widened
+// PatternWord lanes -- sim/eval_backend.h). This is the classical "parallel
+// simulation" the survey's fault-simulation discussion assumes (Sec. I-B;
+// see also references [102], [110]): fault simulation of 3000 faults is
+// ~3001 good-machine simulations, so good-machine simulation must be as
+// cheap as possible.
 //
 // Storage-element outputs are free variables, like primary inputs.
 #pragma once
@@ -12,33 +15,40 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "obs/obs.h"
+#include "sim/eval_backend.h"
+#include "sim/pattern_word.h"
 
 namespace dft {
 
-class ParallelSim {
+template <typename EB>
+class BasicParallelSim {
  public:
-  explicit ParallelSim(const Netlist& nl);
+  using Word = typename EB::Word;
+  using Traits = WordTraits<Word>;
+
+  explicit BasicParallelSim(const Netlist& nl);
   // The simulator keeps a reference: a temporary netlist would dangle.
-  explicit ParallelSim(Netlist&&) = delete;
+  explicit BasicParallelSim(Netlist&&) = delete;
   // Flushes accumulated pass/eval counts to dft::obs ("sim.parallel.*").
-  ~ParallelSim();
-  ParallelSim(const ParallelSim&) = default;
-  ParallelSim& operator=(const ParallelSim&) = default;
+  ~BasicParallelSim();
+  BasicParallelSim(const BasicParallelSim&) = default;
+  BasicParallelSim& operator=(const BasicParallelSim&) = default;
 
   const Netlist& netlist() const { return *nl_; }
 
-  // Sets 64 pattern bits on a primary input or storage output. This is the
-  // public setter boundary and stays range-checked; the readers and the
-  // fault-simulator force/restore path below are asserted instead -- they
-  // run per gate per fault word, and their ids come from the netlist itself.
-  void set_word(GateId source, std::uint64_t w);
-  std::uint64_t word(GateId g) const {
-    assert(g < words_.size());
-    return words_[g];
-  }
+  // Sets one word of pattern bits on a primary input or storage output.
+  // This is the public setter boundary and stays range-checked; the readers
+  // and the fault-simulator force/restore path below are not -- they run
+  // per gate per fault word, their ids come from the netlist itself, and
+  // the constructor validates the netlist's id tables once in debug builds
+  // (the per-call asserts these accessors used to carry, hoisted).
+  void set_word(GateId source, const Word& w);
+  const Word& word(GateId g) const { return words_[g]; }
 
   // Evaluates every combinational gate (full pass).
   void evaluate();
@@ -51,31 +61,104 @@ class ParallelSim {
   // Evaluates one gate with input pin `pin` forced to `forced` (a stuck
   // input fault as seen by this gate only, Fig. 1(b)) and returns the output
   // word without storing it.
-  std::uint64_t eval_with_forced_pin(GateId g, int pin,
-                                     std::uint64_t forced) const;
+  Word eval_with_forced_pin(GateId g, int pin, const Word& forced) const;
 
   // Evaluates one gate from the current words without storing the result
   // (the fault simulator's selective cone walk compares before writing).
-  std::uint64_t eval_word(GateId g) const;
+  Word eval_word(GateId g) const;
 
   // Direct store, used by the fault simulator to force a faulty site.
-  void force_word(GateId g, std::uint64_t w) {
-    assert(g < words_.size());
-    words_[g] = w;
-  }
+  void force_word(GateId g, const Word& w) { words_[g] = w; }
 
   // Copies the complete value state (for save/restore around fault cones).
-  const std::vector<std::uint64_t>& words() const { return words_; }
-  void restore_words(const std::vector<std::uint64_t>& saved) {
-    words_ = saved;
-  }
+  const std::vector<Word>& words() const { return words_; }
+  void restore_words(const std::vector<Word>& saved) { words_ = saved; }
 
  private:
   const Netlist* nl_;
-  std::vector<std::uint64_t> words_;
-  mutable std::vector<std::uint64_t> scratch_;
+  std::vector<Word> words_;
   std::uint64_t obs_passes_ = 0;
   std::uint64_t obs_gate_evals_ = 0;
 };
+
+// The classic 64-pattern simulator every existing consumer names.
+using ParallelSim = BasicParallelSim<ScalarEval<std::uint64_t>>;
+
+template <typename EB>
+BasicParallelSim<EB>::BasicParallelSim(const Netlist& nl)
+    : nl_(&nl), words_(nl.size(), Traits::zeros()) {
+  nl.topo_order();
+#ifndef NDEBUG
+  // One-time validation of every id the unchecked hot-path accessors will
+  // read: all fanin ids must name gates of this netlist.
+  for (GateId g = 0; g < nl.size(); ++g) {
+    for (GateId f : nl.fanin(g)) assert(f < nl.size());
+  }
+#endif
+  for (GateId g = 0; g < nl.size(); ++g) {
+    if (nl.type(g) == GateType::Const1) words_[g] = Traits::ones();
+  }
+}
+
+template <typename EB>
+BasicParallelSim<EB>::~BasicParallelSim() {
+  if (obs::enabled() && obs_passes_ != 0) {
+    obs::Registry::global().counter("sim.parallel.passes").add(obs_passes_);
+    obs::Registry::global()
+        .counter("sim.parallel.gate_evals")
+        .add(obs_gate_evals_);
+  }
+}
+
+template <typename EB>
+void BasicParallelSim<EB>::set_word(GateId source, const Word& w) {
+  const GateType t = nl_->type(source);
+  if (t != GateType::Input && !is_storage(t)) {
+    throw std::invalid_argument(
+        "set_word target must be a primary input or storage output");
+  }
+  words_.at(source) = w;
+}
+
+template <typename EB>
+void BasicParallelSim<EB>::evaluate() {
+  evaluate_gates(nl_->topo_order());
+  // Full good-machine passes only; per-fault cone resimulations are counted
+  // in bulk by the fault simulator (evaluate_gates is its inner loop).
+  // Plain members, flushed on destruction: each fault-sim worker owns its
+  // simulator, so a shared atomic here would contend across threads.
+  ++obs_passes_;
+  obs_gate_evals_ += nl_->topo_order().size();
+}
+
+template <typename EB>
+void BasicParallelSim<EB>::evaluate_gates(std::span<const GateId> gates) {
+  // Fanin words are read through the id list straight out of the value
+  // table (EB::eval_ids) -- no per-gate gather into a scratch buffer.
+  const Word* w = words_.data();
+  for (GateId g : gates) {
+    const auto& fin = nl_->fanin(g);
+    words_[g] = EB::eval_ids(nl_->type(g), fin.data(), fin.size(), w);
+  }
+}
+
+template <typename EB>
+typename BasicParallelSim<EB>::Word BasicParallelSim<EB>::eval_word(
+    GateId g) const {
+  const auto& fin = nl_->fanin(g);
+  return EB::eval_ids(nl_->type(g), fin.data(), fin.size(), words_.data());
+}
+
+template <typename EB>
+typename BasicParallelSim<EB>::Word BasicParallelSim<EB>::eval_with_forced_pin(
+    GateId g, int pin, const Word& forced) const {
+  const auto& fin = nl_->fanin(g);
+  return EB::eval_forced(nl_->type(g), fin.data(), fin.size(), words_.data(),
+                         pin, forced);
+}
+
+// The 64-bit instantiation lives in parallel_sim.cpp; wide lanes are
+// instantiated where they are used (fault/simd_lanes.cpp, tests).
+extern template class BasicParallelSim<ScalarEval<std::uint64_t>>;
 
 }  // namespace dft

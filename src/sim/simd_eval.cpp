@@ -1,0 +1,203 @@
+// Intrinsic gate evaluators; see sim/simd_eval.h for the dispatch contract.
+//
+// Per-function target attributes only -- this TU is compiled with the plain
+// project flags. No lambdas or templates inside the attributed functions:
+// GCC does not propagate the target ISA into lambda bodies, so a lambda
+// here would be compiled for the default ISA and fault at runtime.
+#include "sim/simd_eval.h"
+
+#if DFT_SIMD_X86
+
+#include <immintrin.h>
+
+#include <stdexcept>
+
+namespace dft::simd {
+
+namespace {
+
+// Fanin word for pin i, with the stuck-pin substitution the fault
+// activation path needs. Inlines into the attributed callers below.
+__attribute__((target("avx2"))) inline __m256i avx2_pin(
+    const GateId* fanin, const PatternWord<4>* words, std::size_t i,
+    int forced_pin, __m256i forced_v) {
+  if (static_cast<int>(i) == forced_pin) return forced_v;
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(words[fanin[i]].limb));
+}
+
+__attribute__((target("avx512f"))) inline __m512i avx512_pin(
+    const GateId* fanin, const PatternWord<8>* words, std::size_t i,
+    int forced_pin, __m512i forced_v) {
+  if (static_cast<int>(i) == forced_pin) return forced_v;
+  return _mm512_loadu_si512(words[fanin[i]].limb);
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) PatternWord<4> avx2_eval_gate(
+    GateType t, const GateId* fanin, std::size_t n, const PatternWord<4>* words,
+    int forced_pin, const PatternWord<4>* forced) {
+  const __m256i kOnes = _mm256_set1_epi64x(-1);
+  const __m256i forced_v =
+      forced != nullptr
+          ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(forced->limb))
+          : _mm256_setzero_si256();
+  __m256i v = _mm256_setzero_si256();
+  switch (t) {
+    case GateType::Const0: break;
+    case GateType::Const1: v = kOnes; break;
+    case GateType::Buf:
+    case GateType::Output:
+      v = avx2_pin(fanin, words, 0, forced_pin, forced_v);
+      break;
+    case GateType::Not:
+      v = _mm256_xor_si256(avx2_pin(fanin, words, 0, forced_pin, forced_v),
+                           kOnes);
+      break;
+    case GateType::And:
+    case GateType::Nand: {
+      v = kOnes;
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm256_and_si256(v, avx2_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      if (t == GateType::Nand) v = _mm256_xor_si256(v, kOnes);
+      break;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm256_or_si256(v, avx2_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      if (t == GateType::Nor) v = _mm256_xor_si256(v, kOnes);
+      break;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm256_xor_si256(v, avx2_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      if (t == GateType::Xnor) v = _mm256_xor_si256(v, kOnes);
+      break;
+    }
+    case GateType::Mux: {
+      const __m256i sel = avx2_pin(fanin, words, kMuxPinSel, forced_pin,
+                                   forced_v);
+      v = _mm256_or_si256(
+          _mm256_andnot_si256(
+              sel, avx2_pin(fanin, words, kMuxPinA, forced_pin, forced_v)),
+          _mm256_and_si256(
+              sel, avx2_pin(fanin, words, kMuxPinB, forced_pin, forced_v)));
+      break;
+    }
+    case GateType::Tristate:
+      v = _mm256_and_si256(
+          avx2_pin(fanin, words, kTristatePinData, forced_pin, forced_v),
+          avx2_pin(fanin, words, kTristatePinEnable, forced_pin, forced_v));
+      break;
+    case GateType::Bus: {
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm256_or_si256(v, avx2_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      break;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::ScanDff:
+    case GateType::Srl:
+    case GateType::AddressableLatch:
+      throw std::logic_error(
+          "avx2_eval_gate called on a non-combinational gate");
+  }
+  PatternWord<4> out;
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out.limb), v);
+  return out;
+}
+
+__attribute__((target("avx512f"))) PatternWord<8> avx512_eval_gate(
+    GateType t, const GateId* fanin, std::size_t n, const PatternWord<8>* words,
+    int forced_pin, const PatternWord<8>* forced) {
+  const __m512i kOnes = _mm512_set1_epi64(-1);
+  const __m512i forced_v = forced != nullptr ? _mm512_loadu_si512(forced->limb)
+                                             : _mm512_setzero_si512();
+  __m512i v = _mm512_setzero_si512();
+  switch (t) {
+    case GateType::Const0: break;
+    case GateType::Const1: v = kOnes; break;
+    case GateType::Buf:
+    case GateType::Output:
+      v = avx512_pin(fanin, words, 0, forced_pin, forced_v);
+      break;
+    case GateType::Not:
+      v = _mm512_xor_si512(avx512_pin(fanin, words, 0, forced_pin, forced_v),
+                           kOnes);
+      break;
+    case GateType::And:
+    case GateType::Nand: {
+      v = kOnes;
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm512_and_si512(v,
+                             avx512_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      if (t == GateType::Nand) v = _mm512_xor_si512(v, kOnes);
+      break;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm512_or_si512(v,
+                            avx512_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      if (t == GateType::Nor) v = _mm512_xor_si512(v, kOnes);
+      break;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm512_xor_si512(v,
+                             avx512_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      if (t == GateType::Xnor) v = _mm512_xor_si512(v, kOnes);
+      break;
+    }
+    case GateType::Mux: {
+      const __m512i sel =
+          avx512_pin(fanin, words, kMuxPinSel, forced_pin, forced_v);
+      // ~sel & a spelled out: GCC 12's _mm512_andnot_si512 expands through
+      // _mm512_undefined_epi32() and trips -Wmaybe-uninitialized.
+      v = _mm512_or_si512(
+          _mm512_and_si512(
+              _mm512_xor_si512(sel, kOnes),
+              avx512_pin(fanin, words, kMuxPinA, forced_pin, forced_v)),
+          _mm512_and_si512(
+              sel, avx512_pin(fanin, words, kMuxPinB, forced_pin, forced_v)));
+      break;
+    }
+    case GateType::Tristate:
+      v = _mm512_and_si512(
+          avx512_pin(fanin, words, kTristatePinData, forced_pin, forced_v),
+          avx512_pin(fanin, words, kTristatePinEnable, forced_pin, forced_v));
+      break;
+    case GateType::Bus: {
+      for (std::size_t i = 0; i < n; ++i) {
+        v = _mm512_or_si512(v,
+                            avx512_pin(fanin, words, i, forced_pin, forced_v));
+      }
+      break;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+    case GateType::ScanDff:
+    case GateType::Srl:
+    case GateType::AddressableLatch:
+      throw std::logic_error(
+          "avx512_eval_gate called on a non-combinational gate");
+  }
+  PatternWord<8> out;
+  _mm512_storeu_si512(out.limb, v);
+  return out;
+}
+
+}  // namespace dft::simd
+
+#endif  // DFT_SIMD_X86

@@ -1,0 +1,39 @@
+// AVX2 / AVX-512F gate-evaluation backends for the wide pattern words.
+//
+// These are the only functions in the tree containing vector intrinsics.
+// Each is compiled with a per-function GCC/Clang target attribute
+// (sim/simd_eval.cpp), NOT with -mavx2/-mavx512f on the translation unit:
+// a TU-wide ISA flag would let the compiler emit AVX encodings into any
+// inline or template code the linker might then pick for the whole binary
+// (comdat folding), crashing pre-AVX hosts. With the attribute, AVX
+// instructions exist only inside these bodies, and sim/simd.h's CPUID
+// dispatch guarantees they are never called on a CPU that lacks them.
+//
+// Each function mirrors detail::eval_word_impl's switch exactly (same gate
+// semantics, same bus/tri-state model); the differential fuzzers and the
+// dft_simd_parity ctest hold them bit-identical to the scalar source of
+// truth. `forced_pin` >= 0 substitutes `*forced` for that fanin pin -- the
+// stuck-input activation read -- pass -1/nullptr for a plain evaluation.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/gate.h"
+#include "sim/pattern_word.h"
+#include "sim/simd.h"
+
+#if DFT_SIMD_X86
+
+namespace dft::simd {
+
+PatternWord<4> avx2_eval_gate(GateType t, const GateId* fanin, std::size_t n,
+                              const PatternWord<4>* words, int forced_pin,
+                              const PatternWord<4>* forced);
+
+PatternWord<8> avx512_eval_gate(GateType t, const GateId* fanin,
+                                std::size_t n, const PatternWord<8>* words,
+                                int forced_pin, const PatternWord<8>* forced);
+
+}  // namespace dft::simd
+
+#endif  // DFT_SIMD_X86

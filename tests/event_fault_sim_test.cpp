@@ -18,6 +18,7 @@
 #include "fault/fault.h"
 #include "fault/fault_sim.h"
 #include "fault/threaded_fault_sim.h"
+#include "sim/simd.h"
 
 namespace dft {
 namespace {
@@ -100,6 +101,61 @@ TEST(EventKernelFuzz, AllEnginesAgreeOnRandomDags) {
                 << ", no dropping";
           }
           tsim.set_decomposition(MtDecomposition::Auto);
+        }
+      }
+    }
+  }
+}
+
+// --- The fuzzer again, across every compiled pattern-word lane ------------
+//
+// The wide lanes (256/512-bit portable words plus the AVX backends where
+// the host runs them) are an optimization with the same exact contract as
+// the event kernel itself: bit-identical detection sets AND bit-identical
+// first-detecting-pattern indices against the classic 64-bit engine, at
+// every thread count, on both kernels, with and without dropping. Pattern
+// counts straddle the widest word (one-plus full 512-bit words and a
+// ragged tail) so every lane sees full and partial blocks.
+
+TEST(EventKernelFuzz, AllLaneWidthsAgreeOnRandomDags) {
+  const std::vector<simd::Lane> lanes = simd::available_lanes();
+  ASSERT_GE(lanes.size(), 3u);  // off + scalar4 + scalar8 always compile
+  std::mt19937_64 meta(4096);
+  for (int round = 0; round < 10; ++round) {
+    RandomCircuitSpec spec;
+    spec.num_inputs = 6 + static_cast<int>(meta() % 10);
+    spec.num_outputs = 3 + static_cast<int>(meta() % 6);
+    spec.num_gates = 40 + static_cast<int>(meta() % 80);
+    spec.max_fanin = 2 + static_cast<int>(meta() % 3);
+    spec.seed = meta();
+    const Netlist nl = make_random_combinational(spec);
+    const auto faults = enumerate_faults(nl);
+    const auto pats = random_patterns(
+        nl, 512 + 64 + static_cast<int>(meta() % 129), meta());
+
+    ParallelFaultSimulator evt(nl, FaultSimKernel::Event);
+    const auto ref = evt.run(pats, faults);
+    SCOPED_TRACE("round " + std::to_string(round) + " (" + nl.name() + ", " +
+                 std::to_string(pats.size()) + " patterns)");
+
+    for (const simd::Lane lane : lanes) {
+      SCOPED_TRACE("lane " + std::string(simd::lane_name(lane)));
+      for (FaultSimKernel k :
+           {FaultSimKernel::Event, FaultSimKernel::StaticCone}) {
+        for (int threads : {1, 2, 8}) {
+          const auto eng = make_fault_sim_engine(nl, threads, k, lane);
+          ASSERT_EQ(eng->pattern_word_bits(), simd::lane_bits(lane));
+          const auto drop = eng->run(pats, faults);
+          ASSERT_EQ(ref.num_detected, drop.num_detected)
+              << threads << " threads, kernel "
+              << (k == FaultSimKernel::Event ? "event" : "static");
+          ASSERT_EQ(ref.first_detected_by, drop.first_detected_by)
+              << threads << " threads, kernel "
+              << (k == FaultSimKernel::Event ? "event" : "static");
+          ASSERT_EQ(ref.first_detected_by,
+                    eng->run(pats, faults, /*drop_detected=*/false)
+                        .first_detected_by)
+              << threads << " threads, no dropping";
         }
       }
     }
@@ -222,6 +278,19 @@ TEST(EngineFactory, NamedEnginesAgree) {
 TEST(EngineFactory, RejectsBadNamesAndThreadCounts) {
   const Netlist nl = make_c17();
   EXPECT_THROW(make_fault_sim_engine(nl, "bogus", 1), std::invalid_argument);
+  // The rejection names every valid engine so a CLI typo is self-serving
+  // (dft_tool's usage text lists the same set).
+  try {
+    make_fault_sim_engine(nl, "bogus", 1);
+    FAIL() << "unknown engine name must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+    for (const char* name : {"event", "ppsfp", "serial", "deductive"}) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "message should list '" << name << "': " << msg;
+    }
+  }
   EXPECT_THROW(make_fault_sim_engine(nl, "serial", 2), std::invalid_argument);
   EXPECT_THROW(make_fault_sim_engine(nl, "deductive", 8),
                std::invalid_argument);

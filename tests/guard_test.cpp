@@ -184,7 +184,10 @@ TEST(GuardRandomTpg, PatternCeilingStopsAfterOneBlock) {
   const auto faults = collapse_faults(nl).representatives;
   RandomTpgOptions opt;
   opt.max_patterns = 4096;
-  opt.budget.set_pattern_limit(64);  // exactly one 64-pattern block
+  // Decisions advance per classic 64-pattern sub-block even when a wide
+  // SIMD lane grades several sub-blocks per pass, so the ceiling expires
+  // after exactly one sub-block at every lane width.
+  opt.budget.set_pattern_limit(64);
   const RandomTpgResult res = random_tpg(nl, faults, opt);
   EXPECT_EQ(res.status, guard::RunStatus::DeadlineExpired);
   EXPECT_EQ(res.patterns_tried, 64);

@@ -20,6 +20,7 @@
 #include "fault/fault_sim.h"
 #include "fault/threaded_fault_sim.h"
 #include "guard/guard.h"
+#include "sim/simd.h"
 #include "sim/thread_pool.h"
 
 namespace dft {
@@ -277,6 +278,70 @@ TEST(ThreadedFaultSim, SmallWorkloadsFallBackToSequential) {
     EXPECT_EQ(tsim.last_decomposition(), MtDecomposition::PatternBlock);
     EXPECT_EQ(ref.first_detected_by, rf.first_detected_by);
   }
+}
+
+// --- Forced decompositions stay bit-identical at every word width ---------
+
+// The pattern-block merge keys stay pattern-granular no matter how many
+// patterns one word carries, so earliest-wins and the cross-block drop give
+// the same answer on every backend. Exercised by type (the factory cannot
+// force a decomposition).
+template <typename EB>
+void check_forced_decompositions_for_backend(const char* tag) {
+  SCOPED_TRACE(tag);
+  RandomCircuitSpec spec;
+  spec.num_inputs = 11;
+  spec.num_outputs = 7;
+  spec.num_gates = 120;
+  spec.max_fanin = 4;
+  spec.seed = 4242;
+  const Netlist nl = make_random_combinational(spec);
+  const auto faults = enumerate_faults(nl);
+  std::mt19937_64 rng(4242);
+  std::vector<SourceVector> pats;
+  // Two-plus 512-bit words with a ragged tail: every width sees a full
+  // block, a block boundary, and a partial block.
+  for (int i = 0; i < 512 + 512 + 77; ++i) {
+    pats.push_back(random_source_vector(nl, rng));
+  }
+  ParallelFaultSimulator ref_engine(nl);
+  const auto ref = ref_engine.run(pats, faults);
+
+  for (FaultSimKernel k :
+       {FaultSimKernel::Event, FaultSimKernel::StaticCone}) {
+    BasicThreadedFaultSimulator<EB> tsim(nl, 4, k);
+    for (MtDecomposition mode :
+         {MtDecomposition::Sequential, MtDecomposition::PatternBlock,
+          MtDecomposition::FaultChunk}) {
+      SCOPED_TRACE(std::string(to_string(mode)) + ", kernel " +
+                   (k == FaultSimKernel::Event ? "event" : "static"));
+      tsim.set_decomposition(mode);
+      const auto r = tsim.run(pats, faults);
+      ASSERT_EQ(tsim.last_decomposition(), mode);
+      ASSERT_EQ(ref.num_detected, r.num_detected);
+      ASSERT_EQ(ref.first_detected_by, r.first_detected_by);
+      ASSERT_EQ(ref.first_detected_by,
+                tsim.run(pats, faults, /*drop_detected=*/false)
+                    .first_detected_by);
+    }
+  }
+}
+
+TEST(ThreadedFaultSim, ForcedDecompositionsAgreeAtEveryWidth) {
+  check_forced_decompositions_for_backend<ScalarEval<std::uint64_t>>(
+      "scalar_x1");
+  check_forced_decompositions_for_backend<ScalarEval<PatternWord<4>>>(
+      "scalar_x4");
+  check_forced_decompositions_for_backend<ScalarEval<PatternWord<8>>>(
+      "scalar_x8");
+#if DFT_SIMD_X86
+  if (simd::host_supports(simd::Lane::Avx2)) {
+    check_forced_decompositions_for_backend<Avx2Eval>("avx2_x4");
+  }
+  if (simd::host_supports(simd::Lane::Avx512)) {
+    check_forced_decompositions_for_backend<Avx512Eval>("avx512_x8");
+  }
+#endif
 }
 
 // --- Budget expiry yields a sound partial under every decomposition -------
