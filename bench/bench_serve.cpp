@@ -1,0 +1,310 @@
+// SERVE -- load and chaos generator for the dft::serve daemon core.
+//
+// Drives the transport-agnostic Server (src/serve/server.h) with mixed
+// traffic -- lint / measure / fault_sim / bist / sta over the small
+// built-in circuits, plus a deliberate malformed-line share -- and
+// measures per-request latency (p50/p99), throughput, and the cache hit
+// share. The submit loop applies backpressure (waits while the admission
+// window is full) so the measured phases are deterministic: every valid
+// request is admitted, every malformed line is answered bad_request, and
+// the ok share is a fixed property of the traffic mix, not of machine
+// timing.
+//
+// --chaos arms dft::fx with a seeded spec (worker exceptions, cache-insert
+// failures, job stalls, truncated client lines) and re-runs the same
+// traffic. The run FAILS (exit 1) unless the robustness contract holds:
+// every submitted line answered exactly once, zero jobs left in flight,
+// and the server's own accounting balanced -- the "never crashes, never
+// leaks, always answers" gate from the chaos suite, exercised under real
+// concurrency instead of unit-test choreography.
+//
+// --smoke shrinks the request count for CI; the default (full) run adds a
+// deadline-budgeted ATPG on the 2k-gate random circuit so the committed
+// artifact records the graceful-degradation path (degraded answers with a
+// valid partial). --json writes the dft-obs-report document with
+// "bench.serve.*" values; bench/CMakeLists.txt diffs the smoke run's
+// ratios against the committed full-run BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "fx/fx.h"
+#include "obs/json.h"
+#include "serve/server.h"
+
+using namespace dft;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Answer {
+  std::string line;
+  Clock::time_point at;
+};
+
+// Responses arrive on pool workers; collect them with their arrival time.
+class Sink {
+ public:
+  serve::Server::WriteFn fn() {
+    return [this](const std::string& line) {
+      const Clock::time_point now = Clock::now();
+      std::lock_guard<std::mutex> lock(mu_);
+      answers_.push_back({line, now});
+    };
+  }
+  std::vector<Answer> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(answers_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Answer> answers_;
+};
+
+std::string request(const std::string& id, const std::string& op,
+                    const std::string& circuit,
+                    const std::string& options = {}) {
+  std::string line = R"({"schema":"dft-serve-request","version":1,"id":")" +
+                     id + R"(","op":")" + op + R"(","circuit":")" + circuit +
+                     "\"";
+  if (!options.empty()) line += ",\"options\":{" + options + "}";
+  return line + "}";
+}
+
+// Waits until the admission window has room, so valid traffic is never
+// shed and the measured phases stay deterministic.
+void backpressure(serve::Server& server, int max_inflight) {
+  while (server.inflight() >= static_cast<std::size_t>(max_inflight)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+struct RunResult {
+  std::size_t submitted = 0;
+  std::size_t answered = 0;
+  std::size_t ok = 0;
+  std::size_t errors = 0;
+  std::size_t degraded = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_resolved = 0;  // answers that carried a cache field
+  std::size_t duplicate_ids = 0;
+  double elapsed_s = 0;
+  double p50_ms = 0, p99_ms = 0;
+  bool accounting_ok = false;
+  std::size_t leaked = 0;
+};
+
+RunResult run_traffic(int requests, int workers, bool degradation_leg) {
+  serve::ServerOptions opt;
+  opt.workers = workers;
+  opt.max_inflight = 8;
+  opt.cache_capacity = 8;
+  serve::Server server(opt);
+  Sink sink;
+
+  const char* ops[] = {"lint", "measure", "fault_sim", "bist", "sta"};
+  const char* circuits[] = {"c17", "adder4", "mux3", "parity8", "cmp4"};
+
+  std::map<std::string, Clock::time_point> submitted_at;
+  RunResult r;
+  const Clock::time_point t0 = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    const std::string id = "req" + std::to_string(i);
+    std::string line;
+    // One line in eleven is malformed on purpose: the isolation path is
+    // part of the steady-state traffic, not a special case.
+    if (i % 11 == 10) {
+      line = "{broken request #" + std::to_string(i);
+    } else {
+      line = request(id, ops[i % 5], circuits[(i / 5) % 5],
+                     "\"patterns\":64");
+    }
+    backpressure(server, opt.max_inflight);
+    submitted_at.emplace(id, Clock::now());
+    server.submit_line(std::move(line), sink.fn());
+    ++r.submitted;
+  }
+  if (degradation_leg) {
+    // Deadline-budgeted ATPG on the 2k-gate circuit: completes its compile,
+    // then the budget expires mid-search and the answer is a degraded
+    // partial -- the graceful-degradation path, recorded in the artifact.
+    backpressure(server, opt.max_inflight);
+    submitted_at.emplace("deg", Clock::now());
+    server.submit_line(request("deg", "atpg", "rand2k",
+                               "\"deadline_ms\":150"),
+                       sink.fn());
+    ++r.submitted;
+  }
+  server.wait_idle();
+  r.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.leaked = server.inflight();
+
+  std::vector<double> latencies_ms;
+  std::map<std::string, int> seen;
+  for (const Answer& a : sink.take()) {
+    ++r.answered;
+    const obs::Json doc = obs::parse_json(a.line);
+    const obs::Json* ok = doc.find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+      ++r.ok;
+      const obs::Json* degraded = doc.find("degraded");
+      if (degraded != nullptr && degraded->as_bool()) ++r.degraded;
+      const obs::Json* cache = doc.find("cache");
+      if (cache != nullptr && cache->is_string()) {
+        ++r.cache_resolved;
+        if (cache->as_string() == "hit") ++r.cache_hits;
+      }
+    } else {
+      ++r.errors;
+    }
+    const obs::Json* id = doc.find("id");
+    if (id != nullptr && id->is_string() && !id->as_string().empty()) {
+      if (++seen[id->as_string()] > 1) ++r.duplicate_ids;
+      const auto it = submitted_at.find(id->as_string());
+      if (it != submitted_at.end()) {
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(a.at - it->second)
+                .count());
+      }
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty()) {
+    r.p50_ms = latencies_ms[latencies_ms.size() / 2];
+    r.p99_ms = latencies_ms[latencies_ms.size() * 99 / 100];
+  }
+  const serve::Server::Stats s = server.stats();
+  r.accounting_ok =
+      s.accepted == s.completed_ok + s.job_errors + s.drained_unstarted;
+  return r;
+}
+
+void print_result(const char* tag, const RunResult& r) {
+  std::printf("  %-6s %5zu submitted  %5zu answered  %4zu ok  %3zu err  "
+              "%2zu degraded  p50 %6.2f ms  p99 %6.2f ms  %7.0f req/s\n",
+              tag, r.submitted, r.answered, r.ok, r.errors, r.degraded,
+              r.p50_ms, r.p99_ms,
+              r.elapsed_s > 0 ? r.submitted / r.elapsed_s : 0.0);
+}
+
+// The robustness contract; any violation fails the bench loudly.
+bool contract_holds(const char* tag, const RunResult& r,
+                    bool expect_degraded) {
+  bool ok = true;
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "FAIL [%s]: %s\n", tag, what);
+    ok = false;
+  };
+  if (r.answered != r.submitted) fail("not every line was answered");
+  if (r.duplicate_ids != 0) fail("a request id was answered twice");
+  if (r.leaked != 0) fail("jobs left in flight after wait_idle");
+  if (!r.accounting_ok) fail("server accounting does not balance");
+  if (expect_degraded && r.degraded == 0) {
+    fail("degradation leg produced no degraded answer");
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, chaos = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    else passthrough.push_back(argv[i]);
+  }
+  bench::BenchArgs args =
+      bench::parse_args(static_cast<int>(passthrough.size()),
+                        passthrough.data(), 2);
+  if (args.status >= 0) return args.status;
+
+  const int requests = smoke ? 66 : 330;
+  const bool degradation_leg = !smoke && !chaos;
+
+  std::printf("dft::serve load generator -- %d requests, %d workers%s%s\n",
+              requests, args.threads, smoke ? " (smoke)" : "",
+              chaos ? " (chaos)" : "");
+
+  fx::disarm();
+  const RunResult clean = run_traffic(requests, args.threads,
+                                      degradation_leg);
+  print_result("clean", clean);
+  bool pass = contract_holds("clean", clean, degradation_leg);
+
+  RunResult chaos_r;
+  if (chaos) {
+    // Seeded so the injected fault schedule replays identically; every
+    // failure mode the serve layer defends against fires at once.
+    fx::arm("serve.job.exception:p=0.15;serve.cache.insert:p=0.3;"
+            "serve.job.stall:every=10,ms=10;serve.client.truncate:every=17;"
+            "seed=5");
+    chaos_r = run_traffic(requests, args.threads, false);
+    // Counters clear on disarm: take the injection tally first. A chaos
+    // run that injected nothing proves nothing.
+    std::uint64_t fires = 0;
+    for (const auto& [site, s] : fx::stats()) fires += s.fires;
+    fx::disarm();
+    print_result("chaos", chaos_r);
+    std::printf("  chaos injected %llu faults\n",
+                static_cast<unsigned long long>(fires));
+    pass = contract_holds("chaos", chaos_r, false) && pass;
+    if (fires == 0) {
+      std::fprintf(stderr, "FAIL [chaos]: no injected faults fired\n");
+      pass = false;
+    }
+  }
+
+  const RunResult& headline = chaos ? chaos_r : clean;
+  bench::report_value("serve.requests", static_cast<double>(clean.submitted));
+  bench::report_value("serve.answered_over_submitted",
+                      clean.submitted == 0
+                          ? 0.0
+                          : static_cast<double>(clean.answered) /
+                                static_cast<double>(clean.submitted));
+  bench::report_value("serve.ok_share",
+                      clean.answered == 0
+                          ? 0.0
+                          : static_cast<double>(clean.ok) /
+                                static_cast<double>(clean.answered));
+  bench::report_value("serve.cache_hit_share",
+                      clean.cache_resolved == 0
+                          ? 0.0
+                          : static_cast<double>(clean.cache_hits) /
+                                static_cast<double>(clean.cache_resolved));
+  bench::report_value("serve.degraded", static_cast<double>(clean.degraded));
+  bench::report_value("serve.p50_ms", headline.p50_ms);
+  bench::report_value("serve.p99_ms", headline.p99_ms);
+  bench::report_value("serve.throughput_rps",
+                      headline.elapsed_s > 0
+                          ? static_cast<double>(headline.submitted) /
+                                headline.elapsed_s
+                          : 0.0);
+  if (chaos) {
+    bench::report_value("serve.chaos_answered_over_submitted",
+                        chaos_r.submitted == 0
+                            ? 0.0
+                            : static_cast<double>(chaos_r.answered) /
+                                  static_cast<double>(chaos_r.submitted));
+  }
+
+  std::map<std::string, std::string> context;
+  context.emplace("mode", chaos ? "chaos" : (smoke ? "smoke" : "full"));
+  context.emplace("requests", std::to_string(requests));
+  if (!bench::emit_report(args, "bench_serve", std::move(context))) return 1;
+
+  if (!pass) return 1;
+  std::printf("contract: every line answered exactly once, zero leaks, "
+              "accounting balanced\n");
+  return 0;
+}

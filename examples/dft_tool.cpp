@@ -40,6 +40,27 @@
 //                                          DFT_SIMD resolves to; --names
 //                                          prints just the available lane
 //                                          names (for scripting)
+//   dft_tool serve   [--socket <path>] [--workers N] [--max-inflight N]
+//                    [--cache-size N] [--default-deadline-ms M]
+//                                          long-lived JSON-lines daemon:
+//                                          reads one request per line
+//                                          (data/serve_request_schema_v1
+//                                          .json) from stdin -- or from
+//                                          concurrent clients of a Unix
+//                                          socket with --socket -- and
+//                                          answers every line with one
+//                                          response line (data/serve_
+//                                          response_schema_v1.json): jobs
+//                                          run concurrently on N workers,
+//                                          compiled circuits are cached,
+//                                          overload is shed with a typed
+//                                          error, and deadline-expired jobs
+//                                          answer degraded:true partials.
+//                                          EOF drains and exits 0; SIGINT/
+//                                          SIGTERM cancels in-flight jobs
+//                                          (each still answers) and exits
+//                                          3. stdout carries only protocol
+//                                          lines; diagnostics go to stderr.
 //   dft_tool export  <name> <out.bench>    dump a built-in circuit
 //
 // The pattern-word width of the PPSFP engines (64/256/512 patterns per
@@ -52,7 +73,7 @@
 //   --report-json <file>  write the versioned machine-readable run report
 //   --trace-json <file>   write a Chrome trace_event JSON (chrome://tracing)
 //   --progress-every-ms N stream NDJSON progress events (schema
-//                         data/obs_progress_schema_v1.json), at most one
+//                         data/obs_progress_schema_v2.json), at most one
 //                         every N ms, to stderr or --progress-file <file>;
 //                         the stream always closes with a "final":true line
 //                         carrying the run status, even on ^C / budget
@@ -75,10 +96,7 @@
 #include <vector>
 
 #include "atpg/engine.h"
-#include "circuits/basic.h"
-#include "circuits/random_circuit.h"
-#include "circuits/sequential.h"
-#include "circuits/sn74181.h"
+#include "fx/fx.h"
 #include "guard/guard.h"
 #include "fault/fault.h"
 #include "fault/threaded_fault_sim.h"
@@ -91,6 +109,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "scan/scan_insert.h"
+#include "serve/server.h"
 #include "sim/comb_sim.h"
 #include "sim/simd.h"
 #include "sta/sta.h"
@@ -119,6 +138,10 @@ int usage() {
                "       dft_tool sta <file.bench> [--no-learn] [--faults] "
                "[--time-budget-ms M]\n"
                "       dft_tool simd [--names]\n"
+               "       dft_tool serve [--socket <path>] [--workers N] "
+               "[--max-inflight N]\n"
+               "                      [--cache-size N] "
+               "[--default-deadline-ms M]\n"
                "       dft_tool export <name> <out.bench>\n"
                "valid --engine values: event (default), ppsfp, serial, "
                "deductive\n"
@@ -147,37 +170,10 @@ std::shared_ptr<guard::CancelToken> sigint_token_ref() {
   return {&sigint_token(), [](guard::CancelToken*) {}};
 }
 
+// The name table lives in dft::serve (the daemon resolves the same names
+// for its requests); the CLI delegates so the two can never drift apart.
 Netlist builtin(const std::string& name) {
-  if (name == "c17") return make_c17();
-  if (name == "adder4") return make_ripple_adder(4);
-  if (name == "adder8") return make_ripple_adder(8);
-  if (name == "mult3") return make_array_multiplier(3);
-  if (name == "dec3") return make_decoder(3);
-  if (name == "parity8") return make_parity_tree(8);
-  if (name == "mux3") return make_mux_tree(3);
-  if (name == "cmp4") return make_comparator(4);
-  if (name == "sn74181") return make_sn74181();
-  if (name == "counter8") return make_counter(8);
-  if (name == "accum4") return make_accumulator(4);
-  // The two random benchmark circuits from bench_event_kernel, exposed so
-  // budget behavior can be exercised on realistic sizes from the CLI.
-  if (name == "rand2k" || name == "rand20k") {
-    RandomCircuitSpec spec;
-    if (name == "rand2k") {
-      spec.num_inputs = 40;
-      spec.num_outputs = 24;
-      spec.num_gates = 2000;
-      spec.seed = 99;
-    } else {
-      spec.num_inputs = 64;
-      spec.num_outputs = 48;
-      spec.num_gates = 20000;
-      spec.seed = 1234;
-    }
-    spec.max_fanin = 4;
-    return make_random_combinational(spec);
-  }
-  throw std::invalid_argument("unknown built-in circuit: " + name);
+  return serve::builtin_circuit(name);
 }
 
 // Observability outputs requested on the command line. The flags are
@@ -266,6 +262,64 @@ int run_tool(const std::vector<std::string>& args,
     }
     context["simd"] = std::string(simd::lane_tag(active));
     return 0;
+  }
+
+  if (cmd == "serve") {
+    serve::ServerOptions sopt;
+    std::string socket_path;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      int v = 0;
+      if (args[i] == "--socket" && i + 1 < args.size()) {
+        socket_path = args[++i];
+      } else if (args[i] == "--workers" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), v) || v < 1) return usage();
+        sopt.workers = v;
+      } else if (args[i] == "--max-inflight" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), v) || v < 1) return usage();
+        sopt.max_inflight = v;
+      } else if (args[i] == "--cache-size" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), v) || v < 0) return usage();
+        sopt.cache_capacity = static_cast<std::size_t>(v);
+      } else if (args[i] == "--default-deadline-ms" && i + 1 < args.size()) {
+        if (!parse_int(args[++i].c_str(), v) || v < 0) return usage();
+        sopt.default_deadline_ms = v;
+      } else {
+        return usage();
+      }
+    }
+    // Daemons are stopped with SIGTERM; route it onto the same cooperative
+    // token as ^C. A client that dies mid-response must yield EPIPE on the
+    // write (counted, job retired), not a process-killing SIGPIPE.
+    std::signal(SIGTERM, handle_sigint);
+    std::signal(SIGPIPE, SIG_IGN);
+    context["transport"] = socket_path.empty() ? "stdio" : "unix-socket";
+    context["workers"] = std::to_string(sopt.workers);
+    context["max_inflight"] = std::to_string(sopt.max_inflight);
+
+    serve::Server server(sopt);
+    const int rc = socket_path.empty()
+                       ? serve::serve_stdio(server, stdin, stdout,
+                                            sigint_token())
+                       : serve::serve_unix_socket(server, socket_path,
+                                                  sigint_token());
+    const serve::Server::Stats s = server.stats();
+    context["status"] = rc == 0 ? "completed" : "cancelled";
+    context["accepted"] = std::to_string(s.accepted);
+    // stdout is the protocol channel; the human-facing summary is stderr's.
+    std::fprintf(stderr,
+                 "serve: %llu accepted (%llu ok, %llu degraded, %llu "
+                 "errors, %llu drained), %llu bad requests, %llu shed "
+                 "overloaded, %llu shed shutdown, %llu write failures\n",
+                 static_cast<unsigned long long>(s.accepted),
+                 static_cast<unsigned long long>(s.completed_ok),
+                 static_cast<unsigned long long>(s.degraded),
+                 static_cast<unsigned long long>(s.job_errors),
+                 static_cast<unsigned long long>(s.drained_unstarted),
+                 static_cast<unsigned long long>(s.bad_requests),
+                 static_cast<unsigned long long>(s.rejected_overload),
+                 static_cast<unsigned long long>(s.rejected_shutdown),
+                 static_cast<unsigned long long>(s.write_failures));
+    return rc;
   }
 
   context["circuit"] = args[1];
@@ -571,6 +625,15 @@ int run_tool(const std::vector<std::string>& args,
 int main(int argc, char** argv) {
   obs::init_from_env();
   std::signal(SIGINT, handle_sigint);
+  // Chaos-grade fault injection (dft::fx): armed only when DFT_FX is set.
+  // A typo'd spec must fail loudly -- running a chaos campaign that
+  // silently injects nothing would validate nothing.
+  try {
+    fx::arm_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "DFT_FX: %s\n", e.what());
+    return kExitUsage;
+  }
 
   // Pull the observability flags out first: they are orthogonal to the mode.
   ObsFlags flags;
@@ -593,9 +656,12 @@ int main(int argc, char** argv) {
       args.emplace_back(argv[i]);
     }
   }
-  // Every mode takes a circuit argument except `simd`, which only inspects
-  // the host.
-  if (args.empty() || (args.size() < 2 && args[0] != "simd")) return usage();
+  // Every mode takes a circuit argument except `simd` (host inspection)
+  // and `serve` (circuits arrive inside requests).
+  if (args.empty() ||
+      (args.size() < 2 && args[0] != "simd" && args[0] != "serve")) {
+    return usage();
+  }
   if (!flags.trace_path.empty()) obs::Tracer::global().start();
   std::FILE* progress_out = nullptr;
   if (flags.progress_every_ms >= 0) {

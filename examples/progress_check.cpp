@@ -1,5 +1,5 @@
 // progress_check -- validates a dft-obs-progress NDJSON stream against the
-// checked-in schema (data/obs_progress_schema_v1.json) plus the stream
+// checked-in schema (data/obs_progress_schema_v2.json) plus the stream
 // invariants the sink guarantees (src/obs/progress.h).
 //
 //   progress_check <schema.json> <progress.ndjson> [--min-events N]

@@ -1,0 +1,206 @@
+// serve_check -- validates a dft-serve transcript (NDJSON) against the
+// checked-in response schema (data/serve_response_schema_v1.json) plus the
+// protocol invariants the server guarantees (src/serve/server.h).
+//
+//   serve_check <schema.json> <transcript.ndjson> [--min-lines N]
+//               [--require-answered N] [--requests]
+//
+// A transcript may interleave other NDJSON streams (progress lines when
+// serve runs with --progress-file pointed at the same file): lines that are
+// valid JSON objects whose "schema" field differs from the schema's pinned
+// value are counted and skipped; anything unparsable is a problem.
+//
+// Checks, per matching line: schema conformance (obs::validate_report),
+// then the ok-conditioned shape -- ok:true lines must carry status,
+// degraded, elapsed_ms, and result and no error; ok:false lines must carry
+// error:{type,message} with a known type and no result. Across lines: no
+// non-empty request id is answered twice (exactly-once delivery; malformed
+// requests answer with id "" and may repeat). --require-answered N demands
+// exactly N response lines (the chaos gate: every request answered).
+// With --requests the transcript is request lines instead (client-side
+// validation): schema conformance plus the exactly-one-of circuit/bench
+// rule.
+//
+// Exit 0 when the transcript conforms, 1 otherwise with one diagnostic per
+// problem, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+bool read_file(const char* path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool known_error_type(const std::string& t) {
+  return t == "bad_request" || t == "overloaded" || t == "shutdown" ||
+         t == "internal";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: serve_check <schema.json> <transcript.ndjson> "
+                 "[--min-lines N] [--require-answered N] [--requests]\n");
+    return 2;
+  }
+  long min_lines = 1;
+  long require_answered = -1;
+  bool requests_mode = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-lines") == 0 && i + 1 < argc) {
+      min_lines = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--require-answered") == 0 &&
+               i + 1 < argc) {
+      require_answered = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      requests_mode = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::string schema_text, stream_text;
+  if (!read_file(argv[1], schema_text)) {
+    std::fprintf(stderr, "cannot read schema %s\n", argv[1]);
+    return 1;
+  }
+  if (!read_file(argv[2], stream_text)) {
+    std::fprintf(stderr, "cannot read transcript %s\n", argv[2]);
+    return 1;
+  }
+
+  std::vector<std::string> problems;
+  long matching = 0, skipped = 0;
+  try {
+    const dft::obs::Json schema = dft::obs::parse_json(schema_text);
+    const dft::obs::Json* expect = schema.find("expect");
+    const dft::obs::Json* pinned =
+        expect != nullptr ? expect->find("schema") : nullptr;
+    if (pinned == nullptr || !pinned->is_string()) {
+      std::fprintf(stderr, "schema %s pins no expect.schema value\n", argv[1]);
+      return 1;
+    }
+    const std::string& want_schema = pinned->as_string();
+    std::map<std::string, int> answers_per_id;
+
+    long lineno = 0;
+    std::size_t pos = 0;
+    while (pos < stream_text.size()) {
+      std::size_t eol = stream_text.find('\n', pos);
+      if (eol == std::string::npos) eol = stream_text.size();
+      const std::string line_text = stream_text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line_text.empty()) continue;
+      ++lineno;
+      const std::string where = "line " + std::to_string(lineno);
+      dft::obs::Json line;
+      try {
+        line = dft::obs::parse_json(line_text);
+      } catch (const std::exception& e) {
+        problems.push_back(where + ": not valid JSON: " + e.what());
+        continue;
+      }
+      const dft::obs::Json* line_schema = line.find("schema");
+      if (line_schema == nullptr || !line_schema->is_string() ||
+          line_schema->as_string() != want_schema) {
+        ++skipped;  // another stream multiplexed into the transcript
+        continue;
+      }
+      ++matching;
+      for (const std::string& p : dft::obs::validate_report(schema, line)) {
+        problems.push_back(where + ": " + p);
+      }
+
+      if (requests_mode) {
+        const bool has_circuit = line.find("circuit") != nullptr;
+        const bool has_bench = line.find("bench") != nullptr;
+        if (has_circuit == has_bench) {
+          problems.push_back(where +
+                             ": exactly one of circuit/bench required");
+        }
+        continue;
+      }
+
+      const dft::obs::Json* ok = line.find("ok");
+      if (ok == nullptr || !ok->is_bool()) continue;  // reported above
+      const bool has_result = line.find("result") != nullptr;
+      const bool has_error = line.find("error") != nullptr;
+      if (ok->as_bool()) {
+        if (!has_result) problems.push_back(where + ": ok without result");
+        if (has_error) problems.push_back(where + ": ok with error");
+        for (const char* key : {"status", "degraded", "elapsed_ms"}) {
+          if (line.find(key) == nullptr) {
+            problems.push_back(where + ": ok without " + std::string(key));
+          }
+        }
+      } else {
+        if (has_result) problems.push_back(where + ": error with result");
+        const dft::obs::Json* error = line.find("error");
+        if (error == nullptr || !error->is_object()) {
+          problems.push_back(where + ": ok:false without error object");
+        } else {
+          const dft::obs::Json* type = error->find("type");
+          if (type == nullptr || !type->is_string() ||
+              !known_error_type(type->as_string())) {
+            problems.push_back(where + ": unknown error.type");
+          }
+          const dft::obs::Json* message = error->find("message");
+          if (message == nullptr || !message->is_string()) {
+            problems.push_back(where + ": error without string message");
+          }
+        }
+      }
+      // Exactly-once delivery: a non-empty id answered twice is a server
+      // bug (id "" is the shared bucket for unparsable requests).
+      const dft::obs::Json* id = line.find("id");
+      if (id != nullptr && id->is_string() && !id->as_string().empty()) {
+        if (++answers_per_id[id->as_string()] == 2) {
+          problems.push_back(where + ": id '" + id->as_string() +
+                             "' answered more than once");
+        }
+      }
+    }
+
+    if (matching < min_lines) {
+      problems.push_back("only " + std::to_string(matching) +
+                         " matching line(s), " + std::to_string(min_lines) +
+                         " required");
+    }
+    if (require_answered >= 0 && matching != require_answered) {
+      problems.push_back(std::to_string(require_answered) +
+                         " answer(s) required, " + std::to_string(matching) +
+                         " present");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (problems.empty()) {
+    std::printf("%s: ok (%ld %s line(s), %ld other)\n", argv[2], matching,
+                requests_mode ? "request" : "response", skipped);
+    return 0;
+  }
+  for (const std::string& p : problems) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], p.c_str());
+  }
+  return 1;
+}

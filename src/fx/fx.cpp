@@ -1,0 +1,178 @@
+#include "fx/fx.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace dft::fx {
+
+namespace {
+
+struct SiteSpec {
+  double probability = -1.0;   // p= ; < 0 = not probabilistic
+  std::uint64_t nth = 0;       // n= ; 0 = off
+  std::uint64_t every = 0;     // every= ; 0 = off
+  long long payload_ms = -1;   // ms= ; < 0 = none
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, SiteSpec, std::less<>> spec;
+  std::map<std::string, SiteStats, std::less<>> counters;
+  std::mt19937_64 rng{0x5eed};
+};
+
+State& state() {
+  static State* s = new State();  // leaked: sites fire from exiting threads
+  return *s;
+}
+
+std::atomic<bool>& armed_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw std::invalid_argument("bad DFT_FX spec: " + why);
+}
+
+double parse_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') bad_spec("bad number '" + s + "'");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t at = s.find(sep, start);
+    if (at == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, at - start));
+    start = at + 1;
+  }
+}
+
+void record_obs(std::string_view site, bool fired) {
+  if (!obs::enabled()) return;
+  std::string name("fx.");
+  name += site;
+  name += ".hits";
+  obs::Registry::global().counter(name).add(1);
+  if (fired) {
+    name.resize(name.size() - 5);  // strip ".hits"
+    name += ".fires";
+    obs::Registry::global().counter(name).add(1);
+  }
+}
+
+}  // namespace
+
+bool armed() noexcept {
+  return armed_flag().load(std::memory_order_relaxed);
+}
+
+bool fire(std::string_view site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  SiteStats& stats = s.counters[std::string(site)];
+  ++stats.hits;
+  bool fired = false;
+  if (const auto it = s.spec.find(site); it != s.spec.end()) {
+    const SiteSpec& sp = it->second;
+    if (sp.probability >= 0.0) {
+      fired = std::uniform_real_distribution<double>(0.0, 1.0)(s.rng) <
+              sp.probability;
+    }
+    if (!fired && sp.nth != 0) fired = stats.hits == sp.nth;
+    if (!fired && sp.every != 0) fired = stats.hits % sp.every == 0;
+  }
+  if (fired) ++stats.fires;
+  record_obs(site, fired);
+  return fired;
+}
+
+long long payload_ms(std::string_view site, long long def) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.spec.find(site);
+  if (it == s.spec.end() || it->second.payload_ms < 0) return def;
+  return it->second.payload_ms;
+}
+
+void arm(const std::string& spec) {
+  std::map<std::string, SiteSpec, std::less<>> parsed;
+  std::uint64_t seed = 0x5eed;
+  for (const std::string& clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      // Global parameter clause: only seed=N is defined.
+      if (clause.rfind("seed=", 0) == 0) {
+        seed = static_cast<std::uint64_t>(parse_double(clause.substr(5)));
+        continue;
+      }
+      bad_spec("clause '" + clause + "' has no ':' and is not seed=N");
+    }
+    const std::string site = clause.substr(0, colon);
+    if (site.empty()) bad_spec("empty site name in '" + clause + "'");
+    SiteSpec sp;
+    for (const std::string& param : split(clause.substr(colon + 1), ',')) {
+      if (param.rfind("p=", 0) == 0) {
+        sp.probability = parse_double(param.substr(2));
+        if (sp.probability < 0.0 || sp.probability > 1.0) {
+          bad_spec("p= out of [0,1] in '" + clause + "'");
+        }
+      } else if (param.rfind("n=", 0) == 0) {
+        sp.nth = static_cast<std::uint64_t>(parse_double(param.substr(2)));
+        if (sp.nth == 0) bad_spec("n= must be >= 1 in '" + clause + "'");
+      } else if (param.rfind("every=", 0) == 0) {
+        sp.every = static_cast<std::uint64_t>(parse_double(param.substr(6)));
+        if (sp.every == 0) bad_spec("every= must be >= 1 in '" + clause + "'");
+      } else if (param.rfind("ms=", 0) == 0) {
+        sp.payload_ms = static_cast<long long>(parse_double(param.substr(3)));
+      } else {
+        bad_spec("unknown param '" + param + "' in '" + clause + "'");
+      }
+    }
+    parsed.insert_or_assign(site, sp);
+  }
+  State& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.spec = std::move(parsed);
+    s.counters.clear();
+    s.rng.seed(seed);
+  }
+  armed_flag().store(!spec.empty(), std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("DFT_FX");
+  if (env == nullptr || env[0] == '\0') return;
+  arm(env);
+}
+
+void disarm() {
+  armed_flag().store(false, std::memory_order_relaxed);
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.spec.clear();
+  s.counters.clear();
+}
+
+std::map<std::string, SiteStats> stats() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return {s.counters.begin(), s.counters.end()};
+}
+
+}  // namespace dft::fx

@@ -1,0 +1,94 @@
+// dft::fx -- chaos-grade fault injection at named sites.
+//
+// The testability survey's argument applies to this toolkit itself: a
+// serving process whose degradation paths have never been exercised is
+// untestable in exactly the sense the paper warns about. fx gives the code
+// controllable failure points -- "fail the cache insert", "throw from a
+// worker mid-job", "stall this job 50 ms", "truncate the client's request
+// line" -- so the chaos tests can drive every error path deterministically
+// instead of waiting for production traffic to find them.
+//
+// A site is a dotted string literal compiled into the code under test:
+//
+//   if (DFT_FX_FIRE("serve.cache.insert")) throw std::bad_alloc();
+//
+// Arming comes from the DFT_FX environment variable (or fx::arm in tests):
+//
+//   DFT_FX="serve.cache.insert:p=0.2;serve.job.stall:n=3,ms=40;seed=7"
+//
+// Spec grammar: `;`-separated clauses; each clause is `site:params` with
+// `,`-separated params, or the global `seed=N`. Triggers per site:
+//   p=F      fire each hit independently with probability F (deterministic
+//            given the seed: one shared PRNG, sites draw in hit order)
+//   n=K      fire exactly on the K-th hit of the site (1-based)
+//   every=K  fire on every K-th hit
+// Payload:
+//   ms=N     payload_ms() for sites that stall instead of failing
+//
+// Cost rules, mirroring dft::obs:
+//  * Compiled out (cmake -DDFT_FX=OFF): DFT_FX_FIRE folds to `false` at
+//    compile time; no strings, no calls, dead branches eliminated.
+//  * Compiled in but disarmed (no DFT_FX, no arm()): one relaxed atomic
+//    load per site hit.
+//  * Armed: a mutex-guarded map lookup per hit -- injection sites live on
+//    error/admission paths and job boundaries, never in per-gate loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace dft::fx {
+
+#if defined(DFT_FX_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+// True when a spec is armed. One relaxed load; the hot-path gate.
+bool armed() noexcept;
+
+// Records a hit at `site` and returns true when the armed spec says this
+// hit fails. Unknown sites (not named in the spec) never fire but are
+// still counted, so stats() shows which sites traffic actually reached.
+bool fire(std::string_view site);
+
+// Payload for stall-style sites: the `ms=` value of `site`, or `def` when
+// the site is absent or carries no payload.
+long long payload_ms(std::string_view site, long long def);
+
+// Arms from a spec string; throws std::invalid_argument on a malformed
+// spec (unknown param, bad number, empty site). Replaces any prior spec
+// and resets all counters.
+void arm(const std::string& spec);
+
+// Arms from the DFT_FX environment variable; no-op when unset or empty.
+// A malformed env spec throws like arm() -- a chaos run with a typo'd
+// spec must fail loudly, not silently run without injection.
+void arm_from_env();
+
+// Disarms and clears counters; fire() returns to the one-load fast path.
+void disarm();
+
+struct SiteStats {
+  std::uint64_t hits = 0;   // times fire() was called for the site
+  std::uint64_t fires = 0;  // times it returned true
+};
+
+// Per-site counters since the last arm()/disarm() (armed sites and any
+// site fire() was called on). Also mirrored into obs counters
+// "fx.<site>.hits"/"fx.<site>.fires" when obs is enabled.
+std::map<std::string, SiteStats> stats();
+
+}  // namespace dft::fx
+
+// The hot-path macro: false (and fully dead) when compiled out, a single
+// relaxed load when disarmed.
+#if defined(DFT_FX_DISABLED)
+#define DFT_FX_FIRE(site) false
+#else
+#define DFT_FX_FIRE(site) (::dft::fx::armed() && ::dft::fx::fire(site))
+#endif

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <utility>
@@ -116,6 +117,21 @@ class Parser {
                                 std::to_string(pos_) + ": " + why);
   }
 
+  // Caps container nesting: adversarial "[[[[..." input must fail with a
+  // parse error, not exhaust the recursive-descent parser's stack.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) {
+      if (++parser->depth_ > kMaxJsonDepth) {
+        parser->fail("nesting deeper than " + std::to_string(kMaxJsonDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser* parser;
+  };
+
   void skip_ws() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
@@ -144,8 +160,14 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(this);
+        return parse_array();
+      }
       case '"': return Json::make_string(parse_string());
       case 't':
         if (consume_literal("true")) return Json::make_bool(true);
@@ -211,6 +233,10 @@ class Parser {
       if (pos_ >= text_.size()) fail("unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;  // point the error at the offending byte
+        fail("raw control character in string (must be \\u-escaped)");
+      }
       if (c != '\\') {
         out += c;
         continue;
@@ -281,11 +307,21 @@ class Parser {
       if (!digits()) fail("bad number exponent");
     }
     const std::string tok(text_.substr(start, pos_ - start));
-    return Json::make_number(std::strtod(tok.c_str(), nullptr));
+    const double v = std::strtod(tok.c_str(), nullptr);
+    // The grammar above admits only finite decimal literals, but a large
+    // exponent ("1e999") overflows strtod to +/-inf; every consumer of
+    // as_number() assumes a finite value, so reject it here with the
+    // number's own offset rather than propagate an inf downstream.
+    if (std::isinf(v)) {
+      pos_ = start;
+      fail("number overflows double ('" + tok + "')");
+    }
+    return Json::make_number(v);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -7,6 +7,16 @@
 // double; values outside the exact-double integer range are not needed by
 // any consumer here. Parse errors throw std::invalid_argument with a byte
 // offset.
+//
+// Hardened for untrusted input (dft-serve feeds it raw client bytes):
+//  * nesting depth is capped (kMaxJsonDepth) so a "[[[[..." line cannot
+//    blow the parser's stack;
+//  * numbers that overflow double to +/-inf are rejected (a client cannot
+//    smuggle inf/NaN into a field every consumer treats as finite);
+//  * raw control characters inside strings are rejected per RFC 8259
+//    (every writer in this repo \u-escapes them);
+//  * truncated input fails with the byte offset where data ran out, like
+//    every other parse error.
 #pragma once
 
 #include <map>
@@ -15,6 +25,12 @@
 #include <vector>
 
 namespace dft::obs {
+
+// Maximum container nesting the parser accepts. Deep enough for every
+// document this repo writes (reports nest 3 levels) with two orders of
+// magnitude of headroom; shallow enough that adversarial input cannot
+// drive the recursive-descent parser into stack exhaustion.
+inline constexpr int kMaxJsonDepth = 96;
 
 class Json {
  public:

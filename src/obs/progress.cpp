@@ -88,17 +88,27 @@ void ProgressSink::write_line(const Progress& p, bool final_event) {
                              clamped.coverage_pct);
     }
   }
-  const std::string line = render_line(clamped, seq_, elapsed_ms, eta_ms,
-                                       events_per_sec, peak_rss_bytes(),
-                                       final_event);
+  std::string line = render_line(clamped, seq_, elapsed_ms, eta_ms,
+                                 events_per_sec, peak_rss_bytes(),
+                                 final_event, thread_job());
+  // One fwrite for line + newline: serve mode shares the FILE* with
+  // response writers on other threads, and stdio only makes individual
+  // calls atomic -- a split write could interleave mid-line.
+  line += '\n';
   std::fwrite(line.data(), 1, line.size(), out_);
-  std::fputc('\n', out_);
   std::fflush(out_);  // each line is a complete, consumable event
   ++seq_;
   ++lines_;
 }
 
 namespace {
+
+// The per-thread job tag lives behind a function so the thread_local's
+// construction is on-demand (threads that never emit pay nothing).
+std::string& thread_job_mutable() {
+  thread_local std::string job;
+  return job;
+}
 
 void json_string(std::string_view s, std::string& out) {
   out += '"';
@@ -142,14 +152,25 @@ void append_u64(std::uint64_t v, std::string& out) {
 
 }  // namespace
 
+void ProgressSink::set_thread_job(std::string job) {
+  thread_job_mutable() = std::move(job);
+}
+
+const std::string& ProgressSink::thread_job() { return thread_job_mutable(); }
+
 std::string ProgressSink::render_line(const Progress& p, std::uint64_t seq,
                                       long long elapsed_ms, long long eta_ms,
                                       double events_per_sec,
-                                      long long rss_bytes, bool final_event) {
+                                      long long rss_bytes, bool final_event,
+                                      std::string_view job) {
   std::string out = "{\"schema\":\"dft-obs-progress\",\"version\":";
   append_ll(kProgressJsonVersion, out);
   out += ",\"seq\":";
   append_u64(seq, out);
+  if (!job.empty()) {
+    out += ",\"job\":";
+    json_string(job, out);
+  }
   out += ",\"phase\":";
   json_string(p.phase, out);
   out += ",\"status\":";

@@ -45,8 +45,14 @@
 namespace dft::obs {
 
 // Bumped whenever a key is added/removed/renamed in the emitted lines. The
-// checked-in schema (data/obs_progress_schema_v1.json) pins this.
-inline constexpr int kProgressJsonVersion = 1;
+// checked-in schema (data/obs_progress_schema_v2.json) pins this.
+// v2: optional "job" key -- serve mode runs many jobs concurrently through
+// the one global sink, and a line without attribution is useless to a
+// client multiplexing several requests over one connection. The key is
+// emitted only when the emitting thread carries a job tag
+// (set_thread_job), so single-job tool runs keep their v1 line shape
+// minus the version bump.
+inline constexpr int kProgressJsonVersion = 2;
 
 // One sample of a long-running engine's state, taken at a cooperative
 // point. Engines fill what they know; unknowns keep their defaults and the
@@ -94,12 +100,22 @@ class ProgressSink {
   // Lines written since start() (tests; under the write mutex).
   std::uint64_t lines_emitted() const;
 
+  // Tags every line emitted FROM THIS THREAD with "job":"<id>" until
+  // cleared (empty string). dft::serve workers set the tag for the span of
+  // a job so a client can demultiplex concurrent jobs' progress; engine
+  // sub-pools spawned by a job run on their own untagged threads, so only
+  // the job's own thread attributes its lines (documented serve behavior).
+  static void set_thread_job(std::string job);
+  static const std::string& thread_job();
+
   // Renders one line (no trailing newline) exactly as the sink writes it;
-  // exposed so tests can golden the encoding without a FILE*.
+  // exposed so tests can golden the encoding without a FILE*. `job` empty
+  // omits the "job" key.
   static std::string render_line(const Progress& p, std::uint64_t seq,
                                  long long elapsed_ms, long long eta_ms,
                                  double events_per_sec, long long rss_bytes,
-                                 bool final_event);
+                                 bool final_event,
+                                 std::string_view job = {});
 
  private:
   void emit_throttled(const Progress& p);

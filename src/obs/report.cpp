@@ -270,11 +270,30 @@ std::vector<std::string> validate_report(const Json& schema,
     }
   }
 
+  // 1b. Optional top-level keys: allowed to be absent, type-checked when
+  // present (the progress stream's "job", the serve response's
+  // result-vs-error alternatives).
+  const Json* optional = schema.find("optional");
+  if (optional != nullptr && optional->is_object()) {
+    for (const auto& [key, type_j] : optional->as_object()) {
+      const Json* v = report.find(key);
+      if (v == nullptr) continue;
+      const std::string& want = type_j.as_string();
+      if (!type_matches(*v, want)) {
+        problems.push_back("optional key '" + key + "' is " +
+                           std::string(Json::kind_name(v->kind())) +
+                           ", schema requires " + want);
+      }
+    }
+  }
+
   // 2. No unlisted top-level keys (schema drift in the other direction).
   const Json* allow_extra = schema.find("allow_extra_keys");
   if (allow_extra == nullptr || !allow_extra->as_bool()) {
     for (const auto& [key, v] : report.as_object()) {
-      if (required->find(key) == nullptr) {
+      if (required->find(key) == nullptr &&
+          (optional == nullptr || !optional->is_object() ||
+           optional->find(key) == nullptr)) {
         problems.push_back("unexpected top-level key '" + key +
                            "' (schema drift: bump the version and update the "
                            "schema)");

@@ -56,7 +56,7 @@ std::string render_report_text(const Registry& reg, const ReportOptions& opt);
 // (e.g. version == 2), so adding/removing/renaming report keys fails CI
 // until the schema (and version) are updated deliberately. The same
 // meta-format validates dft-obs-progress lines against
-// data/obs_progress_schema_v1.json (progress lines have no nested
+// data/obs_progress_schema_v2.json (progress lines have no nested
 // sections, so only 'required'/'allow_extra_keys'/'expect' apply).
 std::vector<std::string> validate_report(const Json& schema,
                                          const Json& report);

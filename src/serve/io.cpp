@@ -1,0 +1,225 @@
+// Transport front ends for dft::serve: JSON-lines over stdio or a Unix
+// stream socket. Both are poll loops with a short tick so a fired stop
+// token (signal handler) is noticed within ~100 ms even with no traffic.
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/server.h"
+
+namespace dft::serve {
+
+namespace {
+
+constexpr int kPollTickMs = 100;
+
+// Splits complete lines out of `acc` and submits each. The trailing
+// unterminated fragment stays in `acc` (the client may still be typing).
+void submit_lines(Server& server, std::string& acc,
+                  const Server::WriteFn& write) {
+  std::size_t pos;
+  while ((pos = acc.find('\n')) != std::string::npos) {
+    std::string line = acc.substr(0, pos);
+    acc.erase(0, pos + 1);
+    server.submit_line(std::move(line), write);
+  }
+}
+
+}  // namespace
+
+int serve_stdio(Server& server, std::FILE* in, std::FILE* out,
+                const guard::CancelToken& stop) {
+  // Responses may arrive from any worker; one mutex + one fwrite per line
+  // keeps them whole (the progress sink writes the same way, so response
+  // and progress lines interleave only at line boundaries).
+  auto wmu = std::make_shared<std::mutex>();
+  const Server::WriteFn writer = [out, wmu](const std::string& line) {
+    std::string buf = line;
+    buf += '\n';
+    std::lock_guard<std::mutex> lock(*wmu);
+    if (std::fwrite(buf.data(), 1, buf.size(), out) != buf.size()) {
+      throw std::runtime_error("short write to client");
+    }
+    std::fflush(out);
+  };
+
+  const int fd = fileno(in);
+  std::string acc;
+  char chunk[4096];
+  bool eof = false;
+  while (!stop.cancelled() && !eof) {
+    struct pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, kPollTickMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;  // signal; the loop condition decides
+      break;
+    }
+    if (pr == 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    acc.append(chunk, static_cast<std::size_t>(n));
+    submit_lines(server, acc, writer);
+  }
+  // A final unterminated line at EOF is still a request (the client's
+  // close flushed it); under a fired stop token it is dropped unanswered
+  // like any line that never arrived.
+  if (!acc.empty() && !stop.cancelled()) {
+    server.submit_line(std::move(acc), writer);
+  }
+
+  // Drain. EOF waits for in-flight jobs to finish naturally, but keeps
+  // watching the stop token: a signal arriving DURING the drain escalates
+  // to cancellation, so a long job cannot pin an EOF'd daemon against
+  // SIGTERM. Either way, every accepted job is answered before returning.
+  bool interrupted = stop.cancelled();
+  if (interrupted) server.begin_drain();  // cancel in-flight, shed queued
+  while (!server.wait_idle_for(kPollTickMs)) {
+    if (!interrupted && stop.cancelled()) {
+      interrupted = true;
+      server.begin_drain();
+    }
+  }
+  return interrupted ? 3 : 0;
+}
+
+namespace {
+
+// Per-connection state, shared with in-flight jobs via shared_ptr so a
+// response writer outlives the accept loop's view of the connection.
+struct Conn {
+  int fd = -1;
+  std::string acc;
+  std::mutex wmu;               // serializes writes; guards fd validity
+  std::atomic<bool> alive{true};
+};
+
+Server::WriteFn make_conn_writer(const std::shared_ptr<Conn>& conn) {
+  return [conn](const std::string& line) {
+    std::string buf = line;
+    buf += '\n';
+    std::lock_guard<std::mutex> lock(conn->wmu);
+    if (!conn->alive.load(std::memory_order_acquire)) {
+      throw std::runtime_error("client disconnected");
+    }
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing
+      // SIGPIPE.
+      const ssize_t n = ::send(conn->fd, buf.data() + off, buf.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  };
+}
+
+// Marks the connection dead and closes the fd -- under the write mutex, so
+// no writer can race a send() against the close.
+void close_conn(Conn& conn) {
+  std::lock_guard<std::mutex> lock(conn.wmu);
+  if (!conn.alive.exchange(false, std::memory_order_acq_rel)) return;
+  ::close(conn.fd);
+}
+
+}  // namespace
+
+int serve_unix_socket(Server& server, const std::string& path,
+                      const guard::CancelToken& stop) {
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(lfd);
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // a stale socket from a previous run
+  if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(lfd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(lfd);
+    throw std::runtime_error("cannot listen on " + path + ": " + why);
+  }
+
+  std::vector<std::shared_ptr<Conn>> conns;
+  char chunk[4096];
+  while (!stop.cancelled()) {
+    std::vector<pollfd> pfds;
+    pfds.push_back({lfd, POLLIN, 0});
+    for (const auto& c : conns) pfds.push_back({c->fd, POLLIN, 0});
+    const int pr = ::poll(pfds.data(), pfds.size(), kPollTickMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    if (pfds[0].revents & POLLIN) {
+      const int cfd = ::accept(lfd, nullptr, nullptr);
+      if (cfd >= 0) {
+        auto conn = std::make_shared<Conn>();
+        conn->fd = cfd;
+        conns.push_back(std::move(conn));
+        // conns grew: pfds no longer lines up past index 0; re-poll.
+        continue;
+      }
+    }
+    std::vector<std::shared_ptr<Conn>> still_open;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      const std::shared_ptr<Conn>& conn = conns[i];
+      bool open = true;
+      if (pfds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+          conn->acc.append(chunk, static_cast<std::size_t>(n));
+          submit_lines(server, conn->acc, make_conn_writer(conn));
+        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+          // Peer closed (a final unterminated line is still a request).
+          if (!conn->acc.empty()) {
+            server.submit_line(std::move(conn->acc), make_conn_writer(conn));
+            conn->acc.clear();
+          }
+          open = false;
+        }
+      }
+      // A closed peer's fd dies now; its in-flight jobs see alive=false and
+      // count write failures instead of racing a send() against the close.
+      if (open) still_open.push_back(conn);
+      else close_conn(*conn);
+    }
+    conns.swap(still_open);
+  }
+
+  ::close(lfd);  // stop accepting first
+  server.begin_drain();
+  server.wait_idle();  // jobs flush their responses through live conns
+  for (const auto& conn : conns) close_conn(*conn);
+  ::unlink(path.c_str());
+  return 3;  // the only way out is a fired stop token
+}
+
+}  // namespace dft::serve

@@ -1,0 +1,295 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace dft::serve {
+
+namespace {
+
+using obs::Json;
+
+void append_i64(long long v, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  out += buf;
+}
+
+void append_double(double v, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+// Option extraction helpers. Every failure is a BadRequest carrying the
+// already-recovered request id, so the client can correlate the rejection.
+
+[[noreturn]] void bad(const std::string& message, const std::string& id,
+                      const std::string& op = {}) {
+  throw RequestError(ErrorType::BadRequest, message, id, op);
+}
+
+long long int_option(const Json& v, const std::string& key, long long lo,
+                     long long hi, const std::string& id) {
+  if (!v.is_number()) bad("option '" + key + "' must be a number", id);
+  const double d = v.as_number();
+  if (d != std::floor(d)) bad("option '" + key + "' must be an integer", id);
+  if (d < static_cast<double>(lo) || d > static_cast<double>(hi)) {
+    bad("option '" + key + "' out of range [" + std::to_string(lo) + ", " +
+            std::to_string(hi) + "]",
+        id);
+  }
+  return static_cast<long long>(d);
+}
+
+const std::string& string_option(const Json& v, const std::string& key,
+                                 const std::string& id) {
+  if (!v.is_string()) bad("option '" + key + "' must be a string", id);
+  return v.as_string();
+}
+
+}  // namespace
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::Lint: return "lint";
+    case Op::Measure: return "measure";
+    case Op::Atpg: return "atpg";
+    case Op::FaultSim: return "fault_sim";
+    case Op::Bist: return "bist";
+    case Op::Sta: return "sta";
+  }
+  return "unknown";
+}
+
+std::string_view error_type_name(ErrorType t) {
+  switch (t) {
+    case ErrorType::BadRequest: return "bad_request";
+    case ErrorType::Overloaded: return "overloaded";
+    case ErrorType::Shutdown: return "shutdown";
+    case ErrorType::Internal: return "internal";
+  }
+  return "internal";
+}
+
+ServeRequest parse_request(std::string_view line) {
+  Json doc;
+  try {
+    doc = obs::parse_json(line);
+  } catch (const std::invalid_argument& e) {
+    throw RequestError(ErrorType::BadRequest,
+                       std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) bad("request is not a JSON object", "");
+
+  // Recover the id first so every later rejection can echo it.
+  ServeRequest req;
+  if (const Json* id = doc.find("id"); id != nullptr && id->is_string()) {
+    req.id = id->as_string();
+  }
+  if (req.id.empty()) bad("missing or empty string field 'id'", "");
+
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "dft-serve-request") {
+    bad("field 'schema' must be \"dft-serve-request\"", req.id);
+  }
+  const Json* version = doc.find("version");
+  if (version == nullptr || !version->is_number() ||
+      version->as_number() != kServeJsonVersion) {
+    bad("field 'version' must be " + std::to_string(kServeJsonVersion),
+        req.id);
+  }
+
+  const Json* op = doc.find("op");
+  if (op == nullptr || !op->is_string()) {
+    bad("missing string field 'op'", req.id);
+  }
+  const std::string& op_s = op->as_string();
+  if (op_s == "lint") req.op = Op::Lint;
+  else if (op_s == "measure") req.op = Op::Measure;
+  else if (op_s == "atpg") req.op = Op::Atpg;
+  else if (op_s == "fault_sim") req.op = Op::FaultSim;
+  else if (op_s == "bist") req.op = Op::Bist;
+  else if (op_s == "sta") req.op = Op::Sta;
+  else bad("unknown op '" + op_s + "'", req.id);
+
+  if (const Json* c = doc.find("circuit"); c != nullptr) {
+    if (!c->is_string()) bad("field 'circuit' must be a string", req.id, op_s);
+    req.circuit = c->as_string();
+  }
+  if (const Json* b = doc.find("bench"); b != nullptr) {
+    if (!b->is_string()) bad("field 'bench' must be a string", req.id, op_s);
+    req.bench = b->as_string();
+  }
+  if (req.circuit.empty() == req.bench.empty()) {
+    bad("exactly one of 'circuit' (built-in name) or 'bench' (inline source) "
+        "is required",
+        req.id, op_s);
+  }
+
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "schema" || key == "version" || key == "id" || key == "op" ||
+        key == "circuit" || key == "bench" || key == "options") {
+      continue;
+    }
+    bad("unknown field '" + key + "'", req.id, op_s);
+  }
+
+  if (const Json* options = doc.find("options"); options != nullptr) {
+    if (!options->is_object()) bad("'options' must be an object", req.id, op_s);
+    for (const auto& [key, value] : options->as_object()) {
+      if (key == "deadline_ms") {
+        req.options.deadline_ms = int_option(value, key, 0, 86'400'000, req.id);
+      } else if (key == "patterns") {
+        req.options.patterns =
+            static_cast<int>(int_option(value, key, 1, 1'000'000, req.id));
+      } else if (key == "engine") {
+        req.options.engine = string_option(value, key, req.id);
+      } else if (key == "threads") {
+        req.options.threads =
+            static_cast<int>(int_option(value, key, 1, 64, req.id));
+      } else if (key == "backtrack_limit") {
+        req.options.backtrack_limit =
+            static_cast<int>(int_option(value, key, 1, 1'000'000'000, req.id));
+      } else if (key == "include_tests") {
+        if (!value.is_bool()) bad("option 'include_tests' must be a bool",
+                                  req.id);
+        req.options.include_tests = value.as_bool();
+      } else if (key == "seed") {
+        req.options.seed = static_cast<std::uint64_t>(int_option(
+            value, key, 0, (1LL << 53), req.id));
+      } else if (key == "resume_of") {
+        req.options.resume_of = string_option(value, key, req.id);
+      } else {
+        // Strict: a typo'd option must not silently fall back to a default.
+        bad("unknown option '" + key + "'", req.id, op_s);
+      }
+    }
+  }
+  if (!req.options.resume_of.empty() && req.op != Op::Atpg) {
+    bad("option 'resume_of' is only valid for op 'atpg'", req.id, op_s);
+  }
+  return req;
+}
+
+void append_json_string(std::string_view s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonBuilder::key(std::string_view k) {
+  if (!first_) buf_ += ',';
+  first_ = false;
+  append_json_string(k, buf_);
+  buf_ += ':';
+}
+
+JsonBuilder& JsonBuilder::string_field(std::string_view k, std::string_view v) {
+  key(k);
+  append_json_string(v, buf_);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::int_field(std::string_view k, long long v) {
+  key(k);
+  append_i64(v, buf_);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::number_field(std::string_view k, double v) {
+  key(k);
+  append_double(v, buf_);
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::bool_field(std::string_view k, bool v) {
+  key(k);
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonBuilder& JsonBuilder::raw_field(std::string_view k, std::string_view json) {
+  key(k);
+  buf_ += json;
+  return *this;
+}
+
+std::string JsonBuilder::take() {
+  buf_ += '}';
+  first_ = true;
+  return std::move(buf_);
+}
+
+namespace {
+
+void append_response_prefix(std::string_view id, std::string_view op,
+                            bool ok, std::string& out) {
+  out += "{\"schema\":\"dft-serve-response\",\"version\":";
+  append_i64(kServeJsonVersion, out);
+  out += ",\"id\":";
+  append_json_string(id, out);
+  out += ",\"op\":";
+  append_json_string(op, out);
+  out += ",\"ok\":";
+  out += ok ? "true" : "false";
+}
+
+}  // namespace
+
+std::string render_response_ok(const ServeRequest& req,
+                               guard::RunStatus status,
+                               std::string_view cache_state,
+                               long long elapsed_ms,
+                               std::string_view result_json) {
+  std::string out;
+  append_response_prefix(req.id, op_name(req.op), true, out);
+  out += ",\"status\":";
+  append_json_string(guard::to_string(status), out);
+  out += ",\"degraded\":";
+  out += status == guard::RunStatus::Completed ? "false" : "true";
+  if (!cache_state.empty()) {
+    out += ",\"cache\":";
+    append_json_string(cache_state, out);
+  }
+  out += ",\"elapsed_ms\":";
+  append_i64(elapsed_ms, out);
+  out += ",\"result\":";
+  out += result_json;
+  out += '}';
+  return out;
+}
+
+std::string render_response_error(std::string_view id, std::string_view op,
+                                  ErrorType type, std::string_view message) {
+  std::string out;
+  append_response_prefix(id, op, false, out);
+  out += ",\"error\":{\"type\":";
+  append_json_string(error_type_name(type), out);
+  out += ",\"message\":";
+  append_json_string(message, out);
+  out += "}}";
+  return out;
+}
+
+}  // namespace dft::serve

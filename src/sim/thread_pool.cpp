@@ -58,6 +58,30 @@ void ThreadPool::wait() {
   if (err) std::rethrow_exception(err);
 }
 
+std::size_t ThreadPool::cancel_pending() {
+  std::deque<std::function<void()>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped.swap(queue_);
+    unfinished_ -= dropped.size();
+    cancelled_ += dropped.size();
+  }
+  // Destroy the dropped closures outside the lock (they may own captures
+  // with nontrivial destructors), then wake any wait()er: with the queue
+  // emptied, unfinished_ may have reached zero.
+  const std::size_t n = dropped.size();
+  dropped.clear();
+  if (n > 0) {
+    done_cv_.notify_all();
+    if (obs::enabled()) {
+      static obs::Counter& tasks_cancelled =
+          obs::Registry::global().counter("thread_pool.tasks_cancelled");
+      tasks_cancelled.add(static_cast<std::uint64_t>(n));
+    }
+  }
+  return n;
+}
+
 std::uint64_t ThreadPool::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queued_;
@@ -66,6 +90,11 @@ std::uint64_t ThreadPool::queued() const {
 std::uint64_t ThreadPool::completed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return completed_;
+}
+
+std::uint64_t ThreadPool::cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
 }
 
 std::size_t ThreadPool::max_queue_depth() const {

@@ -33,6 +33,14 @@ class ThreadPool {
  public:
   // Spawns resolve_thread_count(threads) workers.
   explicit ThreadPool(int threads);
+
+  // Destruction DRAINS: every job submitted before the destructor runs is
+  // executed to completion first (workers keep pulling from the FIFO until
+  // it is empty, then exit). A caller that wants abort-style shutdown
+  // calls cancel_pending() first and decides what to do with the count.
+  // Exceptions from jobs drained here are swallowed (there is no wait()
+  // left to rethrow from) but still recorded in the obs task counters --
+  // pinned by tests so the contract cannot drift silently.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -51,10 +59,21 @@ class ThreadPool {
   // the first exception (if any) that escaped a job since the last wait().
   void wait();
 
-  // Lifetime task counters: submitted vs finished. queued() - completed()
-  // is the number of tasks waiting or running right now.
+  // Abort-style shutdown support: removes every job still waiting in the
+  // FIFO (jobs already running are unaffected) and returns how many were
+  // dropped, so the caller can report them instead of silently losing
+  // work. The dropped jobs are never invoked; a subsequent wait() returns
+  // once the in-flight jobs finish. dft::serve uses this on hard drain:
+  // queued-but-unstarted jobs are answered with a typed error rather than
+  // executed against a cancelled deadline.
+  std::size_t cancel_pending();
+
+  // Lifetime task counters: submitted vs finished vs dropped by
+  // cancel_pending(). queued() - completed() - cancelled() is the number
+  // of tasks waiting or running right now.
   std::uint64_t queued() const;
   std::uint64_t completed() const;
+  std::uint64_t cancelled() const;
   // Largest number of jobs that were ever waiting in the FIFO at once.
   std::size_t max_queue_depth() const;
 
@@ -71,6 +90,7 @@ class ThreadPool {
   bool stop_ = false;
   std::uint64_t queued_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t max_queue_depth_ = 0;
 };
 

@@ -1,0 +1,134 @@
+// dft::fx -- spec grammar, trigger semantics, determinism, and the
+// disarmed fast path. The injection layer is itself chaos-test
+// infrastructure, so its own behavior is pinned here: a typo'd spec must
+// throw (a chaos run silently running without injection is worse than no
+// chaos run), and a seeded probabilistic spec must fire identically on
+// every replay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "fx/fx.h"
+
+namespace dft::fx {
+namespace {
+
+// Every test leaves the process disarmed (fx state is global).
+class FxTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm(); }
+};
+
+TEST_F(FxTest, DisarmedNeverFires) {
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(DFT_FX_FIRE("fxtest.some.site"));
+}
+
+TEST_F(FxTest, NthHitFiresExactlyOnce) {
+  arm("fxtest.nth:n=3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fire("fxtest.nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(stats()["fxtest.nth"].hits, 6u);
+  EXPECT_EQ(stats()["fxtest.nth"].fires, 1u);
+}
+
+TEST_F(FxTest, EveryFiresPeriodically) {
+  arm("fxtest.every:every=3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(fire("fxtest.every"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FxTest, ProbabilityEndpointsAreExact) {
+  arm("fxtest.always:p=1;fxtest.never:p=0");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(fire("fxtest.always"));
+    EXPECT_FALSE(fire("fxtest.never"));
+  }
+}
+
+TEST_F(FxTest, SeededProbabilityIsDeterministic) {
+  const auto draw = [] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(fire("fxtest.p"));
+    return fired;
+  };
+  arm("fxtest.p:p=0.4;seed=7");
+  const std::vector<bool> first = draw();
+  arm("fxtest.p:p=0.4;seed=7");  // re-arm resets counters and the PRNG
+  EXPECT_EQ(draw(), first) << "same seed, same fire pattern";
+  arm("fxtest.p:p=0.4;seed=8");
+  EXPECT_NE(draw(), first) << "different seed, different pattern";
+  // The pattern is neither all-fire nor no-fire at p=0.4 over 64 draws.
+  const auto fires = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST_F(FxTest, TriggersCombinePerSite) {
+  // n= fires once on top of the periodic every=; both against one counter.
+  arm("fxtest.combo:n=2,every=4");
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(fire("fxtest.combo"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, false,
+                                      false, true}));
+}
+
+TEST_F(FxTest, PayloadMsDefaultsWhenAbsent) {
+  arm("fxtest.stall:every=1,ms=40;fxtest.plain:every=1");
+  EXPECT_EQ(payload_ms("fxtest.stall", 25), 40);
+  EXPECT_EQ(payload_ms("fxtest.plain", 25), 25);
+  EXPECT_EQ(payload_ms("fxtest.unknown", 25), 25);
+}
+
+TEST_F(FxTest, UnknownSitesAreCountedButNeverFire) {
+  arm("fxtest.armed:p=1");
+  EXPECT_FALSE(fire("fxtest.reached.but.not.armed"));
+  const auto s = stats();
+  ASSERT_EQ(s.count("fxtest.reached.but.not.armed"), 1u);
+  EXPECT_EQ(s.at("fxtest.reached.but.not.armed").hits, 1u);
+  EXPECT_EQ(s.at("fxtest.reached.but.not.armed").fires, 0u);
+}
+
+TEST_F(FxTest, DisarmClearsSpecAndCounters) {
+  arm("fxtest.x:p=1");
+  EXPECT_TRUE(fire("fxtest.x"));
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_TRUE(stats().empty());
+}
+
+TEST_F(FxTest, MalformedSpecsThrowLoudly) {
+  EXPECT_THROW(arm("no-colon-and-not-seed"), std::invalid_argument);
+  EXPECT_THROW(arm(":p=1"), std::invalid_argument);          // empty site
+  EXPECT_THROW(arm("s:zap=1"), std::invalid_argument);       // unknown param
+  EXPECT_THROW(arm("s:p=nope"), std::invalid_argument);      // bad number
+  EXPECT_THROW(arm("s:p=1.5"), std::invalid_argument);       // p out of range
+  EXPECT_THROW(arm("s:n=0"), std::invalid_argument);         // n >= 1
+  EXPECT_THROW(arm("s:every=0"), std::invalid_argument);     // every >= 1
+  EXPECT_FALSE(armed()) << "a rejected spec must not arm anything";
+}
+
+TEST_F(FxTest, ArmFromEnvHonorsTheVariable) {
+  ::setenv("DFT_FX", "fxtest.env:n=1", 1);
+  arm_from_env();
+  EXPECT_TRUE(armed());
+  EXPECT_TRUE(fire("fxtest.env"));
+  ::unsetenv("DFT_FX");
+  disarm();
+  arm_from_env();  // unset: stays disarmed
+  EXPECT_FALSE(armed());
+  ::setenv("DFT_FX", "broken spec with spaces", 1);
+  EXPECT_THROW(arm_from_env(), std::invalid_argument);
+  ::unsetenv("DFT_FX");
+}
+
+}  // namespace
+}  // namespace dft::fx

@@ -1,0 +1,140 @@
+// Adversarial corpus for obs::parse_json -- the parser that now sits on
+// the serve boundary, fed by untrusted clients. Every input here either
+// parses to the expected value or throws std::invalid_argument with a
+// byte offset; none may crash, hang, or recurse off the stack. The
+// hardening rules pinned here: RFC 8259 strictness (no trailing commas,
+// no single quotes, no bare tokens), a nesting-depth cap, rejection of
+// numbers that overflow to infinity, and rejection of raw control
+// characters inside strings.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.h"
+
+namespace dft::obs {
+namespace {
+
+// The parser's one failure mode: invalid_argument whose message carries
+// the byte offset where the input went wrong.
+void expect_rejected(const std::string& input) {
+  try {
+    parse_json(input);
+    FAIL() << "accepted: " << input;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+        << "no offset in diagnostic for: " << input;
+  }
+}
+
+TEST(JsonRobustness, RejectsStructuralGarbage) {
+  const char* corpus[] = {
+      "",                 // empty input
+      "   \t\n  ",        // whitespace only
+      "{",                // unterminated object
+      "[",                // unterminated array
+      "}",                // close with no open
+      "{]",               // mismatched close
+      "[1, 2",            // truncated mid-array
+      R"({"a": )",        // truncated after key
+      R"({"a"})",         // key without value
+      R"({"a":1,})",      // trailing comma in object
+      "[1,]",             // trailing comma in array
+      "[,1]",             // leading comma
+      "[1 2]",            // missing comma
+      R"({"a":1 "b":2})", // missing comma between members
+      "{} {}",            // two documents
+      "[1] trailing",     // trailing garbage
+      R"({1: "x"})",      // non-string key
+  };
+  for (const char* input : corpus) expect_rejected(input);
+}
+
+TEST(JsonRobustness, RejectsNonRfc8259Tokens) {
+  const char* corpus[] = {
+      "'single'",     // single-quoted string
+      "True",         // wrong-case literal
+      "NULL",
+      "undefined",
+      "NaN",          // not a JSON number
+      "Infinity",
+      "-Infinity",
+      "+1",           // leading plus
+      ".5",           // bare fraction
+      "1.",           // trailing dot
+      "0x10",         // hex
+      "1e",           // empty exponent
+  };
+  for (const char* input : corpus) expect_rejected(input);
+}
+
+TEST(JsonRobustness, RejectsHostileStringsAndEscapes) {
+  expect_rejected("\"unterminated");
+  expect_rejected("\"bad \\q escape\"");
+  expect_rejected("\"truncated \\u12\"");
+  expect_rejected("\"not hex \\uZZZZ\"");
+  expect_rejected(std::string("\"raw ctrl ") + '\x01' + "\"");
+  expect_rejected(std::string("\"embedded tab \t\""));
+  expect_rejected(std::string("\"cut mid-escape \\"));
+}
+
+TEST(JsonRobustness, RejectsNumbersThatOverflowToInfinity) {
+  expect_rejected("1e999");
+  expect_rejected("-1e999");
+  expect_rejected(R"({"v": 1e400})");
+  // Subnormal underflow is fine -- it rounds to zero, not infinity.
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").as_number(), 0.0);
+}
+
+TEST(JsonRobustness, CapsNestingDepthInsteadOfRecursingOffTheStack) {
+  // One past the cap is rejected with the offset of the opening bracket...
+  expect_rejected(std::string(kMaxJsonDepth + 1, '[') +
+                  std::string(kMaxJsonDepth + 1, ']'));
+  // ...and alternating object/array nesting counts against the same cap.
+  std::string mixed;
+  for (int i = 0; i < kMaxJsonDepth; ++i) mixed += R"({"k":[)";
+  expect_rejected(mixed);  // deep AND truncated; either way, no crash
+  // At the cap, the document parses.
+  const std::string ok = std::string(kMaxJsonDepth, '[') + "1" +
+                         std::string(kMaxJsonDepth, ']');
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+TEST(JsonRobustness, DiagnosticOffsetsPointAtTheFailure) {
+  const auto offset_of = [](const std::string& input) -> long {
+    try {
+      parse_json(input);
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      const std::size_t at = what.find("byte ");
+      if (at == std::string::npos) return -1;
+      return std::strtol(what.c_str() + at + 5, nullptr, 10);
+    }
+    return -1;
+  };
+  EXPECT_EQ(offset_of("[1, x]"), 4) << "bare token at byte 4";
+  EXPECT_EQ(offset_of(R"({"a": 1,)"), 8) << "input ends at byte 8";
+  const long deep = offset_of(std::string(200, '['));
+  EXPECT_GE(deep, kMaxJsonDepth) << "depth diagnostic near the cap";
+}
+
+TEST(JsonRobustness, SurvivesLargeFlatDocuments) {
+  // Width is not depth: a large flat array must parse fine.
+  std::string wide = "[0";
+  for (int i = 1; i < 50000; ++i) {
+    wide += ',';
+    wide += std::to_string(i % 10);
+  }
+  wide += ']';
+  EXPECT_EQ(parse_json(wide).as_array().size(), 50000u);
+}
+
+TEST(JsonRobustness, ValidEscapesAndUnicodeStillWork) {
+  const Json doc = parse_json(R"("line\nbreak \u0041\t\"q\" \\")");
+  EXPECT_EQ(doc.as_string(), "line\nbreak A\t\"q\" \\");
+}
+
+}  // namespace
+}  // namespace dft::obs

@@ -8,6 +8,7 @@
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -66,12 +67,36 @@ TEST(ProgressSink, RenderLineGolden) {
       /*events_per_sec=*/4864.0, /*rss_bytes=*/8388608,
       /*final_event=*/false);
   EXPECT_EQ(line,
-            "{\"schema\":\"dft-obs-progress\",\"version\":1,\"seq\":7,"
+            "{\"schema\":\"dft-obs-progress\",\"version\":2,\"seq\":7,"
             "\"phase\":\"atpg.deterministic\",\"status\":\"running\","
             "\"elapsed_ms\":250,\"eta_ms\":500,\"coverage_pct\":87.5,"
             "\"patterns\":192,\"decisions\":1024,"
             "\"events_per_sec\":4864,\"peak_rss_bytes\":8388608,"
             "\"budget_remaining_ms\":750,\"final\":false}");
+}
+
+TEST(ProgressSink, RenderLineCarriesJobTagWhenSet) {
+  Progress p;
+  p.phase = "atpg";
+  const std::string line = ProgressSink::render_line(
+      p, 3, 10, -1, 0.0, 0, /*final_event=*/false, /*job=*/"job-42");
+  EXPECT_NE(line.find("\"seq\":3,\"job\":\"job-42\",\"phase\":\"atpg\""),
+            std::string::npos);
+  // Untagged lines omit the key entirely (v1 shape plus the version bump).
+  const std::string bare =
+      ProgressSink::render_line(p, 3, 10, -1, 0.0, 0, false);
+  EXPECT_EQ(bare.find("\"job\""), std::string::npos);
+}
+
+TEST(ProgressSink, ThreadJobTagIsPerThread) {
+  ProgressSink::set_thread_job("job-main");
+  EXPECT_EQ(ProgressSink::thread_job(), "job-main");
+  std::string seen_on_other_thread;
+  std::thread t([&] { seen_on_other_thread = ProgressSink::thread_job(); });
+  t.join();
+  EXPECT_EQ(seen_on_other_thread, "");
+  ProgressSink::set_thread_job("");
+  EXPECT_EQ(ProgressSink::thread_job(), "");
 }
 
 TEST(ProgressSink, RenderLineEscapesAndMarksFinal) {

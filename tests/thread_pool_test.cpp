@@ -1,0 +1,149 @@
+// ThreadPool shutdown semantics -- the contract dft::serve's drain path
+// leans on. Two distinct shutdowns exist and must stay distinct:
+// destruction DRAINS (every submitted job runs to completion), while
+// cancel_pending() ABORTS the queue (waiting jobs are dropped, returned as
+// a count, and never invoked -- running jobs are untouched). Plus the
+// exception plumbing around both: a throwing job poisons neither the pool
+// nor the cancellation accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/thread_pool.h"
+
+namespace dft {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ThreadPoolShutdown, DestructionDrainsEveryQueuedJob) {
+  auto ran = std::make_shared<std::atomic<int>>(0);
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([ran] {
+        std::this_thread::sleep_for(1ms);
+        ran->fetch_add(1);
+      });
+    }
+    // No wait(): the destructor must finish the backlog, not discard it.
+  }
+  EXPECT_EQ(ran->load(), 16);
+}
+
+TEST(ThreadPoolShutdown, CancelPendingDropsOnlyWaitingJobs) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    ran.fetch_add(1);
+  });
+  // Give the single worker time to pick up the blocker, then queue more.
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  const std::size_t dropped = pool.cancel_pending();
+  EXPECT_EQ(dropped, 8u) << "waiting jobs dropped, running job untouched";
+  release.store(true);
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1) << "cancelled jobs must never be invoked";
+  EXPECT_EQ(pool.cancelled(), 8u);
+  EXPECT_EQ(pool.queued(), 9u);
+  EXPECT_EQ(pool.completed(), 1u);
+}
+
+TEST(ThreadPoolShutdown, CancelledJobsReleaseTheirCaptures) {
+  // A dropped closure's captured state is destroyed by cancel_pending, not
+  // leaked in the queue -- serve's Job shared_ptrs rely on this.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  std::this_thread::sleep_for(20ms);
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  pool.submit([p = std::move(payload)] { (void)*p; });
+  EXPECT_EQ(pool.cancel_pending(), 1u);
+  EXPECT_TRUE(watch.expired()) << "dropped job still owns its captures";
+  release.store(true);
+  pool.wait();
+}
+
+TEST(ThreadPoolShutdown, PoolStaysUsableAfterCancel) {
+  ThreadPool pool(2);
+  pool.submit([] {});
+  pool.wait();
+  pool.cancel_pending();  // nothing queued: a no-op returning 0
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolShutdown, ExceptionDuringCancelWindowStillSurfaces) {
+  // A job that throws while later jobs get cancelled: the drop must not
+  // eat the error -- the next wait() rethrows it, and accounting balances.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    throw std::runtime_error("job blew up mid-shutdown");
+  });
+  std::this_thread::sleep_for(20ms);
+  pool.submit([] {});
+  pool.submit([] {});
+  EXPECT_EQ(pool.cancel_pending(), 2u);
+  release.store(true);
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(pool.completed(), 1u);
+  EXPECT_EQ(pool.cancelled(), 2u);
+}
+
+TEST(ThreadPoolShutdown, DrainSwallowsButCountsExceptionsInDestructor) {
+  // Destructor-drained jobs have no wait() to rethrow from; the pool must
+  // absorb the exception (no std::terminate) yet still count the task.
+  std::uint64_t completed = 0;
+  {
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+    std::this_thread::sleep_for(20ms);
+    completed = pool.completed();
+  }
+  EXPECT_EQ(completed, 1u);
+}
+
+TEST(ThreadPoolShutdown, CancelRacingSubmitNeverLosesAJob) {
+  // Hammer cancel_pending against concurrent submits: every submitted job
+  // is either completed or cancelled, never lost or double-counted.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  constexpr int kJobs = 200;
+  std::thread submitter([&] {
+    for (int i = 0; i < kJobs; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+      if (i % 16 == 0) std::this_thread::sleep_for(1ms);
+    }
+  });
+  std::size_t dropped = 0;
+  for (int i = 0; i < 50; ++i) {
+    dropped += pool.cancel_pending();
+    std::this_thread::sleep_for(1ms);
+  }
+  submitter.join();
+  pool.wait();
+  EXPECT_EQ(pool.queued(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(pool.cancelled(), static_cast<std::uint64_t>(dropped));
+  EXPECT_EQ(static_cast<std::uint64_t>(ran.load()) + pool.cancelled(),
+            static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(pool.completed(), static_cast<std::uint64_t>(ran.load()));
+}
+
+}  // namespace
+}  // namespace dft
